@@ -1,0 +1,367 @@
+package mcbench_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/bpred"
+	"mcbench/internal/cache"
+	"mcbench/internal/cluster"
+	"mcbench/internal/cophase"
+	"mcbench/internal/experiments"
+	"mcbench/internal/metrics"
+	"mcbench/internal/multicore"
+	"mcbench/internal/profile"
+	"mcbench/internal/sampling"
+	"mcbench/internal/trace"
+)
+
+// The benchmarks regenerate every table and figure of the paper at the
+// quick scale (reduced traces, subsampled populations) so that a full
+// `go test -bench=.` finishes in minutes while preserving the shapes the
+// paper reports. Use `mcbench` (cmd/mcbench) without -quick for the
+// paper-scale campaign.
+//
+// Each benchmark prints its table once, so the -bench output doubles as a
+// results report.
+
+var (
+	benchOnce sync.Once
+	benchLab  *experiments.Lab
+)
+
+func lab() *experiments.Lab {
+	benchOnce.Do(func() {
+		benchLab = experiments.NewLab(experiments.QuickConfig())
+	})
+	return benchLab
+}
+
+// printOnce emits the table on the first iteration only.
+func printOnce(b *testing.B, i int, t *experiments.Table) {
+	b.Helper()
+	if i == 0 {
+		t.Fprint(os.Stdout)
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, experiments.Fig1())
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.TableIV())
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.TableIIITable(2))
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.Fig2Table([]int{2, 4}))
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.Fig3Table([]int{2, 4}))
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.Fig4Table(4))
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.Fig5Table(4))
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.Fig6Table(2))
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.Fig7Table([]int{2}))
+	}
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.OverheadTable(2))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations beyond the paper (design-choice sensitivity).
+
+func BenchmarkAblationStrataParams(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.AblationStrataParams(2, 20))
+	}
+}
+
+func BenchmarkAblationClassification(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.AblationClassification(2, 20))
+	}
+}
+
+func BenchmarkAblationMetricChoice(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.AblationMetricChoice(2))
+	}
+}
+
+func BenchmarkSpeedupAccuracy(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.SpeedupAccuracyTable(2))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the simulators themselves (the substance behind
+// Table III): per-simulated-µop cost of each simulator.
+
+func benchTracesAndModels(b *testing.B) (map[string]*trace.Trace, map[string]*badco.Model) {
+	b.Helper()
+	traces := trace.GenerateSuite(20000)
+	models, err := multicore.BuildModels(traces, badco.DefaultBuildConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return traces, models
+}
+
+func BenchmarkDetailedSimulator2Core(b *testing.B) {
+	traces, _ := benchTracesAndModels(b)
+	w := multicore.Workload{"mcf", "povray"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multicore.Detailed(w, traces, cache.LRU, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBadcoSimulator2Core(b *testing.B) {
+	_, models := benchTracesAndModels(b)
+	w := multicore.Workload{"mcf", "povray"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multicore.Approximate(w, models, cache.LRU, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBadcoSimulator8Core(b *testing.B) {
+	_, models := benchTracesAndModels(b)
+	w := multicore.Workload{"mcf", "povray", "gcc", "libquantum", "hmmer", "soplex", "astar", "bzip2"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multicore.Approximate(w, models, cache.LRU, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelBuild(b *testing.B) {
+	traces := trace.GenerateSuite(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := badco.Build(traces["gcc"], badco.DefaultBuildConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPopulationSweep measures the full-population BADCO sweep that
+// powers Figures 3-7 (2-core population, one policy).
+func BenchmarkPopulationSweep(b *testing.B) {
+	l := lab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.BadcoIPC(2, cache.LRU)
+	}
+	if i := len(l.BadcoIPC(2, cache.LRU)); i != 253 {
+		b.Fatalf("population %d", i)
+	}
+}
+
+func BenchmarkGuideline(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.GuidelineTable(2, metrics.WSU))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extension experiments: the Section II-B cluster-based methods, the
+// footnote-4 co-phase matrix, the Table I branch predictor and the CLT
+// premise behind equation (5).
+
+func BenchmarkExtMethods(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.ExtMethodsTable(2))
+	}
+}
+
+func BenchmarkCophaseValidation(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.CophaseTable())
+	}
+}
+
+func BenchmarkPredictorAblation(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.PredictorTable())
+	}
+}
+
+func BenchmarkNormality(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.NormalityTable(2))
+	}
+}
+
+func BenchmarkProfileSuite(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.ProfileTable())
+	}
+}
+
+func BenchmarkExtPolicies(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, l.ExtPoliciesTable(2))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks: per-operation cost of the new subsystems.
+
+func BenchmarkTAGEPredict(b *testing.B) {
+	p := bpred.NewDefaultTAGE()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Predict(uint64(0x4000+(i%512)*16), i%7 != 0)
+	}
+}
+
+func BenchmarkBimodalPredict(b *testing.B) {
+	p := bpred.NewBimodal(14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Predict(uint64(0x4000+(i%512)*16), i%7 != 0)
+	}
+}
+
+func BenchmarkProfileCompute(b *testing.B) {
+	traces := trace.GenerateSuite(20000)
+	tr := traces["mcf"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.Compute(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeansWorkloads(b *testing.B) {
+	l := lab()
+	pop := l.Population(2)
+	wf, err := sampling.WorkloadFeatures(pop, l.BenchFeatures())
+	if err != nil {
+		b.Fatal(err)
+	}
+	norm := cluster.Normalize(wf)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(rng, norm, 10, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceEncode(b *testing.B) {
+	traces := trace.GenerateSuite(20000)
+	tr := traces["gcc"]
+	b.ResetTimer()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		m, err := tr.WriteTo(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = m
+	}
+	b.SetBytes(n)
+}
+
+func BenchmarkTraceDecode(b *testing.B) {
+	traces := trace.GenerateSuite(20000)
+	var buf bytes.Buffer
+	if _, err := traces["gcc"].WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Read(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCophaseRun(b *testing.B) {
+	traces := trace.GenerateSuite(20000)
+	for i := 0; i < b.N; i++ {
+		sim, err := cophase.New([]string{"soplex", "gobmk"}, traces, cophase.Config{
+			Phases: 10, SampleOps: 500, WarmOps: 2000, Policy: cache.LRU,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

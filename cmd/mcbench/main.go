@@ -1,0 +1,263 @@
+// Command mcbench regenerates the tables and figures of "Selecting
+// Benchmark Combinations for the Evaluation of Multicore Throughput"
+// (Velásquez, Michaud, Seznec — ISPASS 2013) on the reproduction's
+// simulators.
+//
+// Usage:
+//
+//	mcbench [-quick] [-cores N] <experiment>...
+//
+// where experiment is one of: fig1, fig2, fig3, fig4, fig5, fig6, fig7,
+// table3, table4, overhead, config, all.
+//
+// -quick runs a reduced campaign (smaller traces, subsampled populations,
+// fewer Monte-Carlo trials) that finishes in a few minutes; the default
+// campaign matches the paper's scale and may take much longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/cache"
+	"mcbench/internal/cpu"
+	"mcbench/internal/experiments"
+	"mcbench/internal/metrics"
+	"mcbench/internal/multicore"
+	"mcbench/internal/trace"
+	"mcbench/internal/uncore"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced campaign (fast, lower resolution)")
+	cores := flag.Int("cores", 4, "core count for fig4/fig5/fig6/overhead")
+	cacheDir := flag.String("cache", "", "directory for persisting population sweeps across runs")
+	plotFlag := flag.Bool("plot", false, "render figures as text charts in addition to tables")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.CacheDir = *cacheDir
+	lab := experiments.NewLab(cfg)
+
+	if args[0] == "sim" {
+		if err := simulate(cfg, args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range args {
+		if name == "all" {
+			runAll(lab, *cores, *plotFlag)
+			continue
+		}
+		if err := run(lab, name, *cores, *plotFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// simulate runs one named workload under one policy with both simulators
+// and prints the per-thread IPCs: mcbench sim DRRIP mcf,povray
+func simulate(cfg experiments.Config, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: mcbench sim <policy> <bench,bench,...>")
+	}
+	policy := cache.PolicyName(args[0])
+	if _, err := cache.NewPolicy(policy, 0); err != nil {
+		return err
+	}
+	names := strings.Split(args[1], ",")
+	traces := map[string]*trace.Trace{}
+	for _, n := range names {
+		p, ok := trace.ByName(n)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (see internal/trace Suite)", n)
+		}
+		traces[n] = trace.MustGenerate(p, cfg.TraceLen)
+	}
+	w := multicore.Workload(names)
+
+	det, err := multicore.Detailed(w, traces, policy, 0)
+	if err != nil {
+		return err
+	}
+	models, err := multicore.BuildModels(traces, badco.DefaultBuildConfig())
+	if err != nil {
+		return err
+	}
+	app, err := multicore.Approximate(w, models, policy, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s under %s (%d µops/thread)\n", w, policy, cfg.TraceLen)
+	fmt.Printf("%-12s  %10s  %10s\n", "thread", "detailed", "BADCO")
+	for i, n := range names {
+		fmt.Printf("%-12s  %10.4f  %10.4f\n", n, det.IPC[i], app.IPC[i])
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: mcbench [-quick] [-cores N] <experiment>...
+
+experiments:
+  fig1      confidence vs (1/cv)sqrt(W/2), the analytic model curve
+  fig2      detailed vs BADCO CPI/speedup accuracy
+  fig3      confidence vs sample size: experiment vs model (DRRIP>DIP, WSU)
+  fig4      1/cv per policy pair x metric: samples vs population (4 cores)
+  fig5      1/cv on the full population per metric
+  fig6      confidence for 4 sampling methods (IPCT)
+  fig7      actual (detailed-simulator) confidence for DIP>LRU
+  table3    simulation speed (MIPS) and BADCO speedup
+  table4    benchmark MPKI classification
+  overhead  Section VII-A simulation-overhead example
+  config    print the simulated core/uncore configurations
+  all       everything above
+
+extensions (beyond the paper):
+  ablation-strata   WT/TSD sensitivity of workload stratification
+  ablation-classes  value of the MPKI classes for benchmark stratification
+  ablation-metrics  required sample size per throughput metric (incl. GMSU)
+  speedup           accuracy of sample speedup estimates (paper's open problem)
+  guideline         Sec. VII decision procedure applied to every pair
+  methods           six selection methods incl. cluster-based (Sec. II-B refs [6,7])
+  cophase           co-phase matrix method vs detailed simulation (footnote 4)
+  predictors        branch predictor ablation (bimodal/gshare/tournament/TAGE)
+  normality         CLT premise: KS distance of mean(d) from normal vs W
+  profiles          microarchitecture-independent benchmark profiles
+  policies          SRRIP/PLRU/SHiP placed in the paper's 1/cv framework
+  sim               simulate one workload: mcbench sim <policy> <bench,bench,...>
+
+flags: -plot renders figures as text charts in addition to tables
+`)
+}
+
+func runAll(lab *experiments.Lab, cores int, plotFlag bool) {
+	for _, name := range []string{
+		"config", "fig1", "table4", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "overhead",
+	} {
+		if err := run(lab, name, cores, plotFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(lab *experiments.Lab, name string, cores int, plotFlag bool) error {
+	start := time.Now()
+	var t *experiments.Table
+	switch name {
+	case "fig1":
+		t = experiments.Fig1()
+	case "fig2":
+		t = lab.Fig2Table(nil)
+	case "fig3":
+		t = lab.Fig3Table(nil)
+	case "fig4":
+		t = lab.Fig4Table(cores)
+	case "fig5":
+		t = lab.Fig5Table(cores)
+	case "fig6":
+		t = lab.Fig6Table(cores)
+	case "fig7":
+		t = lab.Fig7Table(nil)
+	case "table3":
+		t = lab.TableIIITable(3)
+	case "table4":
+		t = lab.TableIV()
+	case "overhead":
+		t = lab.OverheadTable(cores)
+	case "ablation-strata":
+		t = lab.AblationStrataParams(cores, 20)
+	case "ablation-classes":
+		t = lab.AblationClassification(cores, 20)
+	case "ablation-metrics":
+		t = lab.AblationMetricChoice(cores)
+	case "speedup":
+		t = lab.SpeedupAccuracyTable(cores)
+	case "guideline":
+		t = lab.GuidelineTable(cores, metrics.WSU)
+	case "methods":
+		t = lab.ExtMethodsTable(cores)
+	case "cophase":
+		t = lab.CophaseTable()
+	case "predictors":
+		t = lab.PredictorTable()
+	case "normality":
+		t = lab.NormalityTable(cores)
+	case "profiles":
+		t = lab.ProfileTable()
+	case "policies":
+		t = lab.ExtPoliciesTable(cores)
+	case "config":
+		t = configTable()
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	t.Fprint(os.Stdout)
+	if plotFlag {
+		if chart := chartFor(lab, name, cores); chart != "" {
+			fmt.Println(chart)
+		}
+	}
+	fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// chartFor renders the text chart of figures that have one.
+func chartFor(lab *experiments.Lab, name string, cores int) string {
+	switch name {
+	case "fig1":
+		return experiments.Fig1Chart()
+	case "fig2":
+		return lab.Fig2Chart(nil)
+	case "fig3":
+		return lab.Fig3Chart(nil)
+	case "fig5":
+		return lab.Fig5Chart(cores)
+	case "fig6":
+		return lab.Fig6Chart(cores)
+	}
+	return ""
+}
+
+// configTable prints the Table I / Table II configurations in force.
+func configTable() *experiments.Table {
+	core := cpu.DefaultConfig()
+	t := &experiments.Table{
+		Title:   "Tables I & II: simulated configurations",
+		Columns: []string{"parameter", "value"},
+		Notes: []string{
+			"LLC capacities are the paper's scaled by 1/4, matching the 10^-3 trace-length scale (see DESIGN.md)",
+		},
+	}
+	t.AddRow("decode/issue/commit", fmt.Sprintf("%d/%d/%d", core.DecodeWidth, core.IssueWidth, core.CommitWidth))
+	t.AddRow("RS/LDQ/STQ/ROB", fmt.Sprintf("%d/%d/%d/%d", core.RS, core.LDQ, core.STQ, core.ROB))
+	t.AddRow("IL1", fmt.Sprintf("%d kB, %d-way, %d cycles", core.IL1Bytes>>10, core.IL1Ways, core.IL1Lat))
+	t.AddRow("DL1", fmt.Sprintf("%d kB, %d-way, %d cycles, %d MSHRs", core.DL1Bytes>>10, core.DL1Ways, core.DL1Lat, core.DL1MSHRs))
+	t.AddRow("ITLB/DTLB", fmt.Sprintf("%d/%d entries, %d-cycle walk", core.ITLBEntries, core.DTLBEntries, core.TLBWalkLat))
+	t.AddRow("branch predictor", fmt.Sprintf("bimodal 2^%d, %d-cycle redirect", core.BPIndexBits, core.MispredictPenalty))
+	for _, k := range []int{2, 4, 8} {
+		u := uncore.ConfigFor(k, "LRU")
+		t.AddRow(fmt.Sprintf("uncore %d cores", k),
+			fmt.Sprintf("LLC %d kB/%d-way/%d cycles, %d MSHRs, %d-entry WB, DRAM %d cycles",
+				u.LLCBytes>>10, u.LLCWays, u.LLCLatency, u.MSHRs, u.WriteBufEnts, u.DRAMLatency))
+	}
+	return t
+}

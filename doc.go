@@ -1,0 +1,37 @@
+// Package mcbench is a reproduction, in pure Go, of "Selecting Benchmark
+// Combinations for the Evaluation of Multicore Throughput" (R. A.
+// Velásquez, P. Michaud, A. Seznec — ISPASS 2013).
+//
+// The repository contains the paper's full experimental stack, built from
+// scratch on the standard library:
+//
+//   - internal/trace — a 22-benchmark synthetic suite standing in for SPEC
+//     CPU2006, with EIO-style binary serialisation;
+//   - internal/cache, internal/mem, internal/uncore — the shared memory
+//     hierarchy with the five LLC replacement policies of the case study
+//     (LRU, RND, FIFO, DIP, DRRIP) plus SRRIP, PLRU and SHiP for ablations;
+//   - internal/cpu, internal/bpred — a detailed out-of-order core model
+//     (the Zesto role) with the Table I front end (TAGE, BTAC, indirect
+//     predictor, return address stack);
+//   - internal/badco — the BADCO behavioural core models (the fast
+//     approximate simulator);
+//   - internal/multicore — multiprogrammed-workload simulation;
+//   - internal/cophase — the co-phase matrix method of the paper's
+//     footnote 4;
+//   - internal/workload, internal/metrics, internal/stats,
+//     internal/sampling — the paper's contribution: workload combinatorics,
+//     throughput metrics, the CLT confidence model, and the four sampling
+//     methods (random, balanced random, benchmark stratification, workload
+//     stratification);
+//   - internal/profile, internal/cluster — microarchitecture-independent
+//     profiling and cluster analysis, powering the two Section II-B
+//     selection methods (cluster-derived benchmark classes, representative
+//     workload clustering);
+//   - internal/experiments — drivers regenerating every table and figure,
+//     with text charts from internal/plot;
+//   - cmd/mcbench, cmd/tracegen — the command-line front ends.
+//
+// See DESIGN.md for the system inventory and substitutions, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each table and figure.
+package mcbench

@@ -1,0 +1,82 @@
+// Clustering: derive benchmark classes and representative workloads by
+// cluster analysis on microarchitecture-independent profiles — the two
+// fully-automatic selection methods the paper surveys in Section II-B
+// (Vandierendonck & Seznec [6]; Van Biesbrouck, Eeckhout & Calder [7]).
+//
+// Run with: go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mcbench/internal/cluster"
+	"mcbench/internal/profile"
+	"mcbench/internal/sampling"
+	"mcbench/internal/trace"
+	"mcbench/internal/workload"
+)
+
+func main() {
+	// 1. Profile the 22-benchmark suite: instruction mix, footprints,
+	// reuse-distance histograms — no microarchitecture parameters used.
+	const traceLen = 20000
+	names := trace.SuiteNames()
+	traces := trace.GenerateSuite(traceLen)
+	features := make([][]float64, len(names))
+	for i, name := range names {
+		p := profile.MustCompute(traces[name])
+		features[i] = p.Features()
+	}
+
+	// 2. Cluster the benchmarks into behavioural classes (k chosen by
+	// silhouette score) and print the classes.
+	rng := rand.New(rand.NewSource(1))
+	best, err := cluster.BestK(rng, cluster.Normalize(features), 2, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	assign := cluster.SortedAssign(best)
+	fmt.Printf("k-means chose %d benchmark classes (silhouette-selected):\n", best.K)
+	for c := 0; c < best.K; c++ {
+		fmt.Printf("  class %d:", c)
+		for i, a := range assign {
+			if a == c {
+				fmt.Printf(" %s", names[i])
+			}
+		}
+		fmt.Println()
+	}
+
+	// 3. Use the classes for benchmark stratification over the 2-core
+	// workload population, and draw a 20-workload sample.
+	pop := workload.Enumerate(len(names), 2)
+	strata, classes, err := sampling.NewClusterBenchStrata(rng, pop, features, best.K)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = classes
+	idx, weights := strata.Draw(rng, 20)
+	fmt.Printf("\ncluster-stratified sample of 20 workloads (of %d):\n", pop.Size())
+	for i, w := range idx[:5] {
+		fmt.Printf("  %-24v weight %.4f\n", pop.Workloads[w].Names(names), weights[i])
+	}
+	fmt.Printf("  ... (%d more)\n", len(idx)-5)
+
+	// 4. Van Biesbrouck-style representative workloads: cluster the
+	// workload feature matrix and simulate only the medoids, weighted by
+	// cluster size.
+	wf, err := sampling.WorkloadFeatures(pop, features)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := sampling.NewRepresentative(wf, 30)
+	medoids, wts := rep.Draw(rng, 6)
+	fmt.Printf("\n6 representative workloads stand in for all %d:\n", pop.Size())
+	for i, m := range medoids {
+		fmt.Printf("  %-24v covers %4.1f%% of the population\n",
+			pop.Workloads[m].Names(names), wts[i]*100)
+	}
+	fmt.Println("\nsimulate just these medoids and weight their throughputs to estimate the population mean")
+}

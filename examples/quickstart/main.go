@@ -1,0 +1,67 @@
+// Quickstart: simulate one 2-core multiprogrammed workload with both
+// simulators and compare their per-thread IPCs and a throughput metric.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/cache"
+	"mcbench/internal/metrics"
+	"mcbench/internal/multicore"
+	"mcbench/internal/trace"
+)
+
+func main() {
+	// 1. Generate the synthetic benchmark traces (the SPEC CPU2006
+	// stand-ins). 20k µops keeps this example fast.
+	const traceLen = 20000
+	traces := map[string]*trace.Trace{}
+	for _, name := range []string{"mcf", "povray"} {
+		p, ok := trace.ByName(name)
+		if !ok {
+			log.Fatalf("unknown benchmark %s", name)
+		}
+		traces[name] = trace.MustGenerate(p, traceLen)
+	}
+
+	// 2. The workload: a memory-bound thread (mcf) next to a compute-
+	// bound one (povray), sharing the LLC.
+	w := multicore.Workload{"mcf", "povray"}
+
+	// 3. Detailed simulation under two replacement policies.
+	fmt.Println("detailed simulator:")
+	var ipcLRU []float64
+	for _, pol := range []cache.PolicyName{cache.LRU, cache.DRRIP} {
+		r, err := multicore.Detailed(w, traces, pol, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s IPC: mcf %.3f, povray %.3f\n", pol, r.IPC[0], r.IPC[1])
+		if pol == cache.LRU {
+			ipcLRU = r.IPC
+		}
+	}
+
+	// 4. The same with BADCO models (built from two calibration runs of
+	// the detailed core each) — the fast approximate path.
+	models, err := multicore.BuildModels(traces, badco.DefaultBuildConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("BADCO (approximate) simulator:")
+	for _, pol := range []cache.PolicyName{cache.LRU, cache.DRRIP} {
+		r, err := multicore.Approximate(w, models, pol, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s IPC: mcf %.3f, povray %.3f\n", pol, r.IPC[0], r.IPC[1])
+	}
+
+	// 5. A throughput metric: IPC throughput of the LRU run.
+	t := metrics.IPCT.PerWorkload(ipcLRU, nil)
+	fmt.Printf("IPC throughput t(w) under LRU: %.3f\n", t)
+}

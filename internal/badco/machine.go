@@ -1,0 +1,162 @@
+package badco
+
+import (
+	"fmt"
+
+	"mcbench/internal/uncore"
+)
+
+// Machine replays a Model against a memory hierarchy. It is the fast
+// counterpart of cpu.Core: it executes one node (one demand uncore
+// request plus its satellites) per Step instead of one µop, skipping all
+// intra-core computation, which is where the simulation speedup comes
+// from.
+type Machine struct {
+	model *Model
+	mem   uncore.Memory
+	id    int
+
+	next    int      // next node index within the current iteration
+	iter    uint64   // completed trace iterations
+	issueT  []uint64 // per-node issue times, current iteration
+	compT   []uint64 // per-node completion times, current iteration
+	prevEnd uint64   // end time of the previous iteration
+	clock   uint64   // monotonic local clock
+
+	reqCount uint64 // total demand requests replayed
+}
+
+// NewMachine binds a model to a core id and memory hierarchy. The
+// machine's memory parallelism is bounded by the model's instruction
+// window (WindowDep), the same limit the detailed core enforced during
+// calibration, so no separate MSHR parameter is needed.
+func NewMachine(id int, m *Model, mem uncore.Memory) (*Machine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("badco: nil model")
+	}
+	if mem == nil {
+		return nil, fmt.Errorf("badco: nil memory")
+	}
+	return &Machine{
+		model:  m,
+		mem:    mem,
+		id:     id,
+		issueT: make([]uint64, len(m.Nodes)),
+		compT:  make([]uint64, len(m.Nodes)),
+	}, nil
+}
+
+// MustNewMachine is NewMachine for known-good arguments.
+func MustNewMachine(id int, m *Model, mem uncore.Memory) *Machine {
+	ma, err := NewMachine(id, m, mem)
+	if err != nil {
+		panic(err)
+	}
+	return ma
+}
+
+// ID returns the machine's core id.
+func (ma *Machine) ID() int { return ma.id }
+
+// Model returns the machine's model.
+func (ma *Machine) Model() *Model { return ma.model }
+
+// Requests returns the number of demand requests replayed.
+func (ma *Machine) Requests() uint64 { return ma.reqCount }
+
+// Now returns the machine's monotonic local clock. The multicore driver
+// steps the machine with the smallest Now.
+func (ma *Machine) Now() uint64 { return ma.clock }
+
+// Committed returns the total number of committed µops: completed
+// iterations plus the progress implied by the last executed node.
+func (ma *Machine) Committed() uint64 {
+	c := ma.iter * uint64(ma.model.TraceLen)
+	if ma.next > 0 {
+		c += uint64(ma.model.Nodes[ma.next-1].OpIndex)
+	}
+	return c
+}
+
+// IterationEnds returns the completed iteration count and the end time of
+// the last completed iteration.
+func (ma *Machine) IterationEnds() (iters, endCycle uint64) {
+	return ma.iter, ma.prevEnd
+}
+
+// Step executes one node: waits for its anchor, issues its demand request
+// and its satellites, and records completion. Models with no nodes (fully
+// L1-resident benchmarks) advance a whole iteration per Step. It returns
+// the machine's local clock after the step.
+func (ma *Machine) Step() uint64 {
+	m := ma.model
+	if len(m.Nodes) == 0 {
+		ma.prevEnd += m.Head
+		ma.iter++
+		ma.clock = ma.prevEnd
+		return ma.clock
+	}
+	j := ma.next
+	n := &m.Nodes[j]
+
+	var t int64
+	switch {
+	case j == 0:
+		// Head is the lead-in compute time of the iteration's first node.
+		t = int64(ma.prevEnd + m.Head)
+	case n.Dep >= 0:
+		t = int64(ma.compT[n.Dep]) + n.Delay
+	default:
+		t = int64(ma.issueT[j-1]) + n.Delay
+	}
+	if t < int64(ma.prevEnd) {
+		t = int64(ma.prevEnd)
+	}
+	issue := uint64(t)
+	// The instruction window bounds run-ahead: this node cannot issue
+	// before the node one ROB behind it has completed.
+	if n.WindowDep >= 0 {
+		if w := ma.compT[n.WindowDep]; w > issue {
+			issue = w
+		}
+	}
+	done := ma.mem.Access(ma.id, n.PC, n.VAddr, n.Write, false, issue)
+	ma.reqCount++
+	for _, s := range n.Satellites {
+		ma.mem.Access(ma.id, s.PC, s.VAddr, s.Write, s.Prefetch, issue+s.Offset)
+	}
+
+	ma.issueT[j] = issue
+	ma.compT[j] = done
+	if done > ma.clock {
+		ma.clock = done
+	}
+	ma.next++
+	if ma.next == len(m.Nodes) {
+		ma.prevEnd = done + m.Tail
+		ma.iter++
+		ma.next = 0
+		if ma.prevEnd > ma.clock {
+			ma.clock = ma.prevEnd
+		}
+	}
+	return ma.clock
+}
+
+// RunIterations executes n full trace iterations and returns the end time
+// of the last one.
+func (ma *Machine) RunIterations(n int) uint64 {
+	target := ma.iter + uint64(n)
+	for ma.iter < target {
+		ma.Step()
+	}
+	return ma.prevEnd
+}
+
+// CPI returns cycles per µop over the completed iterations.
+func (ma *Machine) CPI() float64 {
+	if ma.iter == 0 {
+		return 0
+	}
+	return float64(ma.prevEnd) / float64(ma.iter*uint64(ma.model.TraceLen))
+}

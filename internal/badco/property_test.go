@@ -1,0 +1,68 @@
+package badco
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcbench/internal/trace"
+	"mcbench/internal/uncore"
+)
+
+// Property: Build succeeds on arbitrary valid synthetic benchmarks and
+// the resulting machine is deterministic and monotone in memory latency.
+func TestBuildReplayProperty(t *testing.T) {
+	f := func(seed int64, mixRaw, footRaw uint8) bool {
+		loadFrac := 0.1 + float64(mixRaw%40)/100 // 0.10 .. 0.49
+		foot := (int(footRaw%8) + 1) * 32 * trace.KB
+		p := trace.Params{
+			Name: "prop", Seed: seed,
+			LoadFrac: loadFrac, StoreFrac: 0.1, BranchFrac: 0.1,
+			DepMean: 8, LoadDepFrac: 0.4, BranchBias: 0.9,
+			CodeBytes: 16 * trace.KB,
+			Patterns: []trace.PatternSpec{
+				{Kind: trace.HotSet, Bytes: foot, Weight: 2},
+				{Kind: trace.Scan, Bytes: foot, Stride: 16, Weight: 1},
+			},
+		}
+		tr, err := trace.Generate(p, 4000)
+		if err != nil {
+			return false
+		}
+		m, err := Build(tr, DefaultBuildConfig())
+		if err != nil {
+			return false
+		}
+		// Deterministic replay.
+		e1 := MustNewMachine(0, m, &uncore.FixedLatency{Lat: 60}).RunIterations(2)
+		e2 := MustNewMachine(0, m, &uncore.FixedLatency{Lat: 60}).RunIterations(2)
+		if e1 != e2 {
+			return false
+		}
+		// Monotone in latency.
+		slow := MustNewMachine(0, m, &uncore.FixedLatency{Lat: 400}).RunIterations(2)
+		return slow >= e1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Committed never decreases and grows by exactly TraceLen per
+// iteration.
+func TestCommittedMonotoneProperty(t *testing.T) {
+	m, _ := buildModel(t, "gcc")
+	ma := MustNewMachine(0, m, &uncore.FixedLatency{Lat: 80})
+	prev := uint64(0)
+	for i := 0; i < 3*len(m.Nodes); i++ {
+		ma.Step()
+		c := ma.Committed()
+		if c < prev {
+			t.Fatalf("Committed went backwards: %d < %d", c, prev)
+		}
+		prev = c
+	}
+	iters, _ := ma.IterationEnds()
+	if want := iters * uint64(m.TraceLen); prev < want {
+		t.Fatalf("committed %d below %d after %d iterations", prev, want, iters)
+	}
+}

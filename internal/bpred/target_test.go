@@ -1,0 +1,227 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTACLearnsStableTargets(t *testing.T) {
+	b := DefaultBTAC()
+	// 64 branch sites, each with one fixed target.
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 64; i++ {
+			pc := 0x1000 + uint64(i)*32
+			target := 0x8000 + uint64(i)*128
+			got, ok := b.Predict(pc)
+			if round > 0 && (!ok || got != target) {
+				t.Fatalf("round %d: pc %#x predicted (%#x,%v), want %#x", round, pc, got, ok, target)
+			}
+			b.Update(pc, target)
+		}
+	}
+	s := b.Stats()
+	// Only the first round's 64 updates are compulsory misses.
+	if s.Misses != 64 {
+		t.Errorf("BTAC misses = %d, want 64 compulsory", s.Misses)
+	}
+	if s.Lookups != 4*64 {
+		t.Errorf("BTAC lookups = %d, want %d", s.Lookups, 4*64)
+	}
+}
+
+func TestBTACConflictEviction(t *testing.T) {
+	b := NewBTAC(8, 2) // 4 sets x 2 ways
+	// 3 PCs mapping to the same set exceed its 2 ways.
+	pcs := []uint64{0x10, 0x10 + 4*4, 0x10 + 8*4}
+	for round := 0; round < 3; round++ {
+		for _, pc := range pcs {
+			b.Update(pc, pc*2)
+		}
+	}
+	// With LRU and a cyclic access order, every access misses (thrash).
+	if s := b.Stats(); s.Misses != s.Lookups {
+		t.Errorf("expected thrashing set: %d misses of %d lookups", s.Misses, s.Lookups)
+	}
+}
+
+func TestBTACTargetChangeCountsMiss(t *testing.T) {
+	b := DefaultBTAC()
+	b.Update(0x40, 0x100)
+	b.Update(0x40, 0x200) // target changed: would mispredict
+	b.Update(0x40, 0x200)
+	if s := b.Stats(); s.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (compulsory + target change)", s.Misses)
+	}
+}
+
+func TestIndirectMonomorphicLearned(t *testing.T) {
+	ind := DefaultIndirect()
+	misses := 0
+	for i := 0; i < 200; i++ {
+		target := uint64(0x9000)
+		if got, ok := ind.Predict(0x777); !ok || got != target {
+			misses++
+		}
+		ind.Update(0x777, target)
+	}
+	// The path history needs a few iterations to reach its fixed point;
+	// after that transient the site must be predicted perfectly.
+	if misses > 16 {
+		t.Errorf("monomorphic indirect branch missed %d times", misses)
+	}
+	ind2 := DefaultIndirect()
+	trans := 0
+	for i := 0; i < 400; i++ {
+		if got, ok := ind2.Predict(0x777); i >= 200 && (!ok || got != 0x9000) {
+			trans++
+		}
+		ind2.Update(0x777, 0x9000)
+	}
+	if trans != 0 {
+		t.Errorf("%d misses after warm-up on monomorphic site", trans)
+	}
+}
+
+func TestIndirectPathCorrelatedTargets(t *testing.T) {
+	// A polymorphic call site alternating between two targets in a fixed
+	// A,B,A,B pattern. The path history (previous target) disambiguates.
+	ind := DefaultIndirect()
+	misses := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		target := uint64(0xA000)
+		if i%2 == 1 {
+			target = 0xB000
+		}
+		if got, ok := ind.Predict(0x500); !ok || got != target {
+			misses++
+		}
+		ind.Update(0x500, target)
+	}
+	rate := float64(misses) / n
+	if rate > 0.05 {
+		t.Errorf("alternating indirect targets missed at %.3f; path history should disambiguate", rate)
+	}
+}
+
+func TestRASBalancedCallsPerfect(t *testing.T) {
+	r := DefaultRAS()
+	var depthTruth []uint64
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		if len(depthTruth) == 0 || (len(depthTruth) < 16 && rng.Intn(2) == 0) {
+			addr := uint64(0x1000 + i*4)
+			depthTruth = append(depthTruth, addr)
+			r.Push(addr)
+			continue
+		}
+		want := depthTruth[len(depthTruth)-1]
+		depthTruth = depthTruth[:len(depthTruth)-1]
+		if got := r.Pop(want); got != want {
+			t.Fatalf("balanced nesting within capacity mispredicted: got %#x want %#x", got, want)
+		}
+	}
+	if s := r.Stats(); s.Misses != 0 {
+		t.Errorf("misses = %d on nesting within capacity", s.Misses)
+	}
+}
+
+func TestRASOverflowWrapsAround(t *testing.T) {
+	r := NewRAS(4)
+	// Push 6 deep: the two oldest entries are overwritten.
+	for i := 1; i <= 6; i++ {
+		r.Push(uint64(i * 0x10))
+	}
+	if r.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4 after overflow", r.Depth())
+	}
+	// The four most recent return correctly...
+	for i := 6; i >= 3; i-- {
+		want := uint64(i * 0x10)
+		if got := r.Pop(want); got != want {
+			t.Errorf("pop %d: got %#x want %#x", i, got, want)
+		}
+	}
+	// ...the overwritten two do not.
+	wrong := 0
+	for i := 2; i >= 1; i-- {
+		if got := r.Pop(uint64(i * 0x10)); got != uint64(i*0x10) {
+			wrong++
+		}
+	}
+	if wrong != 2 {
+		t.Errorf("overwritten entries: %d wrong pops, want 2", wrong)
+	}
+	if s := r.Stats(); s.Misses != 2 {
+		t.Errorf("misses = %d, want exactly the 2 overflow victims", s.Misses)
+	}
+}
+
+func TestRASPopEmpty(t *testing.T) {
+	r := NewRAS(4)
+	if got := r.Pop(0x42); got == 0x42 {
+		t.Error("empty RAS cannot predict correctly")
+	}
+	if r.Depth() != 0 {
+		t.Error("depth after popping empty stack")
+	}
+}
+
+// Property: for any sequence of balanced calls/returns whose nesting never
+// exceeds the RAS capacity, every return is predicted exactly.
+func TestRASPropertyNoOverflowNoMiss(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw%31) + 2
+		r := NewRAS(capacity)
+		rng := rand.New(rand.NewSource(seed))
+		var stack []uint64
+		for i := 0; i < 500; i++ {
+			if len(stack) < capacity && (len(stack) == 0 || rng.Intn(2) == 0) {
+				a := rng.Uint64()
+				stack = append(stack, a)
+				r.Push(a)
+			} else {
+				want := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if r.Pop(want) != want {
+					return false
+				}
+			}
+		}
+		return r.Stats().Misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BTAC with stable targets never mispredicts a working set that
+// fits its capacity, regardless of access order.
+func TestBTACPropertyFittingSetNoMiss(t *testing.T) {
+	f := func(seed int64) bool {
+		b := NewBTAC(64, 4)
+		rng := rand.New(rand.NewSource(seed))
+		// 16 branches spread over distinct sets always fit 64 entries.
+		pcs := make([]uint64, 16)
+		for i := range pcs {
+			pcs[i] = uint64(i) * 4 << 2
+		}
+		// Warm.
+		for _, pc := range pcs {
+			b.Update(pc, pc^0xFFFF)
+		}
+		for i := 0; i < 300; i++ {
+			pc := pcs[rng.Intn(len(pcs))]
+			got, ok := b.Predict(pc)
+			if !ok || got != pc^0xFFFF {
+				return false
+			}
+			b.Update(pc, pc^0xFFFF)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

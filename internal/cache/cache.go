@@ -1,0 +1,268 @@
+// Package cache implements set-associative caches with pluggable
+// replacement policies (LRU, RANDOM, FIFO, DIP, DRRIP, SRRIP) and the
+// hardware prefetchers of the paper's configuration tables (next-line,
+// IP-based stride, stream).
+//
+// A Cache models state only (tags, dirtiness, replacement metadata);
+// timing (latencies, MSHRs, buses) belongs to the uncore and core models
+// that drive it.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LineSize is the cache line size in bytes for every cache in the system.
+const LineSize = 64
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Stats counts cache events. Demand accesses only; prefetch fills are
+// counted separately so MPKI reflects demand misses as in the paper.
+type Stats struct {
+	Accesses      uint64 // demand accesses
+	Hits          uint64 // demand hits
+	Misses        uint64 // demand misses
+	Writebacks    uint64 // dirty evictions
+	PrefetchFills uint64 // lines installed by prefetch
+	PrefetchHits  uint64 // demand hits on prefetched-not-yet-touched lines
+}
+
+// MPK returns misses per kilo-event given an instruction count.
+func (s Stats) MPK(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) * 1000 / float64(instructions)
+}
+
+// Cache is a set-associative, write-back, write-allocate cache.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	setShift uint
+	setMask  uint64
+	lines    []line // sets*ways, row-major by set
+	prefBit  []bool // line was filled by prefetch and not yet demanded
+	policy   Policy
+	addrObs  AddressAware // non-nil if the policy wants addresses
+	stats    Stats
+}
+
+// AddressAware is an optional Policy extension: policies that key their
+// metadata on the accessed address (e.g. SHiP's region signatures)
+// implement it, and the cache calls ObserveAddr with the line address
+// immediately before the OnHit/OnMiss/OnFill hook it belongs to.
+type AddressAware interface {
+	ObserveAddr(addr uint64)
+}
+
+// New builds a cache of the given total size in bytes and associativity,
+// with the supplied replacement policy. Size must be a power-of-two
+// multiple of ways*LineSize.
+func New(name string, sizeBytes, ways int, policy Policy) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache %s: non-positive geometry", name)
+	}
+	lines := sizeBytes / LineSize
+	if lines*LineSize != sizeBytes {
+		return nil, fmt.Errorf("cache %s: size %d not a multiple of line size", name, sizeBytes)
+	}
+	sets := lines / ways
+	if sets*ways != lines {
+		return nil, fmt.Errorf("cache %s: %d lines not divisible by %d ways", name, lines, ways)
+	}
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: %d sets is not a power of two", name, sets)
+	}
+	if err := policy.Attach(sets, ways); err != nil {
+		return nil, fmt.Errorf("cache %s: %w", name, err)
+	}
+	c := &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		setShift: uint(bits.TrailingZeros(uint(LineSize))),
+		setMask:  uint64(sets - 1),
+		lines:    make([]line, sets*ways),
+		prefBit:  make([]bool, sets*ways),
+		policy:   policy,
+	}
+	c.addrObs, _ = policy.(AddressAware)
+	return c, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(name string, sizeBytes, ways int, policy Policy) *Cache {
+	c, err := New(name, sizeBytes, ways, policy)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * LineSize }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Policy returns the attached replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	lineAddr := addr >> c.setShift
+	return int(lineAddr & c.setMask), lineAddr >> uint(bits.TrailingZeros(uint(c.sets)))
+}
+
+func (c *Cache) at(set, way int) *line { return &c.lines[set*c.ways+way] }
+
+// Probe reports whether addr is present without updating replacement
+// state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		if l := c.at(set, w); l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access. On a hit it updates replacement state
+// and returns hit=true. On a miss it updates miss statistics and the
+// policy's miss hook but does NOT fill; the caller fills after the miss
+// has been serviced (see Fill).
+func (c *Cache) Access(addr uint64, write bool) (hit bool) {
+	set, tag := c.index(addr)
+	c.stats.Accesses++
+	if c.addrObs != nil {
+		c.addrObs.ObserveAddr(addr)
+	}
+	for w := 0; w < c.ways; w++ {
+		l := c.at(set, w)
+		if l.valid && l.tag == tag {
+			c.stats.Hits++
+			if write {
+				l.dirty = true
+			}
+			if c.prefBit[set*c.ways+w] {
+				c.stats.PrefetchHits++
+				c.prefBit[set*c.ways+w] = false
+			}
+			c.policy.OnHit(set, w)
+			return true
+		}
+	}
+	c.stats.Misses++
+	c.policy.OnMiss(set)
+	return false
+}
+
+// Eviction describes the line displaced by a fill.
+type Eviction struct {
+	Valid bool   // an actual line was evicted
+	Dirty bool   // it requires a writeback
+	Addr  uint64 // its line-aligned address
+}
+
+// Fill installs addr, evicting a victim if the set is full. write marks
+// the new line dirty (write-allocate). prefetch marks the fill as
+// prefetch-initiated for statistics. The returned Eviction tells the
+// caller whether a writeback must be modelled.
+func (c *Cache) Fill(addr uint64, write, prefetch bool) Eviction {
+	set, tag := c.index(addr)
+	if c.addrObs != nil {
+		c.addrObs.ObserveAddr(addr)
+	}
+	// Already present (e.g. a prefetch raced a demand fill): refresh state.
+	for w := 0; w < c.ways; w++ {
+		l := c.at(set, w)
+		if l.valid && l.tag == tag {
+			if write {
+				l.dirty = true
+			}
+			return Eviction{}
+		}
+	}
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.at(set, w).valid {
+			way = w
+			break
+		}
+	}
+	var ev Eviction
+	if way < 0 {
+		way = c.policy.Victim(set)
+		if way < 0 || way >= c.ways {
+			panic(fmt.Sprintf("cache %s: policy %s returned invalid victim %d", c.name, c.policy.Name(), way))
+		}
+		v := c.at(set, way)
+		ev = Eviction{Valid: true, Dirty: v.dirty, Addr: c.lineAddr(set, v.tag)}
+		if v.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	*c.at(set, way) = line{tag: tag, valid: true, dirty: write}
+	c.prefBit[set*c.ways+way] = prefetch
+	if prefetch {
+		c.stats.PrefetchFills++
+	}
+	c.policy.OnFill(set, way)
+	return ev
+}
+
+// lineAddr reconstructs the line-aligned address of a (set, tag) pair.
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	setBits := uint(bits.TrailingZeros(uint(c.sets)))
+	return (tag<<setBits | uint64(set)) << c.setShift
+}
+
+// Invalidate drops addr if present, returning whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		l := c.at(set, w)
+		if l.valid && l.tag == tag {
+			l.valid = false
+			return true, l.dirty
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates every line, returning the number of dirty lines
+// dropped. Statistics are preserved.
+func (c *Cache) Flush() (dirty int) {
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			dirty++
+		}
+		c.lines[i] = line{}
+		c.prefBit[i] = false
+	}
+	return dirty
+}
+
+// AlignLine returns addr rounded down to its cache line.
+func AlignLine(addr uint64) uint64 { return addr &^ uint64(LineSize-1) }

@@ -1,0 +1,75 @@
+package cache
+
+import "testing"
+
+func TestPLRURejectsNonPowerOfTwoWays(t *testing.T) {
+	p := NewPLRUPolicy()
+	if err := p.Attach(4, 3); err == nil {
+		t.Error("PLRU accepted 3 ways")
+	}
+	if err := NewPLRUPolicy().Attach(4, 8); err != nil {
+		t.Errorf("PLRU rejected 8 ways: %v", err)
+	}
+}
+
+func TestPLRUNeverEvictsJustTouched(t *testing.T) {
+	p := NewPLRUPolicy()
+	if err := p.Attach(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 8; w++ {
+		p.OnFill(0, w)
+	}
+	for w := 0; w < 8; w++ {
+		p.OnHit(0, w)
+		if v := p.Victim(0); v == w {
+			t.Fatalf("PLRU evicted just-touched way %d", w)
+		}
+	}
+}
+
+func TestPLRUCyclesThroughWays(t *testing.T) {
+	// Touch the victim repeatedly: every way must eventually be chosen.
+	p := NewPLRUPolicy()
+	if err := p.Attach(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		v := p.Victim(0)
+		if v < 0 || v >= 8 {
+			t.Fatalf("victim %d out of range", v)
+		}
+		seen[v] = true
+		p.OnFill(0, v)
+	}
+	if len(seen) != 8 {
+		t.Errorf("PLRU only ever evicted %d of 8 ways", len(seen))
+	}
+}
+
+func TestPLRUApproximatesLRUOnReuse(t *testing.T) {
+	// On a fitting working set PLRU should behave like LRU (high hit
+	// rate), clearly better than thrashing.
+	c := MustNew("x", 64*1024, 16, NewPLRUPolicy())
+	lines := (64 * 1024 / LineSize) / 2
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < lines; i++ {
+			addr := uint64(i) * LineSize
+			if !c.Access(addr, false) {
+				c.Fill(addr, false, false)
+			}
+		}
+	}
+	s := c.Stats()
+	if rate := float64(s.Hits) / float64(s.Accesses); rate < 0.85 {
+		t.Errorf("PLRU hit rate %.3f on fitting set, want >= 0.85", rate)
+	}
+}
+
+func TestPLRUViaNewPolicy(t *testing.T) {
+	p, err := NewPolicy(PLRU, 0)
+	if err != nil || p.Name() != "PLRU" {
+		t.Fatalf("NewPolicy(PLRU) = %v, %v", p, err)
+	}
+}

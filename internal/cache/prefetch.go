@@ -1,0 +1,234 @@
+package cache
+
+// Prefetchers observe the demand access stream of a cache and propose
+// line-aligned addresses to fetch ahead of demand. The paper's core uses a
+// next-line prefetcher on the IL1 and IP-stride + next-line on the DL1;
+// the LLC uses IP-stride + stream prefetchers (Tables I and II).
+
+// Prefetcher proposes prefetch addresses from observed demand accesses.
+type Prefetcher interface {
+	// Name identifies the prefetcher.
+	Name() string
+	// Observe is called on every demand access with the instruction
+	// address, the data address and whether the access missed. It returns
+	// line-aligned addresses to prefetch (possibly none). The returned
+	// slice is only valid until the next Observe call; callers that keep
+	// proposals across observations must copy them.
+	Observe(pc, addr uint64, miss bool) []uint64
+}
+
+// ---------------------------------------------------------------------------
+// Next-line
+
+type nextLinePrefetcher struct {
+	onMissOnly bool
+	buf        [1]uint64
+}
+
+// NewNextLine returns a next-line prefetcher. If onMissOnly is true it
+// fires only on misses (the usual configuration for L1 caches).
+func NewNextLine(onMissOnly bool) Prefetcher {
+	return &nextLinePrefetcher{onMissOnly: onMissOnly}
+}
+
+func (p *nextLinePrefetcher) Name() string { return "next-line" }
+
+func (p *nextLinePrefetcher) Observe(_, addr uint64, miss bool) []uint64 {
+	if p.onMissOnly && !miss {
+		return nil
+	}
+	p.buf[0] = AlignLine(addr) + LineSize
+	return p.buf[:]
+}
+
+// ---------------------------------------------------------------------------
+// IP-based stride
+
+// ipStrideEntry tracks the last address and stride observed for one
+// instruction address.
+type ipStrideEntry struct {
+	tag      uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8 // 2-bit saturating confidence
+}
+
+const (
+	ipStrideTableSize = 256
+	ipStrideConfMax   = 3
+	ipStrideThreshold = 2
+)
+
+type ipStridePrefetcher struct {
+	table  [ipStrideTableSize]ipStrideEntry
+	degree int
+	buf    []uint64
+}
+
+// NewIPStride returns an IP-based stride prefetcher issuing up to degree
+// prefetches ahead on a confident stride.
+func NewIPStride(degree int) Prefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	return &ipStridePrefetcher{degree: degree, buf: make([]uint64, 0, degree)}
+}
+
+func (p *ipStridePrefetcher) Name() string { return "ip-stride" }
+
+func (p *ipStridePrefetcher) Observe(pc, addr uint64, _ bool) []uint64 {
+	idx := (pc ^ pc>>8) % ipStrideTableSize
+	e := &p.table[idx]
+	p.buf = p.buf[:0]
+	if e.tag != pc {
+		*e = ipStrideEntry{tag: pc, lastAddr: addr}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < ipStrideConfMax {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+	}
+	e.lastAddr = addr
+	if e.conf >= ipStrideThreshold && e.stride != 0 {
+		next := int64(addr)
+		for d := 0; d < p.degree; d++ {
+			next += e.stride
+			if next <= 0 {
+				break
+			}
+			p.buf = append(p.buf, AlignLine(uint64(next)))
+		}
+	}
+	return p.buf
+}
+
+// ---------------------------------------------------------------------------
+// Stream
+
+// streamEntry tracks one detected sequential stream of cache lines.
+type streamEntry struct {
+	lastLine uint64
+	hits     uint8 // consecutive sequential observations
+	valid    bool
+	lruClock uint64
+}
+
+const (
+	streamTableSize = 16
+	streamTrainHits = 2
+)
+
+type streamPrefetcher struct {
+	table  [streamTableSize]streamEntry
+	clock  uint64
+	degree int
+	buf    []uint64
+}
+
+// NewStream returns a stream prefetcher tracking up to 16 ascending
+// streams and prefetching degree lines ahead once trained.
+func NewStream(degree int) Prefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	return &streamPrefetcher{degree: degree, buf: make([]uint64, 0, degree)}
+}
+
+func (p *streamPrefetcher) Name() string { return "stream" }
+
+func (p *streamPrefetcher) Observe(_, addr uint64, _ bool) []uint64 {
+	line := addr / LineSize
+	p.clock++
+	p.buf = p.buf[:0]
+
+	// Find a stream this access extends (same line or the next one).
+	for i := range p.table {
+		e := &p.table[i]
+		if !e.valid {
+			continue
+		}
+		switch line {
+		case e.lastLine: // repeat access: keep the stream warm
+			e.lruClock = p.clock
+			return nil
+		case e.lastLine + 1:
+			e.lastLine = line
+			e.lruClock = p.clock
+			if e.hits < streamTrainHits {
+				e.hits++
+			}
+			if e.hits >= streamTrainHits {
+				for d := 1; d <= p.degree; d++ {
+					p.buf = append(p.buf, (line+uint64(d))*LineSize)
+				}
+			}
+			return p.buf
+		}
+	}
+
+	// Allocate (replace the LRU entry) for a potential new stream.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range p.table {
+		e := &p.table[i]
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lruClock < oldest {
+			oldest = e.lruClock
+			victim = i
+		}
+	}
+	p.table[victim] = streamEntry{lastLine: line, valid: true, lruClock: p.clock}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Composition
+
+type multiPrefetcher struct {
+	parts []Prefetcher
+	buf   []uint64
+}
+
+// Combine merges several prefetchers into one; duplicate proposals are
+// deduplicated per observation.
+func Combine(parts ...Prefetcher) Prefetcher {
+	return &multiPrefetcher{parts: parts}
+}
+
+func (p *multiPrefetcher) Name() string { return "combined" }
+
+func (p *multiPrefetcher) Observe(pc, addr uint64, miss bool) []uint64 {
+	p.buf = p.buf[:0]
+	for _, part := range p.parts {
+		for _, a := range part.Observe(pc, addr, miss) {
+			dup := false
+			for _, b := range p.buf {
+				if a == b {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				p.buf = append(p.buf, a)
+			}
+		}
+	}
+	return p.buf
+}
+
+// None is a Prefetcher that never prefetches.
+type None struct{}
+
+// Name identifies the null prefetcher.
+func (None) Name() string { return "none" }
+
+// Observe always returns no prefetches.
+func (None) Observe(uint64, uint64, bool) []uint64 { return nil }

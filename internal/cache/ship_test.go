@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"testing"
+)
+
+// shipCache builds a small cache with a SHiP policy for direct driving.
+func shipCache(t *testing.T) (*Cache, *shipPolicy) {
+	t.Helper()
+	p := NewSHIPPolicy().(*shipPolicy)
+	c, err := New("L", 16<<10, 4, p) // 64 sets x 4 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+// access simulates a demand access with fill-on-miss.
+func access(c *Cache, addr uint64) bool {
+	hit := c.Access(addr, false)
+	if !hit {
+		c.Fill(addr, false, false)
+	}
+	return hit
+}
+
+// Lines that conflict within a set and are never re-referenced must drive
+// their region's SHCT counter to zero (dead-on-arrival prediction).
+func TestSHIPLearnsStreamingSignature(t *testing.T) {
+	c, p := shipCache(t)
+	region := uint64(2 << 30)
+	// Same set every time (stride = sets*LineSize), never re-referenced
+	// before eviction: each eviction sees outcome=false.
+	for i := 0; i < 2048; i++ {
+		access(c, region+uint64(i)*LineSize*uint64(c.Sets()))
+	}
+	if got := p.SHCTCounter(region); got != 0 {
+		t.Errorf("streaming signature counter = %d, want 0", got)
+	}
+}
+
+func TestSHIPProtectsReusedSignature(t *testing.T) {
+	c, p := shipCache(t)
+	// A small hot set, re-referenced constantly: its signature must
+	// saturate high.
+	hot := uint64(3 << 30)
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < 8; i++ {
+			access(c, hot+uint64(i)*LineSize)
+		}
+	}
+	if got := p.SHCTCounter(hot); got < shipCtrMax {
+		t.Errorf("hot signature counter = %d, want saturated %d", got, shipCtrMax)
+	}
+}
+
+// Mixed workload: a hot working set plus a one-use scan through the same
+// sets. SHiP must keep the hot lines alive better than SRRIP.
+func TestSHIPBeatsSRRIPOnMixedScan(t *testing.T) {
+	run := func(pol Policy) float64 {
+		c, err := New("L", 16<<10, 4, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := uint64(4 << 30)   // 32 hot lines, fits easily
+		scan := uint64(8 << 30)  // endless one-use scan
+		scanPos := uint64(0)
+		var hotAcc, hotHits uint64
+		for rep := 0; rep < 6000; rep++ {
+			h := hot + (uint64(rep)%32)*LineSize
+			if c.Access(h, false) {
+				hotHits++
+			} else {
+				c.Fill(h, false, false)
+			}
+			hotAcc++
+			// Eight scan accesses per hot access: between two touches of
+			// a given hot line its set sees ~4 scan fills, enough to
+			// evict a 4-way LRU set but not a scan-resistant one.
+			for s := 0; s < 8; s++ {
+				a := scan + scanPos*LineSize
+				scanPos++
+				if !c.Access(a, false) {
+					c.Fill(a, false, false)
+				}
+			}
+		}
+		return float64(hotHits) / float64(hotAcc)
+	}
+	srrip := run(NewSRRIPPolicy())
+	ship := run(NewSHIPPolicy())
+	lru := run(NewLRUPolicy())
+	// At this pollution level the hot set thrashes completely under LRU
+	// and even under SRRIP (the scan keeps every set aged); SHiP's
+	// dead-on-arrival insertion is the only thing that keeps the hot
+	// lines resident. This is exactly the access pattern the SHiP paper
+	// motivates.
+	if ship < srrip+0.5 {
+		t.Errorf("SHiP hot-set hit rate %.3f not clearly above SRRIP %.3f under scan pollution", ship, srrip)
+	}
+	if ship < lru+0.5 {
+		t.Errorf("SHiP hot-set hit rate %.3f not clearly above LRU %.3f under scan pollution", ship, lru)
+	}
+	if ship < 0.8 {
+		t.Errorf("SHiP hot-set hit rate %.3f; the hot set should be mostly resident", ship)
+	}
+}
+
+func TestSHIPConstructibleByName(t *testing.T) {
+	p, err := NewPolicy(SHIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "SHiP" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if _, ok := p.(AddressAware); !ok {
+		t.Error("SHiP must be AddressAware")
+	}
+	// And usable end to end in a cache.
+	c := MustNew("L", 8<<10, 4, p)
+	for i := 0; i < 1000; i++ {
+		access(c, uint64(i%100)*LineSize)
+	}
+	if st := c.Stats(); st.Hits == 0 {
+		t.Error("no hits on a reusing stream")
+	}
+}
+
+func TestSHIPVictimAlwaysValid(t *testing.T) {
+	p := NewSHIPPolicy().(*shipPolicy)
+	c := MustNew("L", 4<<10, 4, p)
+	for i := 0; i < 5000; i++ {
+		access(c, uint64(i*97)*LineSize)
+	}
+	// The rripCore victim loop guarantees termination; reaching here
+	// without a panic and with sane stats is the assertion.
+	st := c.Stats()
+	if st.Accesses != 5000 {
+		t.Fatalf("accesses %d", st.Accesses)
+	}
+}

@@ -1,0 +1,92 @@
+// Package cpu implements the detailed out-of-order core timing model that
+// plays the role of the paper's Zesto simulator. It executes a synthetic
+// µop trace (package trace) against a memory hierarchy (package uncore),
+// modelling the Table I core: 4-wide decode, 6-wide issue, 4-wide commit,
+// 128-entry ROB, 36 reservation stations, 36/24-entry load/store queues,
+// 32 kB IL1 and DL1 with prefetchers, I/D TLBs, a selectable branch
+// predictor (bimodal/gshare/tournament/TAGE, package bpred), a BTAC, an
+// indirect-call predictor and a 16-entry return address stack.
+//
+// The model is a scoreboard simulator: each µop is assigned fetch, issue,
+// completion and commit times subject to structural constraints
+// (pipeline widths, window occupancies, cache and memory latencies).
+// It can record every uncore request it issues; package badco consumes
+// two such recordings to build its behavioural core models.
+package cpu
+
+import "mcbench/internal/bpred"
+
+// Config holds the core parameters of Table I.
+type Config struct {
+	DecodeWidth int // instructions fetched/decoded per cycle (4)
+	IssueWidth  int // µops issued per cycle (6)
+	CommitWidth int // µops committed per cycle (4)
+
+	ROB int // reorder buffer entries (128)
+	RS  int // reservation stations (36)
+	LDQ int // load queue entries (36)
+	STQ int // store queue entries (24)
+
+	IL1Bytes int    // 32 kB
+	IL1Ways  int    // 4
+	IL1Lat   uint64 // 2 cycles
+	DL1Bytes int    // 32 kB
+	DL1Ways  int    // 8
+	DL1Lat   uint64 // 2 cycles
+	DL1MSHRs int    // 16 outstanding DL1 misses
+
+	ITLBEntries int    // 128
+	DTLBEntries int    // 512
+	TLBWalkLat  uint64 // page-walk penalty in cycles
+
+	FPLat             uint64 // long-latency FP µop execution latency
+	FetchToIssue      uint64 // front-end depth: min cycles from fetch to issue
+	MispredictPenalty uint64 // redirect penalty after branch resolution
+
+	BPIndexBits   int        // branch predictor table index bits
+	BPHistoryBits int        // global history length
+	Predictor     bpred.Kind // direction predictor ("" selects bimodal)
+
+	RASEntries  int // return address stack depth (16 in Table I)
+	BTACEntries int // branch target address cache entries
+
+	PrefetchDegree int // DL1 prefetcher degree
+}
+
+// DefaultConfig returns the Table I core configuration.
+func DefaultConfig() Config {
+	return Config{
+		DecodeWidth: 4,
+		IssueWidth:  6,
+		CommitWidth: 4,
+		ROB:         128,
+		RS:          36,
+		LDQ:         36,
+		STQ:         24,
+
+		IL1Bytes: 32 << 10,
+		IL1Ways:  4,
+		IL1Lat:   2,
+		DL1Bytes: 32 << 10,
+		DL1Ways:  8,
+		DL1Lat:   2,
+		DL1MSHRs: 16,
+
+		ITLBEntries: 128,
+		DTLBEntries: 512,
+		TLBWalkLat:  30,
+
+		FPLat:             4,
+		FetchToIssue:      4,
+		MispredictPenalty: 12,
+
+		BPIndexBits:   14,
+		BPHistoryBits: 10,
+		Predictor:     bpred.Bimodal,
+
+		RASEntries:  16,
+		BTACEntries: 512,
+
+		PrefetchDegree: 1,
+	}
+}

@@ -1,0 +1,626 @@
+package cpu
+
+import (
+	"fmt"
+
+	"mcbench/internal/bpred"
+	"mcbench/internal/cache"
+	"mcbench/internal/trace"
+	"mcbench/internal/uncore"
+)
+
+// ring is the power-of-two window for per-µop time bookkeeping; it must
+// be at least as large as the biggest structural window (the ROB).
+const ring = 256
+
+// issueSlots is the power-of-two cycle-ring used to enforce issue
+// bandwidth; slots are tagged with their cycle so arbitrarily distant
+// cycles can share the ring.
+const issueSlots = 1 << 15
+
+// RequestKind distinguishes the uncore request sources.
+type RequestKind uint8
+
+// Request sources.
+const (
+	ReqData  RequestKind = iota // DL1 demand miss
+	ReqInstr                    // IL1 demand miss
+	ReqWB                       // DL1 dirty-line writeback
+)
+
+// UncoreRequest is one request the core sent below its L1s. Recordings of
+// these (see SetRecorder) are the raw material for BADCO model building.
+type UncoreRequest struct {
+	OpIndex  int    // position in the trace of the µop that caused it
+	VAddr    uint64 // virtual line address
+	PC       uint64 // requesting instruction address
+	Kind     RequestKind
+	Write    bool
+	Prefetch bool
+	Issue    uint64 // cycle the request left the core
+	Complete uint64 // cycle the data returned
+}
+
+// Stats summarises one core's execution.
+type Stats struct {
+	Committed     uint64
+	Cycles        uint64
+	UncoreDemand  uint64 // demand requests sent to the uncore
+	UncorePref    uint64 // prefetch requests sent to the uncore
+	DL1           cache.Stats
+	IL1           cache.Stats
+	BranchMisses  uint64
+	BranchLookups uint64
+	TargetMisses  uint64 // BTAC + indirect + RAS target mispredictions
+	DTLBMisses    uint64
+	ITLBMisses    uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// CPI returns cycles per committed instruction.
+func (s Stats) CPI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Committed)
+}
+
+// Core is a detailed out-of-order core bound to one trace and one memory
+// hierarchy.
+type Core struct {
+	id  int
+	cfg Config
+	tr  *trace.Trace
+	mem uncore.Memory
+
+	il1  *cache.Cache
+	dl1  *cache.Cache
+	itlb *tlb
+	dtlb *tlb
+	bp   bpred.Predictor
+	btac *bpred.BTAC
+	ind  *bpred.Indirect
+	ras  *bpred.RAS
+	dpf  cache.Prefetcher // DL1 prefetcher (ip-stride + next-line)
+	ipf  cache.Prefetcher // IL1 prefetcher (next-line)
+
+	// shadowRAS is the architectural call stack (ground truth for return
+	// targets); the 16-entry ras above is the predictor being modelled.
+	shadowRAS []uint64
+
+	pos int    // next op in the trace
+	seq uint64 // µops executed across restarts
+
+	// Per-µop time rings indexed by seq%ring.
+	issueT    [ring]uint64
+	completeT [ring]uint64
+	commitT   [ring]uint64
+
+	// Load/store queue completion rings indexed by per-kind sequence.
+	loadSeq   uint64
+	storeSeq  uint64
+	loadDone  [64]uint64 // LDQ frees at load completion
+	storeDone [32]uint64 // STQ frees at store commit
+
+	// Fetch state.
+	fetchCycle   uint64
+	fetchInCycle int
+	redirectAt   uint64
+	lastILine    uint32
+	haveILine    bool
+
+	// Issue bandwidth booking.
+	slotCount [issueSlots]uint8
+	slotTag   [issueSlots]uint64
+
+	// Commit bandwidth.
+	lastCommit     uint64
+	lastCommitCyc  uint64
+	commitsInCycle int
+
+	// DL1 MSHRs: line address -> fill completion.
+	dl1Miss map[uint64]uint64
+
+	stats    Stats
+	recorder *[]UncoreRequest
+}
+
+// New builds a core with the given id, executing tr against mem.
+func New(id int, cfg Config, tr *trace.Trace, mem uncore.Memory) (*Core, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("cpu: empty trace")
+	}
+	if mem == nil {
+		return nil, fmt.Errorf("cpu: nil memory")
+	}
+	if cfg.ROB > ring {
+		return nil, fmt.Errorf("cpu: ROB %d exceeds window limit %d", cfg.ROB, ring)
+	}
+	if cfg.LDQ > len((&Core{}).loadDone) || cfg.STQ > len((&Core{}).storeDone) {
+		return nil, fmt.Errorf("cpu: LDQ/STQ exceed ring sizes")
+	}
+	il1, err := cache.New("IL1", cfg.IL1Bytes, cfg.IL1Ways, cache.NewLRUPolicy())
+	if err != nil {
+		return nil, err
+	}
+	dl1, err := cache.New("DL1", cfg.DL1Bytes, cfg.DL1Ways, cache.NewLRUPolicy())
+	if err != nil {
+		return nil, err
+	}
+	kind := cfg.Predictor
+	if kind == "" {
+		kind = bpred.Bimodal
+	}
+	bp, err := bpred.New(kind, cfg.BPIndexBits, cfg.BPHistoryBits)
+	if err != nil {
+		return nil, err
+	}
+	ras := cfg.RASEntries
+	if ras <= 0 {
+		ras = 16
+	}
+	btacEnts := cfg.BTACEntries
+	if btacEnts <= 0 {
+		btacEnts = 512
+	}
+	return &Core{
+		id:   id,
+		cfg:  cfg,
+		tr:   tr,
+		mem:  mem,
+		il1:  il1,
+		dl1:  dl1,
+		itlb: newTLB(cfg.ITLBEntries),
+		dtlb: newTLB(cfg.DTLBEntries),
+		bp:   bp,
+		btac: bpred.NewBTAC(btacEnts, 4),
+		ind:  bpred.DefaultIndirect(),
+		ras:  bpred.NewRAS(ras),
+		dpf: cache.Combine(cache.NewIPStride(cfg.PrefetchDegree),
+			cache.NewNextLine(true)),
+		// The IL1 next-line prefetcher fires on every access so that
+		// sequential code fetch stays ahead of demand.
+		ipf:     cache.NewNextLine(false),
+		dl1Miss: make(map[uint64]uint64),
+	}, nil
+}
+
+// MustNew is New for known-good arguments.
+func MustNew(id int, cfg Config, tr *trace.Trace, mem uncore.Memory) *Core {
+	c, err := New(id, cfg, tr, mem)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetRecorder directs the core to append every uncore request it issues
+// to dst. Pass nil to stop recording.
+func (c *Core) SetRecorder(dst *[]UncoreRequest) { c.recorder = dst }
+
+// ID returns the core's identifier (its uncore port).
+func (c *Core) ID() int { return c.id }
+
+// Committed returns the number of µops committed so far.
+func (c *Core) Committed() uint64 { return c.seq }
+
+// Now returns the core's local clock: the commit time of the last µop.
+// The multicore driver steps the core with the smallest Now.
+func (c *Core) Now() uint64 { return c.lastCommit }
+
+// Cycles returns the commit cycle of the last committed µop.
+func (c *Core) Cycles() uint64 { return c.lastCommit }
+
+// Stats returns a snapshot of the core's statistics.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Committed = c.seq
+	s.Cycles = c.lastCommit
+	s.DL1 = c.dl1.Stats()
+	s.IL1 = c.il1.Stats()
+	bs := c.bp.Stats()
+	s.BranchMisses = bs.Misses
+	s.BranchLookups = bs.Lookups
+	s.TargetMisses = c.btac.Stats().Misses + c.ind.Stats().Misses + c.ras.Stats().Misses
+	s.DTLBMisses = c.dtlb.misses
+	s.ITLBMisses = c.itlb.misses
+	return s
+}
+
+// Step executes one µop; the trace wraps around at the end (thread
+// restart semantics). It returns the op's commit time.
+func (c *Core) Step() uint64 {
+	op := &c.tr.Ops[c.pos]
+	i := c.seq
+
+	fetch := c.fetch(op, i)
+	issue := c.issue(op, i, fetch)
+	complete := c.execute(op, issue)
+
+	switch op.Kind {
+	case trace.Branch:
+		if predicted := c.bp.Predict(op.PC, op.Taken); predicted != op.Taken {
+			c.redirectAt = complete + c.cfg.MispredictPenalty
+		}
+	case trace.Call:
+		c.doCall(op, complete)
+	case trace.Ret:
+		c.doReturn(complete)
+	}
+
+	commit := c.commit(complete)
+
+	c.issueT[i%ring] = issue
+	c.completeT[i%ring] = complete
+	c.commitT[i%ring] = commit
+	switch op.Kind {
+	case trace.Load:
+		c.loadDone[c.loadSeq%uint64(len(c.loadDone))] = complete
+		c.loadSeq++
+	case trace.Store:
+		c.storeDone[c.storeSeq%uint64(len(c.storeDone))] = commit
+		c.storeSeq++
+	}
+
+	c.seq++
+	c.pos++
+	if c.pos == c.tr.Len() {
+		c.pos = 0
+		// Thread restart: the architectural call stack starts empty again.
+		// The RAS keeps its (now stale) contents, as hardware would.
+		c.shadowRAS = c.shadowRAS[:0]
+	}
+	return commit
+}
+
+// fetch computes the cycle the µop leaves the front end.
+func (c *Core) fetch(op *trace.Op, i uint64) uint64 {
+	// New decode group when the current cycle's slots are exhausted.
+	if c.fetchInCycle >= c.cfg.DecodeWidth {
+		c.fetchCycle++
+		c.fetchInCycle = 0
+	}
+	ft := c.fetchCycle
+	if c.redirectAt > ft {
+		ft = c.redirectAt
+	}
+	// ROB occupancy: the op cannot enter until op i-ROB has committed.
+	if i >= uint64(c.cfg.ROB) {
+		if t := c.commitT[(i-uint64(c.cfg.ROB))%ring]; t > ft {
+			ft = t
+		}
+	}
+	// Instruction delivery: one IL1 access per new code line.
+	if !c.haveILine || op.ILine != c.lastILine {
+		c.lastILine = op.ILine
+		c.haveILine = true
+		line := codeBase + uint64(op.ILine)*cache.LineSize
+		ft = c.instrFetch(line, line, ft)
+	}
+	if ft > c.fetchCycle {
+		c.fetchCycle = ft
+		c.fetchInCycle = 0
+	}
+	c.fetchInCycle++
+	return c.fetchCycle
+}
+
+// codeBase is the virtual base address of the synthetic code segment,
+// disjoint from the trace generator's data regions.
+const codeBase = 0x10000000
+
+// instrFetch models ITLB + IL1 access at cycle t, returning when the
+// instruction bytes are available. Sequential IL1 hits are fully
+// pipelined and do not stall the front end; only misses (and TLB walks)
+// do.
+func (c *Core) instrFetch(pc, line uint64, t uint64) uint64 {
+	if !c.itlb.lookup(pc / uncore.PageSize) {
+		t += c.cfg.TLBWalkLat
+	}
+	hit := c.il1.Access(line, false)
+	if !hit {
+		miss := t + c.cfg.IL1Lat
+		done := c.mem.Access(c.id, pc, line, false, false, miss)
+		c.record(UncoreRequest{OpIndex: c.pos, VAddr: line, PC: pc, Kind: ReqInstr, Issue: miss, Complete: done})
+		c.stats.UncoreDemand++
+		c.il1.Fill(line, false, false)
+		t = done
+	}
+	for _, a := range c.ipf.Observe(pc, line, !hit) {
+		c.il1Prefetch(pc, a, t)
+	}
+	return t
+}
+
+// il1Prefetch issues a next-line instruction prefetch.
+func (c *Core) il1Prefetch(pc, line uint64, t uint64) {
+	if c.il1.Probe(line) {
+		return
+	}
+	done := c.mem.Access(c.id, pc, line, false, true, t)
+	c.record(UncoreRequest{OpIndex: c.pos, VAddr: line, PC: pc, Kind: ReqInstr, Prefetch: true, Issue: t, Complete: done})
+	c.stats.UncorePref++
+	c.il1.Fill(line, false, true)
+}
+
+// issue computes the op's issue cycle: operands ready, reservation
+// station free, load/store queue entry free, issue slot free.
+func (c *Core) issue(op *trace.Op, i, fetch uint64) uint64 {
+	ready := fetch + c.cfg.FetchToIssue
+	if op.Dep1 > 0 {
+		if t := c.completeT[(i-uint64(op.Dep1))%ring]; t > ready {
+			ready = t
+		}
+	}
+	if op.Dep2 > 0 {
+		if t := c.completeT[(i-uint64(op.Dep2))%ring]; t > ready {
+			ready = t
+		}
+	}
+	// RS occupancy (approximated in program order: entry i-RS freed at
+	// its issue).
+	if i >= uint64(c.cfg.RS) {
+		if t := c.issueT[(i-uint64(c.cfg.RS))%ring]; t > ready {
+			ready = t
+		}
+	}
+	switch op.Kind {
+	case trace.Load:
+		if c.loadSeq >= uint64(c.cfg.LDQ) {
+			if t := c.loadDone[(c.loadSeq-uint64(c.cfg.LDQ))%uint64(len(c.loadDone))]; t > ready {
+				ready = t
+			}
+		}
+	case trace.Store:
+		if c.storeSeq >= uint64(c.cfg.STQ) {
+			if t := c.storeDone[(c.storeSeq-uint64(c.cfg.STQ))%uint64(len(c.storeDone))]; t > ready {
+				ready = t
+			}
+		}
+	}
+	return c.bookIssueSlot(ready)
+}
+
+// bookIssueSlot finds the first cycle >= earliest with spare issue
+// bandwidth and books it.
+func (c *Core) bookIssueSlot(earliest uint64) uint64 {
+	t := earliest
+	for {
+		idx := t % issueSlots
+		if c.slotTag[idx] != t {
+			c.slotTag[idx] = t
+			c.slotCount[idx] = 0
+		}
+		if int(c.slotCount[idx]) < c.cfg.IssueWidth {
+			c.slotCount[idx]++
+			return t
+		}
+		t++
+	}
+}
+
+// doCall models target prediction for a call: direct calls hit the BTAC,
+// indirect calls the indirect predictor; a wrong or missing target costs
+// the redirect penalty. The return address is pushed on both the
+// 16-entry RAS (the predictor) and the unbounded shadow stack (the
+// architectural truth).
+func (c *Core) doCall(op *trace.Op, complete uint64) {
+	target := op.Addr
+	var predicted uint64
+	var ok bool
+	if op.Indirect {
+		predicted, ok = c.ind.Predict(op.PC)
+		c.ind.Update(op.PC, target)
+	} else {
+		predicted, ok = c.btac.Predict(op.PC)
+		c.btac.Update(op.PC, target)
+	}
+	if !ok || predicted != target {
+		c.redirectAt = complete + c.cfg.MispredictPenalty
+	}
+	// Return address: the µop after the call (synthetic 16-byte slots).
+	ret := op.PC + 16
+	c.ras.Push(ret)
+	c.shadowRAS = append(c.shadowRAS, ret)
+}
+
+// doReturn pops the RAS against the shadow stack; a wrong prediction
+// (RAS overflow dropped the matching push, or a trace restart emptied the
+// shadow stack) costs the redirect penalty.
+func (c *Core) doReturn(complete uint64) {
+	var want uint64
+	if n := len(c.shadowRAS); n > 0 {
+		want = c.shadowRAS[n-1]
+		c.shadowRAS = c.shadowRAS[:n-1]
+	}
+	if got := c.ras.Pop(want); got != want {
+		c.redirectAt = complete + c.cfg.MispredictPenalty
+	}
+}
+
+// execute returns the op's completion time.
+func (c *Core) execute(op *trace.Op, issue uint64) uint64 {
+	switch op.Kind {
+	case trace.ALU, trace.Branch, trace.Call, trace.Ret:
+		return issue + 1
+	case trace.FP:
+		return issue + c.cfg.FPLat
+	case trace.Load:
+		return c.load(op, issue)
+	case trace.Store:
+		c.store(op, issue)
+		return issue + 1
+	}
+	panic(fmt.Sprintf("cpu: unknown op kind %v", op.Kind))
+}
+
+// load models DTLB + DL1 access (with MSHRs and prefetch) for a load.
+func (c *Core) load(op *trace.Op, issue uint64) uint64 {
+	t := issue
+	if !c.dtlb.lookup(op.Addr / uncore.PageSize) {
+		t += c.cfg.TLBWalkLat
+	}
+	t += c.cfg.DL1Lat
+	line := cache.AlignLine(op.Addr)
+	hit := c.dl1.Access(line, false)
+	var done uint64
+	if hit {
+		done = t
+		if fill, ok := c.dl1Miss[line]; ok && fill > done {
+			done = fill // late fill (e.g. in-flight prefetch)
+		}
+	} else {
+		done = c.dl1FillMiss(op.PC, line, false, t)
+	}
+	c.dl1PrefetchObserve(op.PC, op.Addr, !hit, t)
+	return done
+}
+
+// store models the DL1 write path: stores retire through the store
+// buffer without blocking; a write miss allocates the line in the
+// background (RFO).
+func (c *Core) store(op *trace.Op, issue uint64) {
+	t := issue
+	if !c.dtlb.lookup(op.Addr / uncore.PageSize) {
+		t += c.cfg.TLBWalkLat
+	}
+	t += c.cfg.DL1Lat
+	line := cache.AlignLine(op.Addr)
+	if hit := c.dl1.Access(line, true); !hit {
+		c.dl1FillMiss(op.PC, line, true, t)
+	}
+	c.dl1PrefetchObserve(op.PC, op.Addr, false, t)
+}
+
+// dl1FillMiss services a DL1 demand miss at time t through the MSHRs and
+// the uncore; it returns the fill completion time.
+func (c *Core) dl1FillMiss(pc, line uint64, write bool, t uint64) uint64 {
+	if done, ok := c.dl1Miss[line]; ok {
+		if done < t {
+			return t
+		}
+		return done // merged into an in-flight fill
+	}
+	c.pruneDL1(t)
+	if len(c.dl1Miss) >= c.cfg.DL1MSHRs {
+		if e := c.earliestDL1(); e > t {
+			t = e
+		}
+		c.pruneDL1(t)
+	}
+	done := c.mem.Access(c.id, pc, line, write, false, t)
+	c.record(UncoreRequest{OpIndex: c.pos, VAddr: line, PC: pc, Kind: ReqData, Write: write, Issue: t, Complete: done})
+	c.stats.UncoreDemand++
+	c.dl1Miss[line] = done
+	ev := c.dl1.Fill(line, write, false)
+	if ev.Valid && ev.Dirty {
+		// Write the dirty victim back to the LLC at fill time.
+		c.mem.Access(c.id, pc, ev.Addr, true, false, done)
+		c.record(UncoreRequest{OpIndex: c.pos, VAddr: ev.Addr, PC: pc, Kind: ReqWB, Write: true, Issue: done, Complete: done})
+		c.stats.UncoreDemand++
+	}
+	return done
+}
+
+// dl1Prefetch issues one DL1 prefetch if the line is not resident or in
+// flight, dropping it when the MSHRs are full.
+func (c *Core) dl1Prefetch(pc, line uint64, t uint64) {
+	if c.dl1.Probe(line) {
+		return
+	}
+	if _, ok := c.dl1Miss[line]; ok {
+		return
+	}
+	// Prefetches only use spare MSHR capacity: demand traffic keeps
+	// priority under pressure.
+	if len(c.dl1Miss) >= c.cfg.DL1MSHRs/2 {
+		return
+	}
+	done := c.mem.Access(c.id, pc, line, false, true, t)
+	c.record(UncoreRequest{OpIndex: c.pos, VAddr: line, PC: pc, Kind: ReqData, Prefetch: true, Issue: t, Complete: done})
+	c.stats.UncorePref++
+	c.dl1Miss[line] = done
+	ev := c.dl1.Fill(line, false, true)
+	if ev.Valid && ev.Dirty {
+		c.mem.Access(c.id, pc, ev.Addr, true, false, done)
+		c.record(UncoreRequest{OpIndex: c.pos, VAddr: ev.Addr, PC: pc, Kind: ReqWB, Write: true, Issue: done, Complete: done})
+		c.stats.UncoreDemand++
+	}
+}
+
+// dl1PrefetchObserve trains the DL1 prefetchers and issues proposals.
+func (c *Core) dl1PrefetchObserve(pc, addr uint64, miss bool, t uint64) {
+	props := c.dpf.Observe(pc, addr, miss)
+	if len(props) == 0 {
+		return
+	}
+	// Copy: dl1Prefetch may recurse into Observe via fills.
+	buf := make([]uint64, len(props))
+	copy(buf, props)
+	for _, a := range buf {
+		c.dl1Prefetch(pc, cache.AlignLine(a), t)
+	}
+}
+
+func (c *Core) pruneDL1(now uint64) {
+	for line, done := range c.dl1Miss {
+		if done <= now {
+			delete(c.dl1Miss, line)
+		}
+	}
+}
+
+func (c *Core) earliestDL1() uint64 {
+	first := true
+	var min uint64
+	for _, done := range c.dl1Miss {
+		if first || done < min {
+			min = done
+			first = false
+		}
+	}
+	return min
+}
+
+// commit retires the op in order with commit-width bandwidth.
+func (c *Core) commit(complete uint64) uint64 {
+	ct := complete
+	if c.lastCommit > ct {
+		ct = c.lastCommit
+	}
+	if ct == c.lastCommitCyc {
+		if c.commitsInCycle >= c.cfg.CommitWidth {
+			ct++
+			c.lastCommitCyc = ct
+			c.commitsInCycle = 1
+		} else {
+			c.commitsInCycle++
+		}
+	} else {
+		c.lastCommitCyc = ct
+		c.commitsInCycle = 1
+	}
+	c.lastCommit = ct
+	return ct
+}
+
+func (c *Core) record(r UncoreRequest) {
+	if c.recorder != nil {
+		*c.recorder = append(*c.recorder, r)
+	}
+}
+
+// Run executes n µops and returns the resulting statistics snapshot.
+func (c *Core) Run(n int) Stats {
+	for i := 0; i < n; i++ {
+		c.Step()
+	}
+	return c.Stats()
+}

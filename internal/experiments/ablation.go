@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcbench/internal/cache"
+	"mcbench/internal/metrics"
+	"mcbench/internal/sampling"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the workload-
+// stratification parameters (WT, TSD) and the choice of classification
+// for benchmark stratification. These go beyond the paper's figures but
+// use the same machinery.
+
+// AblationStrataParams measures, for the near-tie policy pair at a small
+// sample size, how the workload-stratification parameters trade stratum
+// count against confidence. The paper fixes WT=50, TSD=0.001; this table
+// shows the neighbourhood.
+func (l *Lab) AblationStrataParams(cores, sampleSize int) *Table {
+	d := l.Diffs(cores, metrics.IPCT, cache.DIP, cache.DRRIP)
+	t := &Table{
+		Title: fmt.Sprintf("Ablation: workload-stratification parameters (DRRIP vs DIP, IPCT, %d cores, W=%d)",
+			cores, sampleSize),
+		Columns: []string{"WT", "TSD", "strata", "confidence", "vs random"},
+		Notes: []string{
+			"paper's operating point: WT=50, TSD=0.001",
+			"too-large TSD collapses to one stratum (= random); too-small WT wastes draws on tiny strata",
+		},
+	}
+	rng := rand.New(rand.NewSource(l.cfg.Seed + 900))
+	random := sampling.EmpiricalConfidence(rng, d,
+		sampling.NewSimpleRandom(len(d)), sampleSize, l.cfg.Fig6Trials)
+	for _, wt := range []int{10, 25, 50, 100} {
+		for _, tsd := range []float64{0.0002, 0.001, 0.005, 0.05} {
+			s := sampling.NewWorkloadStrata(d, sampling.WorkloadStrataConfig{MinSize: wt, MaxStdDev: tsd})
+			conf := sampling.EmpiricalConfidence(rng, d, s, sampleSize, l.cfg.Fig6Trials)
+			t.AddRow(fmt.Sprint(wt), fmt.Sprint(tsd), fmt.Sprint(sampling.NumStrata(s)),
+				f3(conf), f3(conf-random))
+		}
+	}
+	return t
+}
+
+// AblationClassification compares benchmark stratification built from the
+// measured MPKI classes against (a) a random class assignment and (b) no
+// classes at all (plain random sampling), quantifying how much the
+// "authors' intuition" the paper discusses is worth.
+func (l *Lab) AblationClassification(cores, sampleSize int) *Table {
+	pop := l.Population(cores)
+	d := l.Diffs(cores, metrics.IPCT, cache.LRU, cache.DRRIP)
+	t := &Table{
+		Title: fmt.Sprintf("Ablation: class definitions for benchmark stratification (DRRIP vs LRU, IPCT, %d cores, W=%d)",
+			cores, sampleSize),
+		Columns: []string{"classes", "strata", "confidence"},
+		Notes: []string{
+			"the paper: benchmark stratification helps only to the extent the classes predict behaviour",
+		},
+	}
+	rng := rand.New(rand.NewSource(l.cfg.Seed + 901))
+	trials := l.cfg.Fig6Trials
+
+	random := sampling.NewSimpleRandom(len(d))
+	t.AddRow("none (random)", "1", f3(sampling.EmpiricalConfidence(rng, d, random, sampleSize, trials)))
+
+	mpki := sampling.NewBenchmarkStrata(pop, l.Classes(), sampling.NumClasses)
+	t.AddRow("measured MPKI", fmt.Sprint(sampling.NumStrata(mpki)),
+		f3(sampling.EmpiricalConfidence(rng, d, mpki, sampleSize, trials)))
+
+	shuffled := append([]int(nil), l.Classes()...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	scrambled := sampling.NewBenchmarkStrata(pop, shuffled, sampling.NumClasses)
+	t.AddRow("shuffled classes", fmt.Sprint(sampling.NumStrata(scrambled)),
+		f3(sampling.EmpiricalConfidence(rng, d, scrambled, sampleSize, trials)))
+
+	return t
+}
+
+// AblationMetricChoice shows the paper's Section V-C point numerically:
+// the same policy pair needs different random-sample sizes under
+// different metrics.
+func (l *Lab) AblationMetricChoice(cores int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Ablation: required random-sample size per metric (W = 8*cv^2, %d cores)", cores),
+		Columns: []string{"pair (X>Y)", "IPCT", "WSU", "HSU", "GMSU"},
+		Notes: []string{
+			"paper (Sec. V-C): a fixed random sample must be sized for the most demanding metric in use",
+		},
+	}
+	for _, pair := range PolicyPairs() {
+		row := []string{fmt.Sprintf("%s>%s", pair[0], pair[1])}
+		for _, m := range []metrics.Metric{metrics.IPCT, metrics.WSU, metrics.HSU, metrics.GMSU} {
+			d := l.Diffs(cores, m, pair[0], pair[1])
+			row = append(row, fmt.Sprint(sampling.RequiredSampleSize(d)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

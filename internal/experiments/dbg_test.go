@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"mcbench/internal/metrics"
+	"mcbench/internal/stats"
+)
+
+func TestDebugInvCV(t *testing.T) {
+	l := NewLab(QuickConfig())
+	for _, pair := range PolicyPairs() {
+		d := l.Diffs(4, metrics.WSU, pair[0], pair[1])
+		fmt.Printf("%-5s>%-5s  1/cv=%+.3f  mean=%+.5f\n", pair[0], pair[1], stats.InvCoefVar(d), stats.Mean(d))
+	}
+}

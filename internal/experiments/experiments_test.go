@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcbench/internal/cache"
+	"mcbench/internal/metrics"
+	"mcbench/internal/sampling"
+	"mcbench/internal/stats"
+)
+
+// sharedLab caches one quick lab across tests (population sweeps are the
+// expensive part; the lab memoizes them).
+var (
+	labOnce   sync.Once
+	sharedLab *Lab
+)
+
+func quickLab(t *testing.T) *Lab {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiments need population sweeps; skipped with -short")
+	}
+	labOnce.Do(func() {
+		cfg := QuickConfig()
+		sharedLab = NewLab(cfg)
+	})
+	return sharedLab
+}
+
+func TestFig1CurveShape(t *testing.T) {
+	tab := Fig1()
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	// First ~0, middle 0.5, last ~1.
+	first := tab.Rows[0][1]
+	mid := tab.Rows[len(tab.Rows)/2][1]
+	last := tab.Rows[len(tab.Rows)-1][1]
+	if first != "0.0023" || mid != "0.5000" || last != "0.9977" {
+		t.Errorf("curve anchors %s/%s/%s", first, mid, last)
+	}
+}
+
+func TestPolicyPairsCount(t *testing.T) {
+	pairs := PolicyPairs()
+	if len(pairs) != 10 {
+		t.Fatalf("%d pairs, want 10 (paper)", len(pairs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		key := string(p[0]) + ">" + string(p[1])
+		if seen[key] {
+			t.Errorf("duplicate pair %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestLabBasics(t *testing.T) {
+	l := quickLab(t)
+	if got := len(l.Names()); got != 22 {
+		t.Fatalf("%d benchmarks", got)
+	}
+	if got := l.Population(2).Size(); got != 253 {
+		t.Fatalf("2-core population %d, want 253", got)
+	}
+	p4 := l.Population(4)
+	if p4.Size() != l.Config().Pop4Limit {
+		t.Fatalf("4-core population %d, want %d", p4.Size(), l.Config().Pop4Limit)
+	}
+	if got := l.Population(8).Size(); got != l.Config().Pop8Size {
+		t.Fatalf("8-core population %d", got)
+	}
+}
+
+func TestRefIPCPositive(t *testing.T) {
+	l := quickLab(t)
+	for _, cores := range []int{2, 4} {
+		ref := l.RefIPC(cores)
+		for i, v := range ref {
+			if v <= 0 || v > 4 {
+				t.Errorf("cores=%d: ref IPC of %s = %g implausible", cores, l.Names()[i], v)
+			}
+		}
+	}
+}
+
+func TestBadcoIPCTableShape(t *testing.T) {
+	l := quickLab(t)
+	tab := l.BadcoIPC(2, cache.LRU)
+	if len(tab) != 253 {
+		t.Fatalf("table rows %d", len(tab))
+	}
+	for i, row := range tab {
+		if len(row) != 2 {
+			t.Fatalf("row %d has %d cores", i, len(row))
+		}
+		for k, v := range row {
+			if v <= 0 || v > 4 {
+				t.Fatalf("IPC[%d][%d] = %g", i, k, v)
+			}
+		}
+	}
+	// Memoized: second call returns identical slice.
+	tab2 := l.BadcoIPC(2, cache.LRU)
+	if &tab[0] != &tab2[0] {
+		t.Error("BadcoIPC not memoized")
+	}
+}
+
+func TestDiffsConsistentAcrossMetrics(t *testing.T) {
+	l := quickLab(t)
+	// LRU vs FIFO is decisive: every metric must agree LRU wins
+	// (negative mean with our d = tY - tX and (X=LRU, Y=FIFO)).
+	for _, m := range metrics.All() {
+		d := l.Diffs(2, m, cache.LRU, cache.FIFO)
+		if mean := stats.Mean(d); mean >= 0 {
+			t.Errorf("%v: mean d(LRU->FIFO) = %g, want < 0 (LRU clearly better)", m, mean)
+		}
+	}
+}
+
+func TestFig3ModelMatchesExperiment(t *testing.T) {
+	l := quickLab(t)
+	points := l.Fig3([]int{2})
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range points {
+		if math.Abs(p.Empirical-p.Model) > 0.12 {
+			t.Errorf("W=%d: empirical %.3f vs model %.3f", p.SampleSize, p.Empirical, p.Model)
+		}
+	}
+}
+
+func TestFig4SampleTracksPopulation(t *testing.T) {
+	l := quickLab(t)
+	rows := l.Fig4(2)
+	if len(rows) != 30 { // 10 pairs x 3 metrics
+		t.Fatalf("%d rows", len(rows))
+	}
+	agree := 0
+	for _, r := range rows {
+		if (r.BadcoS > 0) == (r.BadcoPop > 0) {
+			agree++
+		}
+	}
+	// BADCO sample and population must agree in sign for the vast
+	// majority of (pair, metric) combinations.
+	if agree < len(rows)*8/10 {
+		t.Errorf("sample/population sign agreement only %d/%d", agree, len(rows))
+	}
+}
+
+func TestFig5SignsConsistent(t *testing.T) {
+	l := quickLab(t)
+	rows := l.Fig5(2)
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	consistent := 0
+	for _, r := range rows {
+		if sameSign(r.Inv[metrics.IPCT], r.Inv[metrics.WSU], r.Inv[metrics.HSU]) {
+			consistent++
+		}
+	}
+	// The paper: all three metrics rank policies identically. Allow one
+	// near-tie exception at quick scale.
+	if consistent < 9 {
+		t.Errorf("only %d/10 pairs have metric-consistent signs", consistent)
+	}
+	// LRU >> FIFO decisively: |1/cv| large.
+	for _, r := range rows {
+		if r.Pair[0] == cache.LRU && r.Pair[1] == cache.FIFO {
+			if v := math.Abs(r.Inv[metrics.IPCT]); v < 0.5 {
+				t.Errorf("LRU vs FIFO |1/cv| = %.3f, want >= 0.5 (decisive)", v)
+			}
+		}
+	}
+}
+
+func TestFig6StratificationWins(t *testing.T) {
+	l := quickLab(t)
+	points := l.Fig6(2) // 2 cores: full population, all 4 methods present
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	byKey := map[string]map[string]float64{}
+	for _, p := range points {
+		k := string(p.Pair[0]) + ">" + string(p.Pair[1])
+		if p.SampleSize != 10 {
+			continue
+		}
+		if byKey[k] == nil {
+			byKey[k] = map[string]float64{}
+		}
+		byKey[k][p.Method] = p.Confidence
+	}
+	// At W=10, workload stratification must dominate simple random
+	// sampling on every pair (confidence further from 0.5 in the same
+	// direction, i.e. more decisive).
+	for pair, conf := range byKey {
+		r, okR := conf["random"]
+		s, okS := conf["workload-strata"]
+		if !okR || !okS {
+			t.Fatalf("%s: missing methods %v", pair, conf)
+		}
+		if decisive(s) < decisive(r)-0.02 {
+			t.Errorf("%s at W=10: workload-strata %.3f less decisive than random %.3f", pair, s, r)
+		}
+	}
+}
+
+// decisive maps a confidence to how far it is from a coin flip.
+func decisive(c float64) float64 { return math.Abs(c - 0.5) }
+
+func TestFig7DetailedConfidence(t *testing.T) {
+	l := quickLab(t)
+	points := l.Fig7([]int{2})
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	methods := map[string]bool{}
+	for _, p := range points {
+		methods[p.Method] = true
+		if p.Confidence < 0 || p.Confidence > 1 {
+			t.Fatalf("confidence %g out of range", p.Confidence)
+		}
+	}
+	// 2 cores simulates the full population in detail, so all four
+	// methods (including balanced) must be present.
+	for _, m := range []string{"random", "bal-random", "bench-strata", "workload-strata"} {
+		if !methods[m] {
+			t.Errorf("method %s missing from Fig7", m)
+		}
+	}
+}
+
+func TestTableIVClassesSeparate(t *testing.T) {
+	l := quickLab(t)
+	tab := l.TableIV()
+	if len(tab.Rows) != 22 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// At quick scale the absolute classes shift (touched footprints
+	// shrink with the trace), so only check the table renders and the
+	// MPKI column parses.
+	for _, row := range tab.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row %v", row)
+		}
+	}
+}
+
+func TestTableIIIBadcoFaster(t *testing.T) {
+	l := quickLab(t)
+	rows := l.TableIII(2)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BadcoMIPS <= r.DetMIPS {
+			t.Errorf("cores=%d: BADCO %.3f MIPS not above detailed %.3f", r.Cores, r.BadcoMIPS, r.DetMIPS)
+		}
+		if r.Speedup < 1.2 {
+			t.Errorf("cores=%d: speedup %.2f implausibly low", r.Cores, r.Speedup)
+		}
+	}
+}
+
+func TestFig2AccuracyWithinBounds(t *testing.T) {
+	l := quickLab(t)
+	res := l.Fig2([]int{2})
+	if len(res) != 1 {
+		t.Fatalf("%d results", len(res))
+	}
+	r := res[0]
+	if r.AvgCPIErr > 0.20 {
+		t.Errorf("avg CPI error %.1f%%, want <= 20%% (paper: ~4.6%%)", r.AvgCPIErr*100)
+	}
+	if r.AvgSpeedupErr > r.AvgCPIErr {
+		t.Errorf("speedup error %.1f%% above CPI error %.1f%% — paper has the opposite",
+			r.AvgSpeedupErr*100, r.AvgCPIErr*100)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no scatter points")
+	}
+}
+
+func TestOverheadStory(t *testing.T) {
+	l := quickLab(t)
+	r := l.Overhead(2)
+	if r.DetMIPS <= 0 || r.BadcoMIPS <= r.DetMIPS {
+		t.Fatalf("speeds %.3f/%.3f", r.DetMIPS, r.BadcoMIPS)
+	}
+	if r.StrataWorkloads <= 0 {
+		t.Fatal("no stratified sample size")
+	}
+	if len(r.Random) != 3 {
+		t.Fatalf("%d random lines", len(r.Random))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"n"},
+	}
+	tab.AddRow("1", "2")
+	s := tab.String()
+	for _, want := range []string{"== T ==", "a", "bb", "note: n", "1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPaperClassTable(t *testing.T) {
+	if PaperClass("mcf") != sampling.HighMPKI {
+		t.Error("mcf should be High")
+	}
+	if PaperClass("povray") != sampling.LowMPKI {
+		t.Error("povray should be Low")
+	}
+	if len(paperClasses) != 22 {
+		t.Errorf("%d paper classes", len(paperClasses))
+	}
+}
+
+func TestAblationTables(t *testing.T) {
+	l := quickLab(t)
+	strata := l.AblationStrataParams(2, 20)
+	if len(strata.Rows) != 16 {
+		t.Errorf("strata ablation rows %d, want 16", len(strata.Rows))
+	}
+	classes := l.AblationClassification(2, 20)
+	if len(classes.Rows) != 3 {
+		t.Errorf("classification ablation rows %d, want 3", len(classes.Rows))
+	}
+	met := l.AblationMetricChoice(2)
+	if len(met.Rows) != 10 {
+		t.Errorf("metric ablation rows %d, want 10", len(met.Rows))
+	}
+}
+
+func TestSpeedupAccuracyShrinksWithW(t *testing.T) {
+	l := quickLab(t)
+	pts := l.SpeedupAccuracy(2, metrics.WSU, cache.LRU, cache.FIFO, []int{10, 100}, 300)
+	byMethod := map[string]map[int]float64{}
+	for _, p := range pts {
+		if byMethod[p.Method] == nil {
+			byMethod[p.Method] = map[int]float64{}
+		}
+		byMethod[p.Method][p.SampleSize] = p.MeanAbsErr
+		if p.MeanAbsErr < 0 || p.P95AbsErr < p.MeanAbsErr/2 {
+			t.Errorf("%s W=%d: implausible errors mean=%g p95=%g",
+				p.Method, p.SampleSize, p.MeanAbsErr, p.P95AbsErr)
+		}
+	}
+	// Larger samples must shrink the speedup error for every method.
+	for m, errs := range byMethod {
+		if errs[100] >= errs[10] {
+			t.Errorf("%s: error at W=100 (%g) not below W=10 (%g)", m, errs[100], errs[10])
+		}
+	}
+}
+
+func TestLabCachePersistsSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	cfg := QuickConfig()
+	cfg.TraceLen = 4000 // tiny: this test runs its own lab
+	cfg.CacheDir = t.TempDir()
+	l1 := NewLab(cfg)
+	a := l1.BadcoIPC(2, cache.FIFO)
+	// A fresh lab with the same config must load the persisted table
+	// (bitwise identical) without resimulating.
+	l2 := NewLab(cfg)
+	b := l2.BadcoIPC(2, cache.FIFO)
+	if len(a) != len(b) {
+		t.Fatalf("row counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				t.Fatalf("cached table differs at [%d][%d]", i, k)
+			}
+		}
+	}
+}
+
+func TestGuidelineRecommendations(t *testing.T) {
+	l := quickLab(t)
+	// The decisive pair must be "random" with a small W.
+	r := l.Guideline(2, metrics.WSU, cache.LRU, cache.FIFO)
+	if r.Strategy != "random" {
+		t.Errorf("LRU/FIFO strategy %q, want random (decisive pair)", r.Strategy)
+	}
+	if r.Strategy == "random" && (r.SampleSize < 1 || r.SampleSize > 200) {
+		t.Errorf("LRU/FIFO recommended W=%d implausible", r.SampleSize)
+	}
+	// Every pair must yield a well-formed recommendation.
+	tab := l.GuidelineTable(2, metrics.WSU)
+	if len(tab.Rows) != 10 {
+		t.Fatalf("%d guideline rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		switch row[2] {
+		case "equivalent", "random", "stratify":
+		default:
+			t.Errorf("unknown strategy %q", row[2])
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package experiments
+
+// Extension experiments beyond the paper's own tables and figures,
+// exercising the systematic selection methods that Section II-B only
+// surveys, the co-phase matrix method of footnote 4, the Table I branch
+// predictor, and the CLT premise behind equation (5):
+//
+//   - ExtMethods: six selection methods side by side, adding
+//     cluster-derived benchmark classes (Vandierendonck & Seznec [6]) and
+//     Van Biesbrouck et al.'s representative workload clustering [7] to
+//     the paper's four.
+//   - CophaseValidation: co-phase matrix accuracy and cost against direct
+//     detailed simulation.
+//   - PredictorAblation: bimodal/gshare/tournament/TAGE on branchy
+//     synthetic workloads.
+//   - Normality: Kolmogorov–Smirnov distance of the sample-mean
+//     distribution of d(w) from a fitted normal, as the sample size grows.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcbench/internal/bpred"
+	"mcbench/internal/cache"
+	"mcbench/internal/cophase"
+	"mcbench/internal/cpu"
+	"mcbench/internal/metrics"
+	"mcbench/internal/multicore"
+	"mcbench/internal/profile"
+	"mcbench/internal/sampling"
+	"mcbench/internal/stats"
+	"mcbench/internal/trace"
+	"mcbench/internal/uncore"
+)
+
+// Profiles returns the microarchitecture-independent profile of every
+// benchmark, indexed like Names().
+func (l *Lab) Profiles() []*profile.Profile {
+	traces := l.Traces()
+	names := l.Names()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.profiles == nil {
+		l.profiles = make([]*profile.Profile, len(names))
+		for i, n := range names {
+			l.profiles[i] = profile.MustCompute(traces[n])
+		}
+	}
+	return l.profiles
+}
+
+// BenchFeatures returns the benchmark feature matrix for clustering.
+func (l *Lab) BenchFeatures() [][]float64 {
+	profs := l.Profiles()
+	out := make([][]float64, len(profs))
+	for i, p := range profs {
+		out[i] = p.Features()
+	}
+	return out
+}
+
+// ExtMethodsSampleSizes is the (small) sample-size sweep of the extended
+// comparison; the interesting regime is exactly where detailed
+// simulation budgets live.
+var ExtMethodsSampleSizes = []int{10, 20, 30, 50}
+
+// ExtMethodsPoint is one (method, sample size) confidence measurement of
+// the extended comparison.
+type ExtMethodsPoint struct {
+	Method     string
+	SampleSize int
+	Confidence float64
+	Trials     int
+}
+
+// ExtMethods compares six selection methods on this reproduction's
+// near-tie pair, DRRIP vs DIP (the analogue of the paper's hardest
+// Figure 6 case; see EXPERIMENTS.md for why the near-tie pair shifts),
+// with the IPCT metric: the paper's four, benchmark stratification with
+// cluster-derived classes, and representative workload clustering. The
+// representative method re-clusters per draw, so its Monte-Carlo trial
+// count is reduced.
+func (l *Lab) ExtMethods(cores int) []ExtMethodsPoint {
+	pop := l.Population(cores)
+	d := l.Diffs(cores, metrics.IPCT, cache.DIP, cache.DRRIP)
+	feats := l.BenchFeatures()
+
+	full := uint64(pop.Size()) == popSizeFor(cores)
+	samplers := []struct {
+		s      sampling.Sampler
+		trials int
+	}{
+		{sampling.NewSimpleRandom(len(d)), l.cfg.Fig6Trials},
+	}
+	if full {
+		samplers = append(samplers, struct {
+			s      sampling.Sampler
+			trials int
+		}{sampling.NewBalancedRandom(pop), l.cfg.Fig6Trials})
+	}
+	samplers = append(samplers, struct {
+		s      sampling.Sampler
+		trials int
+	}{sampling.NewBenchmarkStrata(pop, l.Classes(), sampling.NumClasses), l.cfg.Fig6Trials})
+
+	clusterRng := rand.New(rand.NewSource(l.cfg.Seed + 9001))
+	if cs, _, err := sampling.NewClusterBenchStrata(clusterRng, pop, feats, sampling.NumClasses); err == nil {
+		samplers = append(samplers, struct {
+			s      sampling.Sampler
+			trials int
+		}{cs, l.cfg.Fig6Trials})
+	}
+	samplers = append(samplers, struct {
+		s      sampling.Sampler
+		trials int
+	}{sampling.NewWorkloadStrata(d, sampling.DefaultWorkloadStrataConfig()), l.cfg.Fig6Trials})
+
+	if wf, err := sampling.WorkloadFeatures(pop, feats); err == nil {
+		trials := l.cfg.Fig6Trials / 40
+		if trials < 10 {
+			trials = 10
+		}
+		samplers = append(samplers, struct {
+			s      sampling.Sampler
+			trials int
+		}{sampling.NewRepresentative(wf, 25), trials})
+	}
+
+	var out []ExtMethodsPoint
+	for si, sp := range samplers {
+		rng := rand.New(rand.NewSource(l.cfg.Seed + 700 + int64(si)))
+		for _, w := range ExtMethodsSampleSizes {
+			if w > len(d) {
+				break
+			}
+			out = append(out, ExtMethodsPoint{
+				Method:     sp.s.Name(),
+				SampleSize: w,
+				Confidence: sampling.EmpiricalConfidence(rng, d, sp.s, w, sp.trials),
+				Trials:     sp.trials,
+			})
+		}
+	}
+	return out
+}
+
+// ExtMethodsTable renders the extended comparison.
+func (l *Lab) ExtMethodsTable(cores int) *Table {
+	points := l.ExtMethods(cores)
+	t := &Table{
+		Title: fmt.Sprintf("Extension: six selection methods on the near-tie pair DRRIP vs DIP (IPCT, %d cores)", cores),
+		Columns: []string{"method", "W", "confidence", "trials"},
+		Notes: []string{
+			"cluster-strata derives classes by k-means on profile features instead of MPKI thresholds;",
+			"workload-cluster simulates k-means medoids weighted by cluster size (Van Biesbrouck [7])",
+		},
+	}
+	for _, p := range points {
+		t.AddRow(p.Method, fmt.Sprint(p.SampleSize), f3(p.Confidence), fmt.Sprint(p.Trials))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Co-phase matrix validation
+
+// CophaseRow is the validation result for one workload.
+type CophaseRow struct {
+	Workload string
+	IPCErr   float64 // mean relative per-thread IPC error vs detailed
+	RankOK   bool    // thread IPC ranking preserved
+	Entries  int     // co-phase matrix entries measured
+	CostFrac float64 // detailed µops simulated / direct-simulation µops
+}
+
+// CophaseValidation runs the co-phase matrix method on a handful of
+// 2-core workloads and compares it against direct detailed simulation.
+func (l *Lab) CophaseValidation() []CophaseRow {
+	traces := l.Traces()
+	names := l.Names()
+	quota := uint64(l.cfg.TraceLen)
+	// Mixed-intensity pairs exercise the interesting co-phase coupling.
+	pairs := [][2]int{{0, 21}, {5, 16}, {11, 18}, {2, 2}}
+
+	var rows []CophaseRow
+	for _, pr := range pairs {
+		w := multicore.Workload{names[pr[0]], names[pr[1]]}
+		ref, err := multicore.Detailed(w, traces, cache.LRU, quota)
+		if err != nil {
+			panic(err)
+		}
+		cfg := cophase.Config{
+			Phases:    10,
+			SampleOps: l.cfg.TraceLen / 20,
+			WarmOps:   l.cfg.TraceLen / 5,
+			Policy:    cache.LRU,
+		}
+		sim, err := cophase.New([]string(w), traces, cfg)
+		if err != nil {
+			panic(err)
+		}
+		pred, err := sim.Run(quota)
+		if err != nil {
+			panic(err)
+		}
+		errSum := 0.0
+		for k := range ref.IPC {
+			e := (pred.IPC[k] - ref.IPC[k]) / ref.IPC[k]
+			if e < 0 {
+				e = -e
+			}
+			errSum += e
+		}
+		rows = append(rows, CophaseRow{
+			Workload: w.String(),
+			IPCErr:   errSum / float64(len(ref.IPC)),
+			RankOK:   (pred.IPC[0] >= pred.IPC[1]) == (ref.IPC[0] >= ref.IPC[1]),
+			Entries:  pred.MatrixEntries,
+			CostFrac: float64(pred.SimulatedOps) / float64(quota*uint64(len(w))),
+		})
+	}
+	return rows
+}
+
+// CophaseTable renders the validation.
+func (l *Lab) CophaseTable() *Table {
+	t := &Table{
+		Title:   "Extension: co-phase matrix method (footnote 4 / ref [19]) vs detailed simulation, 2 cores, LRU",
+		Columns: []string{"workload", "mean IPC err", "rank ok", "matrix entries", "cost fraction"},
+		Notes: []string{
+			"cost fraction = detailed µops spent filling the matrix / µops of one direct simulation;",
+			"the matrix amortises further over repeated or longer runs",
+		},
+	}
+	for _, r := range l.CophaseValidation() {
+		t.AddRow(r.Workload, fmt.Sprintf("%.1f%%", r.IPCErr*100), fmt.Sprint(r.RankOK),
+			fmt.Sprint(r.Entries), f3(r.CostFrac))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Branch predictor ablation
+
+// PredictorRow is one (workload flavour, predictor) measurement.
+type PredictorRow struct {
+	Flavour   string
+	Predictor bpred.Kind
+	MissRate  float64
+	IPC       float64
+}
+
+// PredictorAblation measures the Table I predictor choices on three
+// single-core workload flavours: the suite's uncorrelated biased
+// branches, loop-dominated control flow, and correlated if/else chains.
+// It justifies the core model's default (bimodal matches TAGE on the
+// suite's traces) and shows where TAGE pays off.
+func (l *Lab) PredictorAblation() []PredictorRow {
+	base := trace.Params{
+		Name:        "ablation",
+		LoadFrac:    0.22,
+		StoreFrac:   0.08,
+		BranchFrac:  0.16,
+		FPFrac:      0.06,
+		DepMean:     7,
+		LoadDepFrac: 0.4,
+		BranchBias:  0.92,
+		CodeBytes:   16 << 10,
+		Patterns:    []trace.PatternSpec{{Kind: trace.HotSet, Bytes: 24 << 10, Weight: 1}},
+		Seed:        77,
+	}
+	flavours := []struct {
+		name string
+		mod  func(*trace.Params)
+	}{
+		{"biased (suite-like)", func(*trace.Params) {}},
+		{"loop-dominated", func(p *trace.Params) { p.LoopFrac = 0.9 }},
+		{"correlated", func(p *trace.Params) { p.CorrFrac = 0.6; p.BranchBias = 0.65 }},
+	}
+	kinds := []bpred.Kind{bpred.Bimodal, bpred.GShare, bpred.Tournament, bpred.TAGE}
+
+	var rows []PredictorRow
+	n := l.cfg.TraceLen
+	for _, fl := range flavours {
+		params := base
+		params.Name = fl.name
+		fl.mod(&params)
+		tr := trace.MustGenerate(params, n)
+		for _, kind := range kinds {
+			cfg := cpu.DefaultConfig()
+			cfg.Predictor = kind
+			core := cpu.MustNew(0, cfg, tr, uncore.MustNew(uncore.ConfigFor(1, cache.LRU)))
+			warm := core.Run(tr.Len())
+			st := core.Run(tr.Len())
+			rows = append(rows, PredictorRow{
+				Flavour:   fl.name,
+				Predictor: kind,
+				MissRate: float64(st.BranchMisses-warm.BranchMisses) /
+					float64(st.BranchLookups-warm.BranchLookups),
+				IPC: float64(st.Committed-warm.Committed) / float64(st.Cycles-warm.Cycles),
+			})
+		}
+	}
+	return rows
+}
+
+// PredictorTable renders the ablation.
+func (l *Lab) PredictorTable() *Table {
+	t := &Table{
+		Title:   "Extension: branch predictor ablation (Table I front end), steady state, 1 core",
+		Columns: []string{"workload flavour", "predictor", "miss rate", "IPC"},
+		Notes: []string{
+			"on uncorrelated biased branches all predictors sit at the bias floor (gshare above it);",
+			"loop and correlated control flow is where TAGE's tagged geometric histories pay",
+		},
+	}
+	for _, r := range l.PredictorAblation() {
+		t.AddRow(r.Flavour, string(r.Predictor), f4(r.MissRate), f3(r.IPC))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// CLT normality check
+
+// NormalityPoint is the KS distance of the sample-mean distribution of
+// d(w) from a fitted normal at one sample size.
+type NormalityPoint struct {
+	SampleSize int
+	KS         float64
+}
+
+// Normality validates the premise of equation (5): as W grows, the
+// distribution of the sample mean of d(w) (DIP vs LRU, IPCT) approaches a
+// normal distribution. Each point Monte-Carlos cfg.Fig3Trials sample
+// means and reports their Kolmogorov–Smirnov distance from normality.
+func (l *Lab) Normality(cores int) []NormalityPoint {
+	d := l.Diffs(cores, metrics.IPCT, cache.LRU, cache.DIP)
+	rng := rand.New(rand.NewSource(l.cfg.Seed + 424242))
+	trials := l.cfg.Fig3Trials
+	if trials < 200 {
+		trials = 200
+	}
+	var out []NormalityPoint
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
+		means := make([]float64, trials)
+		for i := range means {
+			sum := 0.0
+			for j := 0; j < w; j++ {
+				sum += d[rng.Intn(len(d))]
+			}
+			means[i] = sum / float64(w)
+		}
+		out = append(out, NormalityPoint{SampleSize: w, KS: stats.KSNormal(means)})
+	}
+	return out
+}
+
+// NormalityTable renders the CLT check.
+func (l *Lab) NormalityTable(cores int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Extension: CLT premise of eq. (5) — KS distance of mean(d) from normal (%d cores, DIP vs LRU, IPCT)", cores),
+		Columns: []string{"W", "KS distance"},
+		Notes:   []string{"monotone-ish decrease towards 0 justifies the normal approximation behind W = 8cv^2"},
+	}
+	for _, p := range l.Normality(cores) {
+		t.AddRow(fmt.Sprint(p.SampleSize), f4(p.KS))
+	}
+	return t
+}

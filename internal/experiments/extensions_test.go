@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mcbench/internal/bpred"
+	"mcbench/internal/profile"
+)
+
+func TestProfilesAndFeatures(t *testing.T) {
+	l := quickLab(t)
+	profs := l.Profiles()
+	if len(profs) != 22 {
+		t.Fatalf("%d profiles, want 22", len(profs))
+	}
+	feats := l.BenchFeatures()
+	if len(feats) != 22 || len(feats[0]) != len(profile.FeatureNames()) {
+		t.Fatalf("feature matrix %dx%d", len(feats), len(feats[0]))
+	}
+	// Profile-estimated memory intensity must correlate with the measured
+	// MPKI classification: the mean estimated LLC-size miss ratio of the
+	// high class must exceed that of the low class.
+	classes := l.Classes()
+	var lo, hi, nlo, nhi float64
+	for i, p := range profs {
+		r := p.MissRatio(1 << 12)
+		switch classes[i] {
+		case 0:
+			lo += r
+			nlo++
+		case 2:
+			hi += r
+			nhi++
+		}
+	}
+	if nlo == 0 || nhi == 0 {
+		t.Skip("degenerate quick classification")
+	}
+	if hi/nhi <= lo/nlo {
+		t.Errorf("profile miss ratios do not separate classes: low %.3f, high %.3f", lo/nlo, hi/nhi)
+	}
+}
+
+func TestExtMethodsComparison(t *testing.T) {
+	l := quickLab(t)
+	points := l.ExtMethods(4)
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	byMethod := map[string]map[int]float64{}
+	for _, p := range points {
+		if p.Confidence < 0 || p.Confidence > 1 {
+			t.Fatalf("confidence %g out of range", p.Confidence)
+		}
+		if byMethod[p.Method] == nil {
+			byMethod[p.Method] = map[int]float64{}
+		}
+		byMethod[p.Method][p.SampleSize] = p.Confidence
+	}
+	for _, m := range []string{"random", "bench-strata", "cluster-strata", "workload-strata", "workload-cluster"} {
+		if byMethod[m] == nil {
+			t.Errorf("method %s missing from comparison", m)
+		}
+	}
+	// The paper's core finding must survive the extension: workload
+	// stratification is at least as good as simple random (within
+	// Monte-Carlo noise) at small samples, and every method converges
+	// upward — the pair's winner is decided correctly.
+	ws, rnd := byMethod["workload-strata"], byMethod["random"]
+	if ws != nil && rnd != nil {
+		for _, w := range ExtMethodsSampleSizes {
+			if ws[w] < rnd[w]-0.08 {
+				t.Errorf("workload-strata clearly worse than random at W=%d: %.3f vs %.3f",
+					w, ws[w], rnd[w])
+			}
+		}
+		last := ExtMethodsSampleSizes[len(ExtMethodsSampleSizes)-1]
+		if ws[last] < 0.9 || rnd[last] < 0.9 {
+			t.Errorf("confidence at W=%d not converging: ws %.3f, random %.3f", last, ws[last], rnd[last])
+		}
+	}
+	tab := l.ExtMethodsTable(4)
+	if !strings.Contains(tab.String(), "workload-cluster") {
+		t.Error("table missing workload-cluster rows")
+	}
+}
+
+func TestCophaseValidationExperiment(t *testing.T) {
+	l := quickLab(t)
+	rows := l.CophaseValidation()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	rankOK := 0
+	for _, r := range rows {
+		if r.IPCErr < 0 || r.IPCErr > 0.6 {
+			t.Errorf("%s: implausible IPC error %.2f", r.Workload, r.IPCErr)
+		}
+		if r.Entries < 1 {
+			t.Errorf("%s: empty matrix", r.Workload)
+		}
+		if r.CostFrac <= 0 {
+			t.Errorf("%s: cost fraction %g", r.Workload, r.CostFrac)
+		}
+		if r.RankOK {
+			rankOK++
+		}
+	}
+	if rankOK < len(rows)-1 {
+		t.Errorf("thread ranking preserved on only %d of %d workloads", rankOK, len(rows))
+	}
+}
+
+func TestPredictorAblationExperiment(t *testing.T) {
+	l := quickLab(t)
+	rows := l.PredictorAblation()
+	if len(rows) != 12 {
+		t.Fatalf("%d rows, want 3 flavours x 4 predictors", len(rows))
+	}
+	get := func(flavour string, kind bpred.Kind) PredictorRow {
+		for _, r := range rows {
+			if strings.HasPrefix(r.Flavour, flavour) && r.Predictor == kind {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", flavour, kind)
+		return PredictorRow{}
+	}
+	// On the suite-like flavour bimodal and TAGE are close (the model's
+	// documented rationale for defaulting to bimodal).
+	if b, tg := get("biased", bpred.Bimodal), get("biased", bpred.TAGE); tg.MissRate > b.MissRate+0.03 {
+		t.Errorf("TAGE %.4f much worse than bimodal %.4f on suite-like branches", tg.MissRate, b.MissRate)
+	}
+	// On loops and correlation TAGE must win clearly.
+	if b, tg := get("loop", bpred.Bimodal), get("loop", bpred.TAGE); tg.MissRate > b.MissRate*0.8 {
+		t.Errorf("TAGE %.4f not beating bimodal %.4f on loops", tg.MissRate, b.MissRate)
+	}
+	if b, tg := get("correlated", bpred.Bimodal), get("correlated", bpred.TAGE); tg.MissRate > b.MissRate-0.05 {
+		t.Errorf("TAGE %.4f not beating bimodal %.4f on correlated branches", tg.MissRate, b.MissRate)
+	}
+	for _, r := range rows {
+		if r.IPC <= 0 || r.IPC > 4 {
+			t.Errorf("%s/%s: IPC %.3f out of range", r.Flavour, r.Predictor, r.IPC)
+		}
+	}
+}
+
+func TestNormalityExperiment(t *testing.T) {
+	l := quickLab(t)
+	points := l.Normality(4)
+	if len(points) < 5 {
+		t.Fatalf("%d points", len(points))
+	}
+	// KS must trend downward: the last point clearly below the first.
+	first, last := points[0].KS, points[len(points)-1].KS
+	if last >= first {
+		t.Errorf("KS did not decrease: W=%d:%.3f vs W=%d:%.3f",
+			points[0].SampleSize, first, points[len(points)-1].SampleSize, last)
+	}
+	for _, p := range points {
+		if p.KS < 0 || p.KS > 1 {
+			t.Errorf("KS %g out of range", p.KS)
+		}
+	}
+	if tab := l.NormalityTable(4); len(tab.Rows) != len(points) {
+		t.Error("table row mismatch")
+	}
+}

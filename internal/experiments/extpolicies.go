@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcbench/internal/cache"
+	"mcbench/internal/metrics"
+	"mcbench/internal/stats"
+)
+
+// ExtPolicyRow is one extension-policy pair's population statistics.
+type ExtPolicyRow struct {
+	Pair      [2]cache.PolicyName
+	InvCV     float64 // 1/cv of d(w), IPCT, population
+	RequiredW int     // W = 8cv^2
+}
+
+// ExtPolicies extends the paper's five-policy case study with SRRIP,
+// PLRU and SHiP: for each extension policy it measures 1/cv of the
+// population throughput difference against LRU and against DRRIP (IPCT),
+// placing the new policies in the paper's decisive/near-tie spectrum and
+// showing how the required random-sample size W = 8cv² shifts with the
+// pair.
+func (l *Lab) ExtPolicies(cores int) []ExtPolicyRow {
+	var rows []ExtPolicyRow
+	for _, ext := range []cache.PolicyName{cache.SRRIP, cache.PLRU, cache.SHIP} {
+		for _, base := range []cache.PolicyName{cache.LRU, cache.DRRIP} {
+			d := l.Diffs(cores, metrics.IPCT, base, ext)
+			rows = append(rows, ExtPolicyRow{
+				Pair:      [2]cache.PolicyName{base, ext},
+				InvCV:     stats.InvCoefVar(d),
+				RequiredW: stats.RequiredSampleSize(stats.CoefVar(d)),
+			})
+		}
+	}
+	return rows
+}
+
+// ExtPoliciesTable renders the extension-policy comparison.
+func (l *Lab) ExtPoliciesTable(cores int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Extension: SRRIP / PLRU / SHiP in the paper's 1/cv framework (IPCT, %d cores)", cores),
+		Columns: []string{"pair (X>Y)", "1/cv", "required W"},
+		Notes: []string{
+			"positive 1/cv: Y beats X on the population; |1/cv| >= 1 is the ~8-workload regime,",
+			"|1/cv| << 1 the hundreds-of-workloads regime (paper Sec. V-B)",
+		},
+	}
+	for _, r := range l.ExtPolicies(cores) {
+		w := fmt.Sprint(r.RequiredW)
+		if r.RequiredW > 1<<20 {
+			w = "equal (cv > 10)"
+		}
+		t.AddRow(fmt.Sprintf("%s>%s", r.Pair[0], r.Pair[1]), f3(r.InvCV), w)
+	}
+	return t
+}

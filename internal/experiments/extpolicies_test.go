@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtPolicies(t *testing.T) {
+	l := quickLab(t)
+	rows := l.ExtPolicies(2)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 3 policies x 2 baselines", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.InvCV) {
+			t.Errorf("%v: NaN 1/cv", r.Pair)
+		}
+		if r.RequiredW < 1 {
+			t.Errorf("%v: required W %d", r.Pair, r.RequiredW)
+		}
+		// The CLT machinery must be self-consistent: |1/cv| >= 1 implies
+		// the ~8-workload regime.
+		if inv := math.Abs(r.InvCV); inv >= 1 && r.RequiredW > 8 {
+			t.Errorf("%v: 1/cv %.2f but required W %d", r.Pair, r.InvCV, r.RequiredW)
+		}
+	}
+	tab := l.ExtPoliciesTable(2)
+	if len(tab.Rows) != 6 {
+		t.Errorf("table rows %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcbench/internal/cache"
+	"mcbench/internal/metrics"
+	"mcbench/internal/sampling"
+)
+
+// Fig3Point is one sample size of one core count's confidence curve.
+type Fig3Point struct {
+	Cores      int
+	SampleSize int
+	Empirical  float64
+	Model      float64
+}
+
+// Fig3SampleSizes is the logarithmic sweep of Figure 3.
+var Fig3SampleSizes = []int{10, 16, 25, 40, 63, 100, 158, 251, 398, 631, 1000}
+
+// Fig3 reproduces Figure 3: the degree of confidence that DRRIP
+// outperforms DIP (WSU metric) as a function of the random sample size,
+// measured by Monte-Carlo (cfg.Fig3Trials random samples per point) and
+// predicted by the analytical model (equation 5), for 2, 4 and 8 cores.
+func (l *Lab) Fig3(coreCounts []int) []Fig3Point {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{2, 4, 8}
+	}
+	var out []Fig3Point
+	for _, cores := range coreCounts {
+		d := l.Diffs(cores, metrics.WSU, cache.DIP, cache.DRRIP)
+		rng := rand.New(rand.NewSource(l.cfg.Seed + 300 + int64(cores)))
+		s := sampling.NewSimpleRandom(len(d))
+		for _, w := range Fig3SampleSizes {
+			if w > len(d) {
+				break
+			}
+			out = append(out, Fig3Point{
+				Cores:      cores,
+				SampleSize: w,
+				Empirical:  sampling.EmpiricalConfidence(rng, d, s, w, l.cfg.Fig3Trials),
+				Model:      sampling.ModelConfidence(d, w),
+			})
+		}
+	}
+	return out
+}
+
+// Fig3Table renders Figure 3 as a table of confidence points.
+func (l *Lab) Fig3Table(coreCounts []int) *Table {
+	t := &Table{
+		Title:   "Figure 3: confidence that DRRIP > DIP (WSU) vs sample size — experiment vs model",
+		Columns: []string{"cores", "W", "empirical", "model", "|diff|"},
+		Notes: []string{
+			"paper: model curve matches the experimental points quite well, even for small samples",
+		},
+	}
+	for _, p := range l.Fig3(coreCounts) {
+		diff := p.Empirical - p.Model
+		if diff < 0 {
+			diff = -diff
+		}
+		t.AddRow(fmt.Sprint(p.Cores), fmt.Sprint(p.SampleSize), f3(p.Empirical), f3(p.Model), f3(diff))
+	}
+	return t
+}

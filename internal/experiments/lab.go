@@ -1,0 +1,474 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. A Lab owns the experimental state — benchmark traces, BADCO
+// models, workload populations and memoized IPC tables per (core count,
+// policy, simulator) — and each experiment (fig1.go … overhead.go) reads
+// from it and emits a printable Table.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/cache"
+	"mcbench/internal/metrics"
+	"mcbench/internal/multicore"
+	"mcbench/internal/profile"
+	"mcbench/internal/results"
+	"mcbench/internal/trace"
+	"mcbench/internal/workload"
+)
+
+// Config scales the experimental campaign. DefaultConfig matches the
+// paper's counts; QuickConfig shrinks everything for tests and smoke
+// runs.
+type Config struct {
+	TraceLen      int   // µops per benchmark trace
+	Pop8Size      int   // sampled population size for 8 cores (paper: 10000)
+	Pop4Limit     int   // 0 = full 12650-workload population, else subsample
+	DetailedCount int   // workloads simulated with the detailed model (paper: 250)
+	Fig3Trials    int   // samples per point in Fig. 3 (paper: 1000)
+	Fig6Trials    int   // samples per point in Fig. 6 (paper: 10000)
+	Fig7Trials    int   // samples per point in Fig. 7 (paper: 100)
+	Seed          int64 // master seed; all randomness derives from it
+
+	// CacheDir, when non-empty, persists IPC tables (the expensive
+	// population sweeps) across runs via the results package.
+	CacheDir string
+}
+
+// DefaultConfig reproduces the paper's experimental scale.
+func DefaultConfig() Config {
+	return Config{
+		TraceLen:      trace.DefaultTraceLen,
+		Pop8Size:      10000,
+		DetailedCount: 250,
+		Fig3Trials:    1000,
+		Fig6Trials:    10000,
+		Fig7Trials:    100,
+		Seed:          20130421, // ISPASS 2013 in Austin
+	}
+}
+
+// QuickConfig returns a reduced campaign for tests: smaller traces,
+// subsampled populations and fewer Monte-Carlo trials. The shapes of the
+// results are preserved; only their resolution drops.
+func QuickConfig() Config {
+	return Config{
+		TraceLen:      20000,
+		Pop8Size:      400,
+		Pop4Limit:     800,
+		DetailedCount: 40,
+		Fig3Trials:    300,
+		Fig6Trials:    400,
+		Fig7Trials:    60,
+		Seed:          20130421,
+	}
+}
+
+// Policies returns the case-study policy list (paper order).
+func Policies() []cache.PolicyName { return cache.PaperPolicies() }
+
+// PolicyPairs returns the 10 ordered policy pairs of Figures 4 and 5, as
+// (X, Y) with the figure's "X>Y" labelling meaning "is Y better than X".
+func PolicyPairs() [][2]cache.PolicyName {
+	pols := Policies()
+	var pairs [][2]cache.PolicyName
+	for i := 0; i < len(pols); i++ {
+		for j := i + 1; j < len(pols); j++ {
+			pairs = append(pairs, [2]cache.PolicyName{pols[i], pols[j]})
+		}
+	}
+	return pairs
+}
+
+// ipcKey indexes memoized IPC tables.
+type ipcKey struct {
+	cores  int
+	policy cache.PolicyName
+}
+
+// Lab lazily builds and caches all experimental state.
+type Lab struct {
+	cfg Config
+
+	mu     sync.Mutex
+	traces map[string]*trace.Trace
+	models map[string]*badco.Model
+	names  []string // benchmark order (suite order)
+
+	pops map[int]*workload.Population
+
+	badcoIPC  map[ipcKey][][]float64 // population IPC tables (BADCO)
+	detIPC    map[ipcKey][][]float64 // detailed IPC tables over DetSample
+	detSample map[int][]int          // population indices simulated in detail
+
+	refIPC map[int][]float64 // per core count: per-benchmark alone IPC (BADCO, LRU)
+	mpki   []float64         // per benchmark: alone LLC misses per kilo-op
+
+	profiles []*profile.Profile // per benchmark: microarch-independent profile
+}
+
+// NewLab creates a Lab with the given configuration.
+func NewLab(cfg Config) *Lab {
+	return &Lab{
+		cfg:       cfg,
+		pops:      make(map[int]*workload.Population),
+		badcoIPC:  make(map[ipcKey][][]float64),
+		detIPC:    make(map[ipcKey][][]float64),
+		detSample: make(map[int][]int),
+		refIPC:    make(map[int][]float64),
+	}
+}
+
+// Config returns the lab's configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// Names returns the benchmark names in index order.
+func (l *Lab) Names() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ensureTracesLocked()
+	return l.names
+}
+
+func (l *Lab) ensureTracesLocked() {
+	if l.traces != nil {
+		return
+	}
+	l.names = trace.SuiteNames()
+	l.traces = trace.GenerateSuite(l.cfg.TraceLen)
+}
+
+// Traces returns the benchmark traces, generating them on first use.
+func (l *Lab) Traces() map[string]*trace.Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ensureTracesLocked()
+	return l.traces
+}
+
+// Models returns the BADCO models, building them on first use (two
+// detailed calibration runs per benchmark, in parallel).
+func (l *Lab) Models() map[string]*badco.Model {
+	traces := l.Traces()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.models == nil {
+		models, err := multicore.BuildModels(traces, badco.DefaultBuildConfig())
+		if err != nil {
+			panic(err) // deterministic construction; cannot fail at runtime
+		}
+		l.models = models
+	}
+	return l.models
+}
+
+// Population returns the workload population for the given core count:
+// the full enumeration for 2 and 4 cores (optionally subsampled per
+// Pop4Limit) and a Pop8Size uniform sample for 8 cores.
+func (l *Lab) Population(cores int) *workload.Population {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p, ok := l.pops[cores]; ok {
+		return p
+	}
+	const b = 22
+	var p *workload.Population
+	switch {
+	case cores == 8:
+		rng := rand.New(rand.NewSource(l.cfg.Seed + 8))
+		p = workload.SampleUniform(rng, b, 8, l.cfg.Pop8Size)
+	case cores == 4 && l.cfg.Pop4Limit > 0 && l.cfg.Pop4Limit < 12650:
+		rng := rand.New(rand.NewSource(l.cfg.Seed + 4))
+		p = workload.SampleUniform(rng, b, 4, l.cfg.Pop4Limit)
+	default:
+		p = workload.Enumerate(b, cores)
+	}
+	l.pops[cores] = p
+	return p
+}
+
+// toMulticore converts a workload of benchmark indices into names.
+func (l *Lab) toMulticore(w workload.Workload) multicore.Workload {
+	names := l.Names()
+	out := make(multicore.Workload, len(w))
+	for i, b := range w {
+		out[i] = names[b]
+	}
+	return out
+}
+
+// BadcoIPC returns the per-workload per-core IPC table of the population
+// for (cores, policy), simulated with BADCO machines. Tables are
+// memoized (and persisted when CacheDir is set); the first call per key
+// runs the full population sweep.
+func (l *Lab) BadcoIPC(cores int, policy cache.PolicyName) [][]float64 {
+	key := ipcKey{cores, policy}
+	l.mu.Lock()
+	if t, ok := l.badcoIPC[key]; ok {
+		l.mu.Unlock()
+		return t
+	}
+	l.mu.Unlock()
+
+	pop := l.Population(cores)
+	if table, ok := l.loadCached("badco", cores, policy, pop.Size()); ok {
+		l.mu.Lock()
+		l.badcoIPC[key] = table
+		l.mu.Unlock()
+		return table
+	}
+
+	models := l.Models()
+	ws := make([]multicore.Workload, pop.Size())
+	for i, w := range pop.Workloads {
+		ws[i] = l.toMulticore(w)
+	}
+	results, err := multicore.SweepApproximate(ws, models, policy, 0)
+	if err != nil {
+		panic(err)
+	}
+	table := make([][]float64, len(results))
+	for i, r := range results {
+		table[i] = r.IPC
+	}
+	l.saveCached("badco", cores, policy, table)
+	l.mu.Lock()
+	l.badcoIPC[key] = table
+	l.mu.Unlock()
+	return table
+}
+
+// DetSample returns the population indices of the workloads simulated
+// with the detailed model for the given core count: the full population
+// for 2 cores (the paper simulates all 253 workloads with Zesto),
+// otherwise a DetailedCount random subset (paper: 250 for 4 and 8 cores).
+func (l *Lab) DetSample(cores int) []int {
+	pop := l.Population(cores)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.detSample[cores]; ok {
+		return s
+	}
+	n := pop.Size()
+	var idx []int
+	if cores <= 2 || n <= l.cfg.DetailedCount+3 {
+		idx = make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+	} else {
+		rng := rand.New(rand.NewSource(l.cfg.Seed + 100 + int64(cores)))
+		idx = rng.Perm(n)[:l.cfg.DetailedCount]
+	}
+	l.detSample[cores] = idx
+	return idx
+}
+
+// DetailedIPC returns the per-workload per-core IPC table over the
+// DetSample workloads for (cores, policy), simulated with the detailed
+// model. Row i corresponds to DetSample(cores)[i].
+func (l *Lab) DetailedIPC(cores int, policy cache.PolicyName) [][]float64 {
+	key := ipcKey{cores, policy}
+	l.mu.Lock()
+	if t, ok := l.detIPC[key]; ok {
+		l.mu.Unlock()
+		return t
+	}
+	l.mu.Unlock()
+
+	pop := l.Population(cores)
+	sample := l.DetSample(cores)
+	traces := l.Traces()
+	ws := make([]multicore.Workload, len(sample))
+	for i, wi := range sample {
+		ws[i] = l.toMulticore(pop.Workloads[wi])
+	}
+	results, err := multicore.SweepDetailed(ws, traces, policy, 0)
+	if err != nil {
+		panic(err)
+	}
+	table := make([][]float64, len(results))
+	for i, r := range results {
+		table[i] = r.IPC
+	}
+	l.saveCached("detailed", cores, policy, table)
+	l.mu.Lock()
+	l.detIPC[key] = table
+	l.mu.Unlock()
+	return table
+}
+
+// loadCached fetches a persisted IPC table if CacheDir is configured.
+func (l *Lab) loadCached(sim string, cores int, policy cache.PolicyName, population int) ([][]float64, bool) {
+	if l.cfg.CacheDir == "" {
+		return nil, false
+	}
+	store, err := results.Open(l.cfg.CacheDir)
+	if err != nil {
+		return nil, false
+	}
+	t, ok, err := store.Load(results.IPCTable{
+		Simulator: sim, Cores: cores, Policy: string(policy),
+		TraceLen: l.cfg.TraceLen, Population: population, Seed: l.cfg.Seed,
+	})
+	if err != nil || !ok {
+		return nil, false
+	}
+	return t.IPC, true
+}
+
+// saveCached persists an IPC table if CacheDir is configured; failures
+// are non-fatal (the table is still returned to the caller).
+func (l *Lab) saveCached(sim string, cores int, policy cache.PolicyName, table [][]float64) {
+	if l.cfg.CacheDir == "" {
+		return
+	}
+	store, err := results.Open(l.cfg.CacheDir)
+	if err != nil {
+		return
+	}
+	_ = store.Save(&results.IPCTable{
+		Simulator: sim, Cores: cores, Policy: string(policy),
+		TraceLen: l.cfg.TraceLen, Population: len(table), Seed: l.cfg.Seed,
+		IPC: table,
+	})
+}
+
+// RefIPC returns the per-benchmark single-thread reference IPC on the
+// cores-sized machine (benchmark alone, LRU uncore, BADCO), used by the
+// speedup metrics WSU and HSU.
+func (l *Lab) RefIPC(cores int) []float64 {
+	l.mu.Lock()
+	if r, ok := l.refIPC[cores]; ok {
+		l.mu.Unlock()
+		return r
+	}
+	l.mu.Unlock()
+
+	models := l.Models()
+	names := l.Names()
+	ws := make([]multicore.Workload, len(names))
+	for i, n := range names {
+		ws[i] = multicore.Workload{n}
+	}
+	// Alone on the same uncore configuration as the K-core machine: the
+	// uncore is built for `cores` but only core 0 is populated.
+	results := make([]float64, len(names))
+	for i, w := range ws {
+		r, err := aloneOn(cores, w, models)
+		if err != nil {
+			panic(err)
+		}
+		results[i] = r
+	}
+	l.mu.Lock()
+	l.refIPC[cores] = results
+	l.mu.Unlock()
+	return results
+}
+
+// aloneOn runs one benchmark alone against a cores-sized LRU uncore with
+// BADCO and returns its IPC.
+func aloneOn(cores int, w multicore.Workload, models map[string]*badco.Model) (float64, error) {
+	cfg := uncoreConfigFor(cores)
+	unc, err := newUncore(cfg)
+	if err != nil {
+		return 0, err
+	}
+	m := models[w[0]]
+	ma, err := badco.NewMachine(0, m, unc)
+	if err != nil {
+		return 0, err
+	}
+	end := ma.RunIterations(1)
+	if end == 0 {
+		return 0, fmt.Errorf("experiments: zero cycles for %s", w[0])
+	}
+	return float64(m.TraceLen) / float64(end), nil
+}
+
+// RefTable expands per-benchmark reference IPCs into a per-workload
+// per-core table aligned with the population.
+func (l *Lab) RefTable(cores int) [][]float64 {
+	pop := l.Population(cores)
+	ref := l.RefIPC(cores)
+	table := make([][]float64, pop.Size())
+	for i, w := range pop.Workloads {
+		row := make([]float64, len(w))
+		for k, b := range w {
+			row[k] = ref[b]
+		}
+		table[i] = row
+	}
+	return table
+}
+
+// refRows picks the reference rows for a subset of population indices.
+func refRows(ref [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = ref[j]
+	}
+	return out
+}
+
+// Diffs returns the per-workload differences d(w) between policies X and
+// Y under the metric, over the BADCO population table (the CLT-domain
+// values driving the confidence machinery).
+func (l *Lab) Diffs(cores int, m metrics.Metric, x, y cache.PolicyName) []float64 {
+	ref := l.RefTable(cores)
+	tX := m.Throughputs(l.BadcoIPC(cores, x), ref)
+	tY := m.Throughputs(l.BadcoIPC(cores, y), ref)
+	return m.Diffs(tX, tY)
+}
+
+// DetailedDiffs is Diffs over the detailed-simulator sample.
+func (l *Lab) DetailedDiffs(cores int, m metrics.Metric, x, y cache.PolicyName) []float64 {
+	ref := refRows(l.RefTable(cores), l.DetSample(cores))
+	tX := m.Throughputs(l.DetailedIPC(cores, x), ref)
+	tY := m.Throughputs(l.DetailedIPC(cores, y), ref)
+	return m.Diffs(tX, tY)
+}
+
+// BadcoDiffsAt is Diffs restricted to a subset of population indices
+// (e.g. the detailed sample, for Fig. 4's middle bars).
+func (l *Lab) BadcoDiffsAt(cores int, m metrics.Metric, x, y cache.PolicyName, idx []int) []float64 {
+	all := l.Diffs(cores, m, x, y)
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = all[j]
+	}
+	return out
+}
+
+// MPKI returns per-benchmark LLC misses per kilo-instruction, measured
+// with the detailed simulator running each benchmark alone on the 1-core
+// LRU configuration (the Table IV measurement).
+func (l *Lab) MPKI() []float64 {
+	l.mu.Lock()
+	if l.mpki != nil {
+		defer l.mu.Unlock()
+		return l.mpki
+	}
+	l.mu.Unlock()
+
+	traces := l.Traces()
+	names := l.Names()
+	out := make([]float64, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			out[i] = measureMPKI(traces[name])
+		}(i, name)
+	}
+	wg.Wait()
+	l.mu.Lock()
+	l.mpki = out
+	l.mu.Unlock()
+	return out
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mcbench/internal/cache"
+	"mcbench/internal/metrics"
+	"mcbench/internal/sampling"
+)
+
+// The paper closes with an open problem: "the problem of defining
+// workload samples that provide accurate speedups with high probability
+// is still open" (Section VIII). This extension measures it directly:
+// instead of asking whether a sample ranks two microarchitectures
+// correctly (a sign question), it asks how accurately the sample
+// estimates the throughput ratio T_Y / T_X (a magnitude question), for
+// each sampling method.
+
+// SpeedupAccuracyPoint is one (method, sample size) accuracy measurement.
+type SpeedupAccuracyPoint struct {
+	Method     string
+	SampleSize int
+	// MeanAbsErr is the mean |Ŝ - S| / S over the Monte-Carlo trials,
+	// where S is the population speedup and Ŝ the sample estimate.
+	MeanAbsErr float64
+	// P95AbsErr is the 95th percentile of the same error.
+	P95AbsErr float64
+}
+
+// SpeedupAccuracy measures, for a policy pair and metric, the relative
+// error of the sample speedup estimate under each sampling method.
+// Strata for the workload-stratification method are built from the d(w)
+// differences, as in Figure 6 — which is exactly what makes this an open
+// problem: strata optimised for the *sign* of D are not necessarily
+// optimal for the *magnitude* of the ratio.
+func (l *Lab) SpeedupAccuracy(cores int, m metrics.Metric, x, y cache.PolicyName, sizes []int, trials int) []SpeedupAccuracyPoint {
+	if len(sizes) == 0 {
+		sizes = []int{10, 30, 100}
+	}
+	if trials <= 0 {
+		trials = l.cfg.Fig6Trials
+	}
+	pop := l.Population(cores)
+	ref := l.RefTable(cores)
+	tX := m.Throughputs(l.BadcoIPC(cores, x), ref)
+	tY := m.Throughputs(l.BadcoIPC(cores, y), ref)
+	d := m.Diffs(tX, tY)
+
+	popSpeedup := m.Sample(tY) / m.Sample(tX)
+
+	samplers := []sampling.Sampler{sampling.NewSimpleRandom(len(d))}
+	if uint64(pop.Size()) == popSizeFor(cores) {
+		samplers = append(samplers, sampling.NewBalancedRandom(pop))
+	}
+	samplers = append(samplers,
+		sampling.NewBenchmarkStrata(pop, l.Classes(), sampling.NumClasses),
+		sampling.NewWorkloadStrata(d, sampling.DefaultWorkloadStrataConfig()),
+	)
+
+	var out []SpeedupAccuracyPoint
+	for si, s := range samplers {
+		rng := rand.New(rand.NewSource(l.cfg.Seed + 1000 + int64(si)))
+		for _, w := range sizes {
+			if w > len(d) {
+				break
+			}
+			errs := make([]float64, trials)
+			for tr := 0; tr < trials; tr++ {
+				idx, weights := s.Draw(rng, w)
+				sx := make([]float64, len(idx))
+				sy := make([]float64, len(idx))
+				for i, j := range idx {
+					sx[i] = tX[j]
+					sy[i] = tY[j]
+				}
+				est := m.WeightedSample(sy, weights) / m.WeightedSample(sx, weights)
+				errs[tr] = math.Abs(est-popSpeedup) / popSpeedup
+			}
+			out = append(out, SpeedupAccuracyPoint{
+				Method:     s.Name(),
+				SampleSize: w,
+				MeanAbsErr: mean(errs),
+				P95AbsErr:  percentile95(errs),
+			})
+		}
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func percentile95(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(float64(len(cp)-1) * 0.95)
+	return cp[idx]
+}
+
+// SpeedupAccuracyTable renders the extension for the near-tie pair (DRRIP
+// vs DIP) and a decisive pair (DRRIP vs LRU) under the WSU metric.
+func (l *Lab) SpeedupAccuracyTable(cores int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Extension (paper Sec. VIII open problem): speedup-estimate accuracy (WSU, %d cores)", cores),
+		Columns: []string{"pair (X,Y)", "method", "W", "mean |err| %", "p95 |err| %"},
+		Notes: []string{
+			"the paper's stratification targets the SIGN of the difference; this measures the MAGNITUDE",
+			"of the estimated speedup T_Y/T_X against the population value",
+		},
+	}
+	for _, pair := range [][2]cache.PolicyName{
+		{cache.DIP, cache.DRRIP},
+		{cache.LRU, cache.FIFO},
+	} {
+		pts := l.SpeedupAccuracy(cores, metrics.WSU, pair[0], pair[1], []int{10, 30, 100}, 0)
+		for _, p := range pts {
+			t.AddRow(fmt.Sprintf("%s,%s", pair[0], pair[1]), p.Method,
+				fmt.Sprint(p.SampleSize), f2(p.MeanAbsErr*100), f2(p.P95AbsErr*100))
+		}
+	}
+	return t
+}

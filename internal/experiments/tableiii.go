@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/cache"
+	"mcbench/internal/multicore"
+)
+
+// TableIIIRow reports simulation speed for one core count.
+type TableIIIRow struct {
+	Cores     int
+	DetMIPS   float64 // detailed-simulator speed, million instructions/s
+	BadcoMIPS float64
+	Speedup   float64
+}
+
+// TableIII reproduces Table III: the simulation speed of the detailed
+// model vs BADCO in MIPS, and the speedup, for 1/2/4/8 cores. Workloads
+// are drawn from the detailed sample of each core count (a fixed small
+// number, timed sequentially so the measurement is not confounded by the
+// sweep parallelism).
+func (l *Lab) TableIII(workloadsPerPoint int) []TableIIIRow {
+	if workloadsPerPoint <= 0 {
+		workloadsPerPoint = 3
+	}
+	traces := l.Traces()
+	models := l.Models()
+	var rows []TableIIIRow
+	for _, cores := range []int{1, 2, 4, 8} {
+		var ws []multicore.Workload
+		if cores == 1 {
+			// Single-benchmark "workloads": a spread of intensities.
+			for _, n := range []string{"mcf", "gcc", "povray", "libquantum", "hmmer", "soplex"} {
+				ws = append(ws, multicore.Workload{n})
+				if len(ws) == workloadsPerPoint {
+					break
+				}
+			}
+		} else {
+			pop := l.Population(cores)
+			for _, wi := range l.DetSample(cores) {
+				ws = append(ws, l.toMulticore(pop.Workloads[wi]))
+				if len(ws) == workloadsPerPoint {
+					break
+				}
+			}
+		}
+
+		quota := uint64(l.cfg.TraceLen)
+		instructions := float64(quota) * float64(cores) * float64(len(ws))
+
+		start := time.Now()
+		for _, w := range ws {
+			if _, err := multicore.Detailed(w, traces, cache.LRU, quota); err != nil {
+				panic(err)
+			}
+		}
+		detDur := time.Since(start)
+
+		start = time.Now()
+		for _, w := range ws {
+			if _, err := multicore.Approximate(w, models, cache.LRU, quota); err != nil {
+				panic(err)
+			}
+		}
+		badcoDur := time.Since(start)
+
+		det := instructions / detDur.Seconds() / 1e6
+		bad := instructions / badcoDur.Seconds() / 1e6
+		rows = append(rows, TableIIIRow{
+			Cores:     cores,
+			DetMIPS:   det,
+			BadcoMIPS: bad,
+			Speedup:   bad / det,
+		})
+	}
+	return rows
+}
+
+// TableIIITable renders Table III.
+func (l *Lab) TableIIITable(workloadsPerPoint int) *Table {
+	t := &Table{
+		Title:   "Table III: simulation speed (MIPS) and BADCO speedup",
+		Columns: []string{"cores", "MIPS detailed", "MIPS BADCO", "speedup"},
+		Notes: []string{
+			"paper: Zesto 0.170/0.096/0.049/0.017 MIPS; BADCO 2.52/2.41/1.89/1.19; speedup 14.8/25.2/38.9/68.1",
+			"absolute MIPS differ (different host and simulators); the shape to check is BADCO >> detailed",
+		},
+	}
+	for _, r := range l.TableIII(workloadsPerPoint) {
+		t.AddRow(fmt.Sprint(r.Cores), f3(r.DetMIPS), f3(r.BadcoMIPS), f2(r.Speedup))
+	}
+	return t
+}
+
+// ModelBuildCost measures the one-off cost of building a BADCO model for
+// one benchmark (two detailed calibration runs), used by the Section
+// VII-A overhead example.
+func (l *Lab) ModelBuildCost(name string) time.Duration {
+	traces := l.Traces()
+	start := time.Now()
+	if _, err := badco.Build(traces[name], badco.DefaultBuildConfig()); err != nil {
+		panic(err)
+	}
+	return time.Since(start)
+}

@@ -1,0 +1,76 @@
+package mem
+
+import "testing"
+
+func TestNewBusRejectsBadConfig(t *testing.T) {
+	bad := DefaultBusConfig()
+	bad.BusClockMHz = 0
+	if _, err := NewBus(bad); err == nil {
+		t.Error("NewBus accepted zero bus clock")
+	}
+	bad = DefaultBusConfig()
+	bad.WidthBytes = -1
+	if _, err := NewBus(bad); err == nil {
+		t.Error("NewBus accepted negative width")
+	}
+}
+
+func TestBusLineCyclesMatchesPaperConfig(t *testing.T) {
+	b := MustNewBus(DefaultBusConfig())
+	// 64B line / 8B width = 8 bus cycles; 3000/800 = 3.75 core cycles per
+	// bus cycle -> 30 core cycles per line.
+	if got := b.LineCycles(); got != 30 {
+		t.Errorf("line transfer %d core cycles, want 30", got)
+	}
+}
+
+func TestBusSerialisesTransfers(t *testing.T) {
+	b := MustNewBus(DefaultBusConfig())
+	s1, d1 := b.TransferLine(100)
+	if s1 != 100 || d1 != 130 {
+		t.Fatalf("first transfer [%d,%d], want [100,130]", s1, d1)
+	}
+	// Second request arriving during the first must queue.
+	s2, d2 := b.TransferLine(110)
+	if s2 != 130 || d2 != 160 {
+		t.Fatalf("second transfer [%d,%d], want [130,160]", s2, d2)
+	}
+	// A request arriving after the bus is idle starts immediately.
+	s3, _ := b.TransferLine(1000)
+	if s3 != 1000 {
+		t.Fatalf("idle-bus transfer started at %d, want 1000", s3)
+	}
+	if b.Transfers() != 3 {
+		t.Errorf("transfers %d", b.Transfers())
+	}
+	if b.BusyCycles() != 90 {
+		t.Errorf("busy cycles %d, want 90", b.BusyCycles())
+	}
+}
+
+func TestBusCommandShorterThanLine(t *testing.T) {
+	b := MustNewBus(DefaultBusConfig())
+	_, dCmd := b.TransferCommand(0)
+	b2 := MustNewBus(DefaultBusConfig())
+	_, dLine := b2.TransferLine(0)
+	if dCmd >= dLine {
+		t.Errorf("command transfer (%d) not shorter than line transfer (%d)", dCmd, dLine)
+	}
+}
+
+func TestDRAMFixedLatency(t *testing.T) {
+	d := NewDRAM(200)
+	if got := d.Access(50); got != 250 {
+		t.Errorf("Access(50) = %d, want 250", got)
+	}
+	// Fully pipelined: a burst of requests all take the same latency.
+	if got := d.Access(51); got != 251 {
+		t.Errorf("Access(51) = %d, want 251", got)
+	}
+	if d.Requests() != 2 {
+		t.Errorf("requests %d", d.Requests())
+	}
+	if d.Latency() != 200 {
+		t.Errorf("latency %d", d.Latency())
+	}
+}

@@ -1,0 +1,159 @@
+// Package metrics implements the multiprogram throughput metrics of the
+// paper (Section II-D): IPC throughput (IPCT), weighted speedup (WSU) and
+// harmonic mean of speedups (HSU), unified by formula (1)
+//
+//	t(w) = X-mean_k IPC_wk / IPCref[b_wk]
+//
+// with X-mean ∈ {arithmetic, harmonic}; the sample throughput (formula 2)
+// is the same X-mean across workloads; and the per-workload difference
+// d(w) used by the confidence model (formulas 4 and 7). The geometric
+// mean of speedups (GMSU, footnote 3) is included as an extension.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"mcbench/internal/stats"
+)
+
+// Metric selects a throughput metric.
+type Metric int
+
+// The three metrics of the paper plus the geometric-mean extension.
+const (
+	IPCT Metric = iota // arithmetic mean of raw IPCs
+	WSU                // arithmetic mean of speedups (weighted speedup)
+	HSU                // harmonic mean of speedups
+	GMSU               // geometric mean of speedups (footnote 3)
+)
+
+// All returns the paper's three metrics in presentation order.
+func All() []Metric { return []Metric{IPCT, WSU, HSU} }
+
+// String returns the metric's conventional abbreviation.
+func (m Metric) String() string {
+	switch m {
+	case IPCT:
+		return "IPCT"
+	case WSU:
+		return "WSU"
+	case HSU:
+		return "HSU"
+	case GMSU:
+		return "GMSU"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// PerWorkload computes t(w) (formula 1) from per-core IPCs and the
+// per-core reference IPCs (the IPC of each benchmark running alone on the
+// reference machine). For IPCT the reference is ignored (ref 1).
+func (m Metric) PerWorkload(ipc, ref []float64) float64 {
+	if len(ipc) == 0 || (m != IPCT && len(ref) != len(ipc)) {
+		panic("metrics: PerWorkload length mismatch")
+	}
+	sp := make([]float64, len(ipc))
+	for k := range ipc {
+		switch m {
+		case IPCT:
+			sp[k] = ipc[k]
+		default:
+			if ref[k] <= 0 {
+				panic("metrics: non-positive reference IPC")
+			}
+			sp[k] = ipc[k] / ref[k]
+		}
+	}
+	switch m {
+	case IPCT, WSU:
+		return stats.Mean(sp)
+	case HSU:
+		return stats.HarmonicMean(sp)
+	case GMSU:
+		return stats.GeometricMean(sp)
+	}
+	panic("metrics: unknown metric")
+}
+
+// Sample reduces per-workload throughputs to the sample throughput
+// (formula 2) with the metric's X-mean.
+func (m Metric) Sample(ts []float64) float64 {
+	switch m {
+	case IPCT, WSU:
+		return stats.Mean(ts)
+	case HSU:
+		return stats.HarmonicMean(ts)
+	case GMSU:
+		return stats.GeometricMean(ts)
+	}
+	panic("metrics: unknown metric")
+}
+
+// WeightedSample reduces per-workload throughputs with stratum weights
+// (formula 9): a weighted arithmetic or harmonic (or geometric) mean.
+func (m Metric) WeightedSample(ts, weights []float64) float64 {
+	switch m {
+	case IPCT, WSU:
+		return stats.WeightedMean(ts, weights)
+	case HSU:
+		return stats.WeightedHarmonicMean(ts, weights)
+	case GMSU:
+		// Weighted geometric mean via the log domain.
+		logs := make([]float64, len(ts))
+		for i, t := range ts {
+			logs[i] = math.Log(t)
+		}
+		return math.Exp(stats.WeightedMean(logs, weights))
+	}
+	panic("metrics: unknown metric")
+}
+
+// Diff computes the per-workload difference d(w) between
+// microarchitectures X and Y for this metric: tY - tX for metrics reduced
+// by an arithmetic mean (formula 4), the reciprocal difference
+// 1/tX - 1/tY for the HSU (formula 7) and log tY - log tX for the GMSU
+// (footnote 3). The Central Limit Theorem applies to the arithmetic mean
+// of these d(w), whatever the metric.
+func (m Metric) Diff(tX, tY float64) float64 {
+	switch m {
+	case IPCT, WSU:
+		return tY - tX
+	case HSU:
+		return 1/tX - 1/tY
+	case GMSU:
+		return math.Log(tY) - math.Log(tX)
+	}
+	panic("metrics: unknown metric")
+}
+
+// Diffs applies Diff element-wise over per-workload throughputs.
+func (m Metric) Diffs(tX, tY []float64) []float64 {
+	if len(tX) != len(tY) {
+		panic("metrics: Diffs length mismatch")
+	}
+	out := make([]float64, len(tX))
+	for i := range tX {
+		out[i] = m.Diff(tX[i], tY[i])
+	}
+	return out
+}
+
+// Throughputs computes t(w) for every workload given per-workload
+// per-core IPCs and per-workload per-core references.
+func (m Metric) Throughputs(ipc, ref [][]float64) []float64 {
+	if m != IPCT && len(ipc) != len(ref) {
+		panic("metrics: Throughputs length mismatch")
+	}
+	out := make([]float64, len(ipc))
+	for i := range ipc {
+		var r []float64
+		if m != IPCT {
+			r = ref[i]
+		} else {
+			r = ipc[i] // ignored
+		}
+		out[i] = m.PerWorkload(ipc[i], r)
+	}
+	return out
+}

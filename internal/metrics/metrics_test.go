@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestStrings(t *testing.T) {
+	cases := map[Metric]string{IPCT: "IPCT", WSU: "WSU", HSU: "HSU", GMSU: "GMSU"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%v.String() = %q", int(m), m.String())
+		}
+	}
+	if len(All()) != 3 {
+		t.Errorf("All() has %d metrics, want 3", len(All()))
+	}
+}
+
+func TestPerWorkloadIPCT(t *testing.T) {
+	// IPCT ignores references: plain arithmetic mean of IPCs.
+	got := IPCT.PerWorkload([]float64{1, 2, 3}, nil)
+	if !almostEqual(got, 2) {
+		t.Errorf("IPCT = %g, want 2", got)
+	}
+}
+
+func TestPerWorkloadWSU(t *testing.T) {
+	ipc := []float64{1, 1}
+	ref := []float64{2, 4}
+	// speedups 0.5, 0.25 -> A-mean 0.375
+	if got := WSU.PerWorkload(ipc, ref); !almostEqual(got, 0.375) {
+		t.Errorf("WSU = %g, want 0.375", got)
+	}
+}
+
+func TestPerWorkloadHSU(t *testing.T) {
+	ipc := []float64{1, 1}
+	ref := []float64{2, 4}
+	// speedups 0.5, 0.25 -> H-mean 2/(2+4) = 1/3
+	if got := HSU.PerWorkload(ipc, ref); !almostEqual(got, 1.0/3) {
+		t.Errorf("HSU = %g, want 1/3", got)
+	}
+}
+
+func TestPerWorkloadGMSU(t *testing.T) {
+	ipc := []float64{1, 1}
+	ref := []float64{2, 8}
+	// speedups 0.5, 0.125 -> G-mean 0.25
+	if got := GMSU.PerWorkload(ipc, ref); !almostEqual(got, 0.25) {
+		t.Errorf("GMSU = %g, want 0.25", got)
+	}
+}
+
+func TestHSUBelowWSU(t *testing.T) {
+	// Harmonic mean <= arithmetic mean, always.
+	ipc := []float64{1.2, 0.3, 2.1}
+	ref := []float64{2.0, 1.0, 2.5}
+	if HSU.PerWorkload(ipc, ref) > WSU.PerWorkload(ipc, ref) {
+		t.Error("HSU above WSU")
+	}
+}
+
+func TestSampleReduction(t *testing.T) {
+	ts := []float64{1, 2, 4}
+	if got := WSU.Sample(ts); !almostEqual(got, 7.0/3) {
+		t.Errorf("WSU sample = %g", got)
+	}
+	if got := HSU.Sample(ts); !almostEqual(got, 3/(1+0.5+0.25)) {
+		t.Errorf("HSU sample = %g", got)
+	}
+	if got := GMSU.Sample(ts); !almostEqual(got, 2) {
+		t.Errorf("GMSU sample = %g", got)
+	}
+}
+
+func TestWeightedSampleMatchesUnweighted(t *testing.T) {
+	ts := []float64{1, 2, 4}
+	eq := []float64{1, 1, 1}
+	for _, m := range []Metric{IPCT, WSU, HSU, GMSU} {
+		if got, want := m.WeightedSample(ts, eq), m.Sample(ts); !almostEqual(got, want) {
+			t.Errorf("%v weighted(eq) = %g, want %g", m, got, want)
+		}
+	}
+}
+
+func TestWeightedSampleStrata(t *testing.T) {
+	// Formula 9: two strata with weights 0.8/0.2.
+	ts := []float64{2, 10}
+	ws := []float64{0.8, 0.2}
+	if got := WSU.WeightedSample(ts, ws); !almostEqual(got, 0.8*2+0.2*10) {
+		t.Errorf("weighted WSU = %g", got)
+	}
+	if got := HSU.WeightedSample(ts, ws); !almostEqual(got, 1/(0.8/2+0.2/10)) {
+		t.Errorf("weighted HSU = %g", got)
+	}
+}
+
+func TestDiffDirections(t *testing.T) {
+	// Y better than X must give positive d(w) for every metric.
+	tX, tY := 1.0, 1.5
+	for _, m := range []Metric{IPCT, WSU, HSU, GMSU} {
+		if d := m.Diff(tX, tY); d <= 0 {
+			t.Errorf("%v.Diff with Y better = %g, want > 0", m, d)
+		}
+		if d := m.Diff(tY, tX); d >= 0 {
+			t.Errorf("%v.Diff with Y worse = %g, want < 0", m, d)
+		}
+		if d := m.Diff(tX, tX); d != 0 {
+			t.Errorf("%v.Diff equal = %g, want 0", m, d)
+		}
+	}
+}
+
+func TestDiffHSUIsReciprocal(t *testing.T) {
+	// Formula 7: d(w) = 1/tX - 1/tY.
+	if got := HSU.Diff(2, 4); !almostEqual(got, 0.25) {
+		t.Errorf("HSU.Diff(2,4) = %g, want 0.25", got)
+	}
+}
+
+func TestDiffs(t *testing.T) {
+	tX := []float64{1, 2}
+	tY := []float64{2, 1}
+	got := WSU.Diffs(tX, tY)
+	if !almostEqual(got[0], 1) || !almostEqual(got[1], -1) {
+		t.Errorf("Diffs = %v", got)
+	}
+}
+
+func TestThroughputs(t *testing.T) {
+	ipc := [][]float64{{1, 1}, {2, 2}}
+	ref := [][]float64{{2, 2}, {2, 2}}
+	got := WSU.Throughputs(ipc, ref)
+	if !almostEqual(got[0], 0.5) || !almostEqual(got[1], 1) {
+		t.Errorf("Throughputs = %v", got)
+	}
+	// IPCT path ignores ref entirely.
+	got = IPCT.Throughputs(ipc, nil)
+	if !almostEqual(got[0], 1) || !almostEqual(got[1], 2) {
+		t.Errorf("IPCT Throughputs = %v", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty ipc", func() { WSU.PerWorkload(nil, nil) })
+	mustPanic("ref mismatch", func() { WSU.PerWorkload([]float64{1}, []float64{1, 2}) })
+	mustPanic("zero ref", func() { WSU.PerWorkload([]float64{1}, []float64{0}) })
+	mustPanic("diffs mismatch", func() { WSU.Diffs([]float64{1}, nil) })
+}

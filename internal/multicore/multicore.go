@@ -1,0 +1,277 @@
+// Package multicore runs multiprogrammed workloads: K independent threads
+// (one benchmark each) on K cores sharing one uncore, using either the
+// detailed core model (package cpu) or BADCO machines (package badco).
+//
+// Scheduling follows the paper's setup: cores interleave on a
+// smallest-local-clock-first discipline (approximating the round-robin
+// uncore arbitration), each thread that finishes its instruction quota is
+// restarted until every thread has executed at least the quota, and IPC
+// is measured on each thread's first quota of instructions.
+package multicore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/cache"
+	"mcbench/internal/cpu"
+	"mcbench/internal/trace"
+	"mcbench/internal/uncore"
+)
+
+// Workload names the benchmarks co-scheduled on the K cores; duplicates
+// are allowed (the same benchmark may run on several cores).
+type Workload []string
+
+// String formats the workload compactly.
+func (w Workload) String() string {
+	s := ""
+	for i, b := range w {
+		if i > 0 {
+			s += "+"
+		}
+		s += b
+	}
+	return s
+}
+
+// Result is the outcome of simulating one workload under one policy.
+type Result struct {
+	Workload Workload
+	Policy   cache.PolicyName
+	// IPC per core, measured on the first quota instructions of each
+	// thread.
+	IPC []float64
+	// Cycles per core at which the quota was reached.
+	Cycles []uint64
+	// Instructions is the per-thread quota.
+	Instructions uint64
+}
+
+// CPI returns the per-core cycles per instruction.
+func (r Result) CPI(core int) float64 {
+	if r.IPC[core] == 0 {
+		return 0
+	}
+	return 1 / r.IPC[core]
+}
+
+// stepper abstracts the two core models for the interleaving driver.
+type stepper interface {
+	Step() uint64
+	Now() uint64
+	Committed() uint64
+}
+
+// runInterleaved steps the cores smallest-clock-first until every core
+// has committed at least quota instructions, then records each core's
+// quota completion time. quotaCycle[i] is captured the first time core i
+// crosses the quota.
+func runInterleaved(cores []stepper, quota uint64) []uint64 {
+	n := len(cores)
+	quotaCycle := make([]uint64, n)
+	reached := make([]bool, n)
+	remaining := n
+	for remaining > 0 {
+		// Pick the unfinished-or-not core with the smallest local clock.
+		// Finished threads keep running (restarted) until all reach the
+		// quota, as in the paper, so they stay in the pick set.
+		min := 0
+		for i := 1; i < n; i++ {
+			if cores[i].Now() < cores[min].Now() {
+				min = i
+			}
+		}
+		c := cores[min]
+		c.Step()
+		if !reached[min] && c.Committed() >= quota {
+			reached[min] = true
+			quotaCycle[min] = c.Now()
+			remaining--
+		}
+	}
+	return quotaCycle
+}
+
+// Detailed simulates the workload with the detailed core model under the
+// given LLC policy. quota is the per-thread instruction count (commonly
+// the trace length). Traces are looked up by benchmark name.
+func Detailed(w Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64) (Result, error) {
+	if len(w) == 0 {
+		return Result{}, fmt.Errorf("multicore: empty workload")
+	}
+	unc, err := uncore.New(uncore.ConfigFor(len(w), policy))
+	if err != nil {
+		return Result{}, err
+	}
+	cores := make([]stepper, len(w))
+	for i, name := range w {
+		tr, ok := traces[name]
+		if !ok {
+			return Result{}, fmt.Errorf("multicore: no trace for benchmark %q", name)
+		}
+		if quota == 0 {
+			quota = uint64(tr.Len())
+		}
+		core, err := cpu.New(i, cpu.DefaultConfig(), tr, unc)
+		if err != nil {
+			return Result{}, err
+		}
+		cores[i] = core
+	}
+	cycles := runInterleaved(cores, quota)
+	return assemble(w, policy, cycles, quota), nil
+}
+
+// badcoStepper adapts a BADCO machine to the quota-based driver: the
+// machine commits in node-sized chunks, and its committed count is exact
+// at iteration boundaries, which is where quotas land (quota = trace
+// length).
+type badcoStepper struct{ *badco.Machine }
+
+// Approximate runs the workload with BADCO machines sharing a real
+// uncore. models maps benchmark name to its behavioural model; quota must
+// be a multiple of the model trace length (0 means one trace length).
+func Approximate(w Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64) (Result, error) {
+	if len(w) == 0 {
+		return Result{}, fmt.Errorf("multicore: empty workload")
+	}
+	unc, err := uncore.New(uncore.ConfigFor(len(w), policy))
+	if err != nil {
+		return Result{}, err
+	}
+	cores := make([]stepper, len(w))
+	for i, name := range w {
+		m, ok := models[name]
+		if !ok {
+			return Result{}, fmt.Errorf("multicore: no model for benchmark %q", name)
+		}
+		if quota == 0 {
+			quota = uint64(m.TraceLen)
+		}
+		ma, err := badco.NewMachine(i, m, unc)
+		if err != nil {
+			return Result{}, err
+		}
+		cores[i] = badcoStepper{ma}
+	}
+	cycles := runInterleaved(cores, quota)
+	return assemble(w, policy, cycles, quota), nil
+}
+
+func assemble(w Workload, policy cache.PolicyName, cycles []uint64, quota uint64) Result {
+	r := Result{
+		Workload:     append(Workload(nil), w...),
+		Policy:       policy,
+		IPC:          make([]float64, len(w)),
+		Cycles:       cycles,
+		Instructions: quota,
+	}
+	for i, cyc := range cycles {
+		if cyc > 0 {
+			r.IPC[i] = float64(quota) / float64(cyc)
+		}
+	}
+	return r
+}
+
+// SweepResult couples a workload index with its simulation result.
+type SweepResult struct {
+	Index  int
+	Result Result
+}
+
+// SweepApproximate simulates many workloads with BADCO in parallel across
+// CPU cores (each workload simulation is independent and deterministic).
+// The returned slice is indexed like workloads.
+func SweepApproximate(workloads []Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64) ([]Result, error) {
+	results := make([]Result, len(workloads))
+	errs := make([]error, len(workloads))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := range workloads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Approximate(workloads[i], models, policy, quota)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// SweepDetailed simulates many workloads with the detailed model in
+// parallel across CPU cores.
+func SweepDetailed(workloads []Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64) ([]Result, error) {
+	results := make([]Result, len(workloads))
+	errs := make([]error, len(workloads))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := range workloads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Detailed(workloads[i], traces, policy, quota)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// BuildModels constructs BADCO models for every benchmark in the suite,
+// in parallel. It is the "one person-month of model building" step of the
+// paper, automated.
+func BuildModels(traces map[string]*trace.Trace, cfg badco.BuildConfig) (map[string]*badco.Model, error) {
+	type item struct {
+		name  string
+		model *badco.Model
+		err   error
+	}
+	names := make([]string, 0, len(traces))
+	for name := range traces {
+		names = append(names, name)
+	}
+	out := make(chan item, len(names))
+	sem := make(chan struct{}, maxParallel())
+	for _, name := range names {
+		go func(name string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, err := badco.Build(traces[name], cfg)
+			out <- item{name: name, model: m, err: err}
+		}(name)
+	}
+	models := make(map[string]*badco.Model, len(names))
+	for range names {
+		it := <-out
+		if it.err != nil {
+			return nil, fmt.Errorf("multicore: building model %s: %w", it.name, it.err)
+		}
+		models[it.name] = it.model
+	}
+	return models, nil
+}

@@ -1,0 +1,257 @@
+package multicore
+
+import (
+	"math"
+	"testing"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/cache"
+	"mcbench/internal/trace"
+)
+
+const testLen = 20000
+
+var (
+	testTraces map[string]*trace.Trace
+	testModels map[string]*badco.Model
+)
+
+func traces(t *testing.T) map[string]*trace.Trace {
+	t.Helper()
+	if testTraces == nil {
+		testTraces = trace.GenerateSuite(testLen)
+	}
+	return testTraces
+}
+
+func models(t *testing.T) map[string]*badco.Model {
+	t.Helper()
+	if testModels == nil {
+		trs := traces(t)
+		sub := map[string]*trace.Trace{}
+		for _, n := range []string{"mcf", "povray", "gcc", "libquantum", "hmmer", "soplex", "astar", "bzip2"} {
+			sub[n] = trs[n]
+		}
+		m, err := BuildModels(sub, badco.DefaultBuildConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		testModels = m
+	}
+	return testModels
+}
+
+func TestDetailedSingleVsPair(t *testing.T) {
+	trs := traces(t)
+	solo, err := Detailed(Workload{"mcf"}, trs, cache.LRU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := Detailed(Workload{"mcf", "soplex"}, trs, cache.LRU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo.IPC) != 1 || len(pair.IPC) != 2 {
+		t.Fatalf("IPC lengths %d/%d", len(solo.IPC), len(pair.IPC))
+	}
+	// Two memory-hungry co-runners must hurt each other: mcf's IPC with a
+	// co-runner cannot exceed its solo IPC.
+	if pair.IPC[0] > solo.IPC[0]*1.02 {
+		t.Errorf("mcf IPC with co-runner %.4f above solo %.4f", pair.IPC[0], solo.IPC[0])
+	}
+}
+
+func TestDetailedErrors(t *testing.T) {
+	trs := traces(t)
+	if _, err := Detailed(Workload{}, trs, cache.LRU, 0); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Detailed(Workload{"nosuch"}, trs, cache.LRU, 0); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Detailed(Workload{"mcf"}, trs, "NOPOL", 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestDetailedDeterminism(t *testing.T) {
+	trs := traces(t)
+	a, err := Detailed(Workload{"gcc", "mcf"}, trs, cache.DIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Detailed(Workload{"gcc", "mcf"}, trs, cache.DIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.IPC {
+		if a.IPC[i] != b.IPC[i] {
+			t.Fatalf("nondeterministic IPC on core %d: %g vs %g", i, a.IPC[i], b.IPC[i])
+		}
+	}
+}
+
+func TestDuplicateBenchmarksGetDistinctPages(t *testing.T) {
+	trs := traces(t)
+	r, err := Detailed(Workload{"bzip2", "bzip2"}, trs, cache.LRU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical threads on symmetric cores should have similar IPC.
+	if r.IPC[0] <= 0 || r.IPC[1] <= 0 {
+		t.Fatal("zero IPC")
+	}
+	ratio := r.IPC[0] / r.IPC[1]
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("replicated benchmark IPCs diverge: %.3f vs %.3f", r.IPC[0], r.IPC[1])
+	}
+}
+
+func TestApproximateMatchesDetailedRanking(t *testing.T) {
+	trs := traces(t)
+	mods := models(t)
+	w := Workload{"mcf", "povray"}
+	det, err := Detailed(w, trs, cache.LRU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Approximate(w, mods, cache.LRU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// povray (compute-bound) must be the faster thread in both simulators.
+	if (det.IPC[1] > det.IPC[0]) != (app.IPC[1] > app.IPC[0]) {
+		t.Errorf("simulators disagree on thread ranking: det %v, approx %v", det.IPC, app.IPC)
+	}
+	// And per-thread CPI should be in the same ballpark.
+	for i := range w {
+		relErr := math.Abs(app.IPC[i]-det.IPC[i]) / det.IPC[i]
+		if relErr > 0.4 {
+			t.Errorf("core %d (%s): approx IPC %.3f vs detailed %.3f (%.0f%% off)",
+				i, w[i], app.IPC[i], det.IPC[i], relErr*100)
+		}
+	}
+}
+
+func TestApproximateErrors(t *testing.T) {
+	mods := models(t)
+	if _, err := Approximate(Workload{}, mods, cache.LRU, 0); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Approximate(Workload{"nosuch"}, mods, cache.LRU, 0); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSweepApproximate(t *testing.T) {
+	mods := models(t)
+	ws := []Workload{
+		{"mcf", "povray"},
+		{"gcc", "gcc"},
+		{"libquantum", "hmmer"},
+		{"soplex", "astar"},
+	}
+	rs, err := SweepApproximate(ws, mods, cache.DRRIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(ws) {
+		t.Fatalf("%d results for %d workloads", len(rs), len(ws))
+	}
+	for i, r := range rs {
+		if r.Workload.String() != ws[i].String() {
+			t.Errorf("result %d is for %v, want %v", i, r.Workload, ws[i])
+		}
+		for c, ipc := range r.IPC {
+			if ipc <= 0 || ipc > 4 {
+				t.Errorf("workload %d core %d IPC %g implausible", i, c, ipc)
+			}
+		}
+	}
+	// Sweep must be deterministic despite parallelism.
+	rs2, err := SweepApproximate(ws, mods, cache.DRRIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		for c := range rs[i].IPC {
+			if rs[i].IPC[c] != rs2[i].IPC[c] {
+				t.Fatalf("sweep nondeterministic at workload %d core %d", i, c)
+			}
+		}
+	}
+}
+
+func TestSweepDetailed(t *testing.T) {
+	trs := traces(t)
+	ws := []Workload{{"hmmer", "povray"}, {"mcf", "mcf"}}
+	rs, err := SweepDetailed(ws, trs, cache.FIFO, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("%d results", len(rs))
+	}
+	// hmmer+povray (cache friendly) should beat mcf+mcf throughput-wise.
+	sum0 := rs[0].IPC[0] + rs[0].IPC[1]
+	sum1 := rs[1].IPC[0] + rs[1].IPC[1]
+	if sum0 <= sum1 {
+		t.Errorf("friendly pair IPC %.3f not above thrashing pair %.3f", sum0, sum1)
+	}
+}
+
+func TestPolicyAffectsThroughput(t *testing.T) {
+	// LRU vs RND on a cache-friendly pair: policies must make a
+	// measurable difference somewhere in the matrix (not all equal).
+	mods := models(t)
+	w := Workload{"soplex", "bzip2"}
+	var ipcs []float64
+	for _, pol := range cache.PaperPolicies() {
+		r, err := Approximate(w, mods, pol, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipcs = append(ipcs, r.IPC[0]+r.IPC[1])
+	}
+	allEqual := true
+	for _, v := range ipcs[1:] {
+		if math.Abs(v-ipcs[0]) > 1e-9 {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Errorf("all five policies produced identical throughput %v", ipcs)
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	w := Workload{"a", "b", "b"}
+	if got := w.String(); got != "a+b+b" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestResultCPI(t *testing.T) {
+	r := Result{IPC: []float64{2, 0}}
+	if got := r.CPI(0); got != 0.5 {
+		t.Errorf("CPI = %g", got)
+	}
+	if got := r.CPI(1); got != 0 {
+		t.Errorf("CPI of zero IPC = %g", got)
+	}
+}
+
+func TestQuotaHonored(t *testing.T) {
+	trs := traces(t)
+	r, err := Detailed(Workload{"hmmer"}, trs, cache.LRU, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions != 5000 {
+		t.Errorf("quota %d, want 5000", r.Instructions)
+	}
+	full, _ := Detailed(Workload{"hmmer"}, trs, cache.LRU, 0)
+	if r.Cycles[0] >= full.Cycles[0] {
+		t.Errorf("5000-op quota took %d cycles, full trace %d", r.Cycles[0], full.Cycles[0])
+	}
+}

@@ -1,0 +1,22 @@
+package multicore
+
+import (
+	"testing"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/cache"
+	"mcbench/internal/trace"
+)
+
+func BenchmarkProfileApprox(b *testing.B) {
+	trs := trace.GenerateSuite(testLen)
+	m, err := BuildModels(map[string]*trace.Trace{"mcf": trs["mcf"], "soplex": trs["soplex"], "gcc": trs["gcc"], "libquantum": trs["libquantum"]}, badco.DefaultBuildConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := Workload{"mcf", "soplex", "gcc", "libquantum"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Approximate(w, m, cache.LRU, 0)
+	}
+}

@@ -1,0 +1,144 @@
+// Package results persists the expensive intermediate products of the
+// experimental campaign — per-workload per-core IPC tables — as JSON, so
+// population sweeps survive across process runs. A Store is keyed by
+// (simulator, core count, policy, trace length, population size); any
+// parameter change invalidates the entry by construction of the key.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// IPCTable is one sweep result: row per workload, column per core.
+type IPCTable struct {
+	Simulator  string      `json:"simulator"` // "detailed" or "badco"
+	Cores      int         `json:"cores"`
+	Policy     string      `json:"policy"`
+	TraceLen   int         `json:"trace_len"`
+	Population int         `json:"population"`
+	Seed       int64       `json:"seed"`
+	IPC        [][]float64 `json:"ipc"`
+}
+
+// Key returns the table's filename-safe identity.
+func (t *IPCTable) Key() string {
+	return fmt.Sprintf("%s-c%d-%s-l%d-p%d-s%d",
+		t.Simulator, t.Cores, t.Policy, t.TraceLen, t.Population, t.Seed)
+}
+
+// Validate reports structural problems.
+func (t *IPCTable) Validate() error {
+	if t.Simulator == "" || t.Policy == "" {
+		return fmt.Errorf("results: empty simulator or policy")
+	}
+	if t.Cores <= 0 || t.TraceLen <= 0 {
+		return fmt.Errorf("results: non-positive cores or trace length")
+	}
+	if len(t.IPC) != t.Population {
+		return fmt.Errorf("results: %d rows for population %d", len(t.IPC), t.Population)
+	}
+	for i, row := range t.IPC {
+		if len(row) != t.Cores {
+			return fmt.Errorf("results: row %d has %d cores, want %d", i, len(row), t.Cores)
+		}
+		for k, v := range row {
+			if v <= 0 {
+				return fmt.Errorf("results: non-positive IPC at [%d][%d]", i, k)
+			}
+		}
+	}
+	return nil
+}
+
+// Store is a directory of JSON result files.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("results: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// path returns the file path of a key.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Save writes the table, replacing any previous version atomically.
+func (s *Store) Save(t *IPCTable) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	tmp := s.path(t.Key()) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(t.Key())); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("results: %w", err)
+	}
+	return nil
+}
+
+// Load reads the table with the given identity; ok is false when absent.
+func (s *Store) Load(proto IPCTable) (*IPCTable, bool, error) {
+	data, err := os.ReadFile(s.path(proto.Key()))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("results: %w", err)
+	}
+	var t IPCTable
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, false, fmt.Errorf("results: corrupt %s: %w", proto.Key(), err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, false, err
+	}
+	if t.Key() != proto.Key() {
+		return nil, false, fmt.Errorf("results: %s holds mismatching table %s", proto.Key(), t.Key())
+	}
+	return &t, true, nil
+}
+
+// Keys lists the stored table keys, sorted.
+func (s *Store) Keys() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) == ".json" {
+			keys = append(keys, name[:len(name)-len(".json")])
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete removes a stored table (no error if absent).
+func (s *Store) Delete(key string) error {
+	err := os.Remove(s.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,146 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func table() *IPCTable {
+	return &IPCTable{
+		Simulator:  "badco",
+		Cores:      2,
+		Policy:     "LRU",
+		TraceLen:   1000,
+		Population: 3,
+		Seed:       7,
+		IPC:        [][]float64{{1, 2}, {0.5, 1.5}, {2, 2}},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := table()
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Load(IPCTable{
+		Simulator: "badco", Cores: 2, Policy: "LRU", TraceLen: 1000, Population: 3, Seed: 7,
+	})
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	for i := range want.IPC {
+		for k := range want.IPC[i] {
+			if got.IPC[i][k] != want.IPC[i][k] {
+				t.Fatalf("IPC[%d][%d] = %g, want %g", i, k, got.IPC[i][k], want.IPC[i][k])
+			}
+		}
+	}
+}
+
+func TestLoadAbsent(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	_, ok, err := s.Load(IPCTable{Simulator: "x", Cores: 1, Policy: "LRU", TraceLen: 1, Population: 0})
+	if err != nil || ok {
+		t.Fatalf("absent load: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestKeyDistinguishesParameters(t *testing.T) {
+	a := table()
+	b := table()
+	b.Policy = "DIP"
+	if a.Key() == b.Key() {
+		t.Error("different policies share a key")
+	}
+	c := table()
+	c.TraceLen = 2000
+	if a.Key() == c.Key() {
+		t.Error("different trace lengths share a key")
+	}
+}
+
+func TestValidateRejectsBadTables(t *testing.T) {
+	cases := []func(*IPCTable){
+		func(t *IPCTable) { t.Simulator = "" },
+		func(t *IPCTable) { t.Cores = 0 },
+		func(t *IPCTable) { t.Population = 5 },             // row mismatch
+		func(t *IPCTable) { t.IPC[1] = []float64{1} },      // core mismatch
+		func(t *IPCTable) { t.IPC[0] = []float64{0, 1} },   // non-positive IPC
+		func(t *IPCTable) { t.IPC[2] = []float64{-1, -1} }, // negative
+	}
+	for i, mutate := range cases {
+		tab := table()
+		mutate(tab)
+		if err := tab.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad table", i)
+		}
+	}
+	if err := table().Validate(); err != nil {
+		t.Errorf("Validate rejected good table: %v", err)
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	bad := table()
+	bad.Cores = 0
+	if err := s.Save(bad); err == nil {
+		t.Error("Save accepted invalid table")
+	}
+}
+
+func TestCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	want := table()
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file on disk.
+	path := filepath.Join(dir, want.Key()+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(*want); err == nil {
+		t.Error("Load accepted corrupt file")
+	}
+}
+
+func TestKeysAndDelete(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	a := table()
+	b := table()
+	b.Policy = "DIP"
+	if err := s.Save(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(b); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("keys %v err %v", keys, err)
+	}
+	if err := s.Delete(a.Key()); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ = s.Keys()
+	if len(keys) != 1 || keys[0] != b.Key() {
+		t.Fatalf("keys after delete %v", keys)
+	}
+	// Deleting again is a no-op.
+	if err := s.Delete(a.Key()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("Open accepted empty dir")
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKSNormalOnNormalData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = 3 + 2*rng.NormFloat64()
+	}
+	if d := KSNormal(xs); d > 0.03 {
+		t.Errorf("KS = %.4f on genuinely normal data; want small", d)
+	}
+}
+
+func TestKSNormalOnSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() // strongly right-skewed
+	}
+	if d := KSNormal(xs); d < 0.05 {
+		t.Errorf("KS = %.4f on exponential data; want clearly nonzero", d)
+	}
+}
+
+// The CLT in action: means of W-sized samples of a skewed distribution
+// become more normal as W grows — the premise of the paper's equation (5).
+func TestKSCLTConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := make([]float64, 4000)
+	for i := range base {
+		base[i] = rng.ExpFloat64()
+	}
+	ksAt := func(w int) float64 {
+		means := make([]float64, 1500)
+		for i := range means {
+			sum := 0.0
+			for j := 0; j < w; j++ {
+				sum += base[rng.Intn(len(base))]
+			}
+			means[i] = sum / float64(w)
+		}
+		return KSNormal(means)
+	}
+	k1, k8, k64 := ksAt(1), ksAt(8), ksAt(64)
+	if !(k64 < k8 && k8 < k1) {
+		t.Errorf("KS not decreasing with sample size: W=1:%.3f W=8:%.3f W=64:%.3f", k1, k8, k64)
+	}
+}
+
+func TestKSNormalDegenerate(t *testing.T) {
+	if d := KSNormal([]float64{5, 5, 5}); d != 1 {
+		t.Errorf("point mass KS = %g, want 1", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty input did not panic")
+		}
+	}()
+	KSNormal(nil)
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, 500, 0.95, rng.Intn)
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%g, %g]", lo, hi)
+	}
+	m := Mean(xs)
+	if m < lo || m > hi {
+		t.Errorf("sample mean %g outside its own bootstrap interval [%g, %g]", m, lo, hi)
+	}
+	// The interval must be roughly ±2·sigma/sqrt(n) wide.
+	if width := hi - lo; width > 0.5 || width < 0.05 {
+		t.Errorf("interval width %g implausible for n=400, sigma=1", width)
+	}
+}
+
+func TestBootstrapCIBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { BootstrapCI(nil, 10, 0.9, func(int) int { return 0 }) },
+		func() { BootstrapCI([]float64{1}, 0, 0.9, func(int) int { return 0 }) },
+		func() { BootstrapCI([]float64{1}, 10, 1.5, func(int) int { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad parameters did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,403 @@
+// Package uncore models the shared part of the simulated CMP: the
+// last-level cache with its replacement policy, MSHRs, write buffer and
+// prefetchers, the front-side bus and the DRAM (Table II of the paper).
+//
+// Both the detailed core model (package cpu) and the approximate BADCO
+// machines (package badco) drive the exact same uncore, as in the paper.
+package uncore
+
+import (
+	"fmt"
+
+	"mcbench/internal/cache"
+	"mcbench/internal/mem"
+)
+
+// Memory is the interface cores use to talk to the memory hierarchy below
+// their private L1 caches. All times are core cycles.
+type Memory interface {
+	// Access services a request from core for the line containing vaddr,
+	// issued at time now. pc is the requesting instruction address (used
+	// by prefetchers), write marks stores/RFOs and prefetch marks
+	// speculative requests. It returns the completion time.
+	Access(core int, pc, vaddr uint64, write, prefetch bool, now uint64) uint64
+}
+
+// PageSize is the virtual memory page size (4 kB, Table I).
+const PageSize = 4096
+
+// Config describes one uncore instance.
+type Config struct {
+	Cores          int
+	LLCBytes       int
+	LLCWays        int
+	LLCLatency     uint64 // hit latency in core cycles
+	MSHRs          int    // outstanding misses (16 in the paper)
+	WriteBufEnts   int    // LLC write buffer entries (8 in the paper)
+	DRAMLatency    uint64 // core cycles (200 in the paper)
+	Bus            mem.BusConfig
+	Policy         cache.PolicyName
+	PolicySeed     int64
+	PrefetchDegree int // degree of the LLC stride/stream prefetchers
+}
+
+// ConfigFor returns the Table II uncore for the given core count (1 core
+// shares the 2-core sizing) and replacement policy.
+//
+// LLC capacities are scaled to 1/4 of the paper's (256 kB / 512 kB / 1 MB
+// for 2 / 4 / 8 cores) to match the 10⁻³ trace-length scaling: a 100 k-µop
+// trace touches ~10⁻¹ of the data footprint a 100 M-instruction run
+// would, so a proportionally smaller LLC preserves the paper's capacity
+// pressure — which is what differentiates replacement policies.
+// Latencies, associativity, MSHRs and the write buffer keep the paper's
+// values.
+func ConfigFor(cores int, policy cache.PolicyName) Config {
+	cfg := Config{
+		Cores:          cores,
+		LLCWays:        16,
+		MSHRs:          16,
+		WriteBufEnts:   8,
+		DRAMLatency:    200,
+		Bus:            mem.DefaultBusConfig(),
+		Policy:         policy,
+		PolicySeed:     12345,
+		PrefetchDegree: 2,
+	}
+	switch {
+	case cores <= 2:
+		cfg.LLCBytes = 256 << 10
+		cfg.LLCLatency = 5
+	case cores <= 4:
+		cfg.LLCBytes = 512 << 10
+		cfg.LLCLatency = 6
+	default:
+		cfg.LLCBytes = 1 << 20
+		cfg.LLCLatency = 7
+	}
+	return cfg
+}
+
+// Stats aggregates uncore activity.
+type Stats struct {
+	Requests       uint64 // demand requests received
+	DemandMisses   uint64 // demand requests that missed the LLC
+	PrefetchIssued uint64 // prefetch requests sent to memory
+	Writebacks     uint64 // dirty lines written back
+	LLC            cache.Stats
+	BusBusyCycles  uint64
+	DRAMRequests   uint64
+}
+
+// Uncore is the shared LLC + bus + DRAM assembly.
+type Uncore struct {
+	cfg   Config
+	llc   *cache.Cache
+	bus   *mem.Bus
+	dram  *mem.DRAM
+	pref  cache.Prefetcher
+	stats Stats
+
+	// mshrs is the MSHR file: a fixed array of in-flight fills. A slot
+	// whose completion time is at or before "now" is free. The fixed
+	// array keeps the hot path free of map traffic.
+	mshrs []mshrEntry
+
+	// writeBuf holds the drain-completion times of in-flight writebacks.
+	writeBuf []uint64
+
+	// pageTables give each core its own virtual address space; pages are
+	// allocated from a global bump allocator on first touch, so identical
+	// benchmarks on different cores use distinct physical lines.
+	pageTables []map[uint64]uint64
+	nextPage   uint64
+
+	// lastVPage/lastPPage cache each core's most recent translation
+	// (page-level locality makes this hit most of the time).
+	lastVPage []uint64
+	lastPPage []uint64
+}
+
+// mshrEntry is one in-flight fill.
+type mshrEntry struct {
+	line uint64
+	done uint64
+}
+
+// New builds an uncore from cfg.
+func New(cfg Config) (*Uncore, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("uncore: %d cores", cfg.Cores)
+	}
+	if cfg.MSHRs <= 0 || cfg.WriteBufEnts <= 0 {
+		return nil, fmt.Errorf("uncore: MSHRs/write buffer must be positive")
+	}
+	pol, err := cache.NewPolicy(cfg.Policy, cfg.PolicySeed)
+	if err != nil {
+		return nil, err
+	}
+	llc, err := cache.New("LLC", cfg.LLCBytes, cfg.LLCWays, pol)
+	if err != nil {
+		return nil, err
+	}
+	bus, err := mem.NewBus(cfg.Bus)
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]map[uint64]uint64, cfg.Cores)
+	for i := range tables {
+		tables[i] = make(map[uint64]uint64)
+	}
+	return &Uncore{
+		cfg:        cfg,
+		llc:        llc,
+		bus:        bus,
+		dram:       mem.NewDRAM(cfg.DRAMLatency),
+		pref:       cache.Combine(cache.NewIPStride(cfg.PrefetchDegree), cache.NewStream(cfg.PrefetchDegree)),
+		mshrs:      make([]mshrEntry, cfg.MSHRs),
+		writeBuf:   make([]uint64, 0, cfg.WriteBufEnts),
+		pageTables: tables,
+		nextPage:   1, // keep physical page 0 unused
+		lastVPage:  make([]uint64, cfg.Cores),
+		lastPPage:  make([]uint64, cfg.Cores),
+	}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Uncore {
+	u, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Config returns the configuration the uncore was built with.
+func (u *Uncore) Config() Config { return u.cfg }
+
+// ResetStats zeroes the event counters without touching cache or MSHR
+// state, so steady-state rates can be measured after a warm-up period.
+func (u *Uncore) ResetStats() {
+	u.stats = Stats{}
+	u.llc.ResetStats()
+}
+
+// Stats returns a snapshot of the uncore counters.
+func (u *Uncore) Stats() Stats {
+	s := u.stats
+	s.LLC = u.llc.Stats()
+	s.BusBusyCycles = u.bus.BusyCycles()
+	s.DRAMRequests = u.dram.Requests()
+	return s
+}
+
+// Translate maps a core-local virtual address to a physical address,
+// allocating a fresh physical page on first touch.
+func (u *Uncore) Translate(core int, vaddr uint64) uint64 {
+	vpage := vaddr / PageSize
+	// +1 in the cache tags distinguishes "page 0" from "empty".
+	if u.lastVPage[core] == vpage+1 {
+		return u.lastPPage[core]*PageSize + vaddr%PageSize
+	}
+	pt := u.pageTables[core]
+	ppage, ok := pt[vpage]
+	if !ok {
+		ppage = u.nextPage
+		u.nextPage++
+		pt[vpage] = ppage
+	}
+	u.lastVPage[core] = vpage + 1
+	u.lastPPage[core] = ppage
+	return ppage*PageSize + vaddr%PageSize
+}
+
+// mshrLookup returns the completion time of an in-flight fill of line, if
+// any.
+func (u *Uncore) mshrLookup(line, now uint64) (uint64, bool) {
+	for i := range u.mshrs {
+		e := &u.mshrs[i]
+		if e.line == line && e.done > now {
+			return e.done, true
+		}
+	}
+	return 0, false
+}
+
+// mshrInFlight counts occupied MSHRs and returns the earliest completion
+// among them.
+func (u *Uncore) mshrInFlight(now uint64) (count int, earliest uint64) {
+	first := true
+	for i := range u.mshrs {
+		if done := u.mshrs[i].done; done > now {
+			count++
+			if first || done < earliest {
+				earliest = done
+				first = false
+			}
+		}
+	}
+	return count, earliest
+}
+
+// mshrInsert books a slot for a fill completing at done. A free (expired)
+// slot must exist; callers ensure capacity beforehand.
+func (u *Uncore) mshrInsert(line, done, now uint64) {
+	for i := range u.mshrs {
+		if u.mshrs[i].done <= now {
+			u.mshrs[i] = mshrEntry{line: line, done: done}
+			return
+		}
+	}
+	// No free slot: replace the earliest-completing entry (only reachable
+	// through pathological caller misuse; keeps the model robust).
+	min := 0
+	for i := 1; i < len(u.mshrs); i++ {
+		if u.mshrs[i].done < u.mshrs[min].done {
+			min = i
+		}
+	}
+	u.mshrs[min] = mshrEntry{line: line, done: done}
+}
+
+// Access implements Memory.
+func (u *Uncore) Access(core int, pc, vaddr uint64, write, prefetch bool, now uint64) uint64 {
+	if core < 0 || core >= u.cfg.Cores {
+		panic(fmt.Sprintf("uncore: core %d out of range", core))
+	}
+	paddr := u.Translate(core, vaddr)
+	line := cache.AlignLine(paddr)
+
+	var done uint64
+	if prefetch {
+		done = u.prefetchAccess(line, now)
+	} else {
+		u.stats.Requests++
+		done = u.demandAccess(line, write, now)
+		// Train the LLC prefetchers on the demand stream. Proposals are
+		// issued as speculative fills through the same path. The PC is
+		// salted with the core id so per-core streams do not alias.
+		for _, a := range clonePrefetches(u.pref.Observe(pc^uint64(core)<<56, paddr, done > now+u.cfg.LLCLatency)) {
+			u.prefetchAccess(cache.AlignLine(a), now)
+		}
+	}
+	return done
+}
+
+// clonePrefetches copies the prefetcher's reused buffer so that issuing
+// prefetches (which may observe again) cannot alias it.
+func clonePrefetches(in []uint64) []uint64 {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(in))
+	copy(out, in)
+	return out
+}
+
+// demandAccess performs a demand lookup and, on a miss, schedules the
+// memory fill. It returns the request completion time.
+func (u *Uncore) demandAccess(line uint64, write bool, now uint64) uint64 {
+	hitTime := now + u.cfg.LLCLatency
+	if u.llc.Access(line, write) {
+		// The line's state is installed at schedule time, so a "hit" may
+		// be on a still-in-flight fill (e.g. a late prefetch): the data
+		// is only usable once the fill completes.
+		if done, ok := u.mshrLookup(line, hitTime); ok {
+			return done
+		}
+		return hitTime
+	}
+	u.stats.DemandMisses++
+	// Merge into an in-flight fill of the same line.
+	if done, ok := u.mshrLookup(line, now); ok {
+		if done < hitTime {
+			return hitTime
+		}
+		return done
+	}
+	return u.scheduleFill(line, write, false, hitTime)
+}
+
+// prefetchAccess issues a speculative fill if the line is neither resident
+// nor in flight and an MSHR is free. Prefetches are dropped rather than
+// stalled when resources are exhausted.
+func (u *Uncore) prefetchAccess(line uint64, now uint64) uint64 {
+	if u.llc.Probe(line) {
+		return now + u.cfg.LLCLatency
+	}
+	if done, ok := u.mshrLookup(line, now); ok {
+		return done
+	}
+	// Prefetches only use spare MSHR capacity: they are dropped rather
+	// than allowed to starve demand misses.
+	if count, _ := u.mshrInFlight(now); count >= u.cfg.MSHRs/2 {
+		return now // dropped
+	}
+	u.stats.PrefetchIssued++
+	return u.scheduleFill(line, false, true, now+u.cfg.LLCLatency)
+}
+
+// scheduleFill books the bus and DRAM for a miss and installs the line at
+// completion time. start is the earliest cycle the request may leave the
+// LLC (post-lookup).
+func (u *Uncore) scheduleFill(line uint64, write, prefetch bool, start uint64) uint64 {
+	// MSHR capacity: a full file delays the request until an entry frees.
+	if count, earliest := u.mshrInFlight(start); count >= u.cfg.MSHRs {
+		if earliest > start {
+			start = earliest
+		}
+	}
+	_, cmdDone := u.bus.TransferCommand(start)
+	dramDone := u.dram.Access(cmdDone)
+	_, dataDone := u.bus.TransferLine(dramDone)
+	u.mshrInsert(line, dataDone, start)
+
+	ev := u.llc.Fill(line, write, prefetch)
+	if ev.Valid && ev.Dirty {
+		u.scheduleWriteback(dataDone)
+	}
+	return dataDone
+}
+
+// scheduleWriteback drains a dirty victim through the write buffer. A full
+// buffer back-pressures by queueing behind its earliest drain.
+func (u *Uncore) scheduleWriteback(now uint64) {
+	u.stats.Writebacks++
+	// Drop drained entries so the buffer tracks only in-flight drains.
+	keep := u.writeBuf[:0]
+	for _, done := range u.writeBuf {
+		if done > now {
+			keep = append(keep, done)
+		}
+	}
+	u.writeBuf = keep
+	start := now
+	if len(u.writeBuf) >= u.cfg.WriteBufEnts {
+		earliest := u.writeBuf[0]
+		idx := 0
+		for i, t := range u.writeBuf {
+			if t < earliest {
+				earliest, idx = t, i
+			}
+		}
+		if earliest > start {
+			start = earliest
+		}
+		u.writeBuf = append(u.writeBuf[:idx], u.writeBuf[idx+1:]...)
+	}
+	_, done := u.bus.TransferLine(start)
+	u.writeBuf = append(u.writeBuf, done)
+}
+
+// FixedLatency is a Memory stub that services every request in a constant
+// number of cycles. It is used to build BADCO models (two calibration runs
+// at different latencies) and in unit tests.
+type FixedLatency struct {
+	Lat uint64
+	N   uint64 // requests served
+}
+
+// Access implements Memory.
+func (f *FixedLatency) Access(_ int, _, _ uint64, _, _ bool, now uint64) uint64 {
+	f.N++
+	return now + f.Lat
+}

@@ -1,0 +1,241 @@
+// Package workload provides the combinatorics of multiprogrammed
+// workloads: a workload is a multiset of K benchmarks out of B (cores are
+// identical and interchangeable and a benchmark may be replicated), so
+// the population has C(B+K-1, K) members (Section II of the paper).
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PopulationSize returns C(B+K-1, K), the number of distinct workloads of
+// K benchmarks drawn with repetition from B. It panics on overflow (far
+// beyond any practical configuration here).
+func PopulationSize(b, k int) uint64 {
+	if b <= 0 || k <= 0 {
+		return 0
+	}
+	return binomial(uint64(b+k-1), uint64(k))
+}
+
+// binomial computes C(n, k) in uint64, panicking on overflow.
+func binomial(n, k uint64) uint64 {
+	if k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c uint64 = 1
+	for i := uint64(0); i < k; i++ {
+		// c = c * (n-i) / (i+1), keeping exact integer arithmetic.
+		num := n - i
+		den := i + 1
+		// Divide by gcd-style simplification through the running value.
+		if c%den == 0 {
+			c = c / den * num
+		} else if num%den == 0 {
+			c = c * (num / den)
+		} else {
+			hi, lo := bits.Mul64(c, num)
+			if hi != 0 {
+				panic("workload: binomial overflow")
+			}
+			c = lo / den
+		}
+	}
+	return c
+}
+
+// Workload is a multiset of benchmark indices in [0, B), kept sorted.
+type Workload []int
+
+// Key returns a canonical string form usable as a map key.
+func (w Workload) Key() string {
+	parts := make([]string, len(w))
+	for i, b := range w {
+		parts[i] = strconv.Itoa(b)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Names maps the workload's indices through the benchmark name table.
+func (w Workload) Names(names []string) []string {
+	out := make([]string, len(w))
+	for i, b := range w {
+		out[i] = names[b]
+	}
+	return out
+}
+
+// Population is a concrete set of workloads under study: either the full
+// enumeration (2 and 4 cores in the paper) or a large uniform sample when
+// the full population is impractical (8 cores).
+type Population struct {
+	B, K      int
+	Workloads []Workload
+	index     map[string]int
+}
+
+// Enumerate builds the full population of multisets of K out of B in
+// lexicographic order.
+func Enumerate(b, k int) *Population {
+	if b <= 0 || k <= 0 {
+		panic(fmt.Sprintf("workload: Enumerate(%d,%d)", b, k))
+	}
+	var all []Workload
+	cur := make([]int, k)
+	var rec func(pos, min int)
+	rec = func(pos, min int) {
+		if pos == k {
+			all = append(all, append(Workload(nil), cur...))
+			return
+		}
+		for v := min; v < b; v++ {
+			cur[pos] = v
+			rec(pos+1, v)
+		}
+	}
+	rec(0, 0)
+	return newPopulation(b, k, all)
+}
+
+// SampleUniform builds a population of n workloads drawn uniformly at
+// random (without replacement) from the full multiset population, for
+// cases where enumeration is impractical. Duplicated draws are rejected,
+// so n must be at most the population size.
+func SampleUniform(rng *rand.Rand, b, k, n int) *Population {
+	total := PopulationSize(b, k)
+	if uint64(n) > total {
+		panic(fmt.Sprintf("workload: sample %d exceeds population %d", n, total))
+	}
+	seen := make(map[string]bool, n)
+	var all []Workload
+	for len(all) < n {
+		w := Random(rng, b, k)
+		key := w.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		all = append(all, w)
+	}
+	return newPopulation(b, k, all)
+}
+
+// FromWorkloads builds a Population from an explicit workload list (e.g.
+// the subset of workloads simulated with a detailed simulator). Workloads
+// must already be sorted multisets over [0, b).
+func FromWorkloads(b, k int, ws []Workload) *Population {
+	if b <= 0 || k <= 0 {
+		panic(fmt.Sprintf("workload: FromWorkloads(%d,%d)", b, k))
+	}
+	for _, w := range ws {
+		if len(w) != k {
+			panic(fmt.Sprintf("workload: workload %v has size %d, want %d", w, len(w), k))
+		}
+	}
+	return newPopulation(b, k, ws)
+}
+
+func newPopulation(b, k int, all []Workload) *Population {
+	idx := make(map[string]int, len(all))
+	for i, w := range all {
+		idx[w.Key()] = i
+	}
+	return &Population{B: b, K: k, Workloads: all, index: idx}
+}
+
+// Size returns the number of workloads in the population.
+func (p *Population) Size() int { return len(p.Workloads) }
+
+// IndexOf returns the position of w in the population, or -1.
+func (p *Population) IndexOf(w Workload) int {
+	sorted := append(Workload(nil), w...)
+	sort.Ints(sorted)
+	if i, ok := p.index[sorted.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// Random draws one workload uniformly from the full multiset population
+// (every multiset equally likely), by unranking a uniform rank.
+func Random(rng *rand.Rand, b, k int) Workload {
+	total := PopulationSize(b, k)
+	rank := uint64(rng.Int63n(int64(total)))
+	return Unrank(rank, b, k)
+}
+
+// Unrank returns the workload at the given lexicographic rank (matching
+// Enumerate order).
+func Unrank(rank uint64, b, k int) Workload {
+	w := make(Workload, 0, k)
+	min := 0
+	for pos := 0; pos < k; pos++ {
+		for v := min; v < b; v++ {
+			// Workloads starting (at this position) with v: multisets of
+			// size k-pos-1 from values >= v.
+			cnt := PopulationSize(b-v, k-pos-1)
+			if k-pos-1 == 0 {
+				cnt = 1
+			}
+			if rank < cnt {
+				w = append(w, v)
+				min = v
+				break
+			}
+			rank -= cnt
+		}
+	}
+	if len(w) != k {
+		panic("workload: Unrank rank out of range")
+	}
+	return w
+}
+
+// Rank is the inverse of Unrank.
+func Rank(w Workload, b int) uint64 {
+	var rank uint64
+	min := 0
+	k := len(w)
+	for pos, val := range w {
+		for v := min; v < val; v++ {
+			cnt := PopulationSize(b-v, k-pos-1)
+			if k-pos-1 == 0 {
+				cnt = 1
+			}
+			rank += cnt
+		}
+		min = val
+	}
+	return rank
+}
+
+// Occurrences counts how many times each benchmark appears across the
+// given workloads.
+func Occurrences(ws []Workload, b int) []int {
+	counts := make([]int, b)
+	for _, w := range ws {
+		for _, bench := range w {
+			counts[bench]++
+		}
+	}
+	return counts
+}
+
+// ClassCounts returns, for a workload and a benchmark-class assignment,
+// the number of occurrences of each class (the stratum signature of
+// benchmark stratification).
+func ClassCounts(w Workload, class []int, numClasses int) []int {
+	counts := make([]int, numClasses)
+	for _, bench := range w {
+		counts[class[bench]]++
+	}
+	return counts
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopulationSizeMatchesPaper(t *testing.T) {
+	// The paper's counts for 22 benchmarks: 253 workloads for 2 cores,
+	// 12650 for 4 cores.
+	if got := PopulationSize(22, 2); got != 253 {
+		t.Errorf("PopulationSize(22,2) = %d, want 253", got)
+	}
+	if got := PopulationSize(22, 4); got != 12650 {
+		t.Errorf("PopulationSize(22,4) = %d, want 12650", got)
+	}
+	// 8 cores: C(29,8) = 4292145 (too large to simulate, hence sampling).
+	if got := PopulationSize(22, 8); got != 4292145 {
+		t.Errorf("PopulationSize(22,8) = %d, want 4292145", got)
+	}
+	if got := PopulationSize(0, 2); got != 0 {
+		t.Errorf("PopulationSize(0,2) = %d", got)
+	}
+	if got := PopulationSize(5, 1); got != 5 {
+		t.Errorf("PopulationSize(5,1) = %d", got)
+	}
+}
+
+func TestEnumerateSmall(t *testing.T) {
+	p := Enumerate(3, 2)
+	want := []string{"0,0", "0,1", "0,2", "1,1", "1,2", "2,2"}
+	if p.Size() != len(want) {
+		t.Fatalf("size %d, want %d", p.Size(), len(want))
+	}
+	for i, w := range p.Workloads {
+		if w.Key() != want[i] {
+			t.Errorf("workload %d = %s, want %s", i, w.Key(), want[i])
+		}
+	}
+}
+
+func TestEnumerateMatchesPopulationSize(t *testing.T) {
+	for _, c := range []struct{ b, k int }{{22, 2}, {10, 3}, {5, 4}, {22, 4}} {
+		p := Enumerate(c.b, c.k)
+		if uint64(p.Size()) != PopulationSize(c.b, c.k) {
+			t.Errorf("Enumerate(%d,%d) size %d != %d", c.b, c.k, p.Size(), PopulationSize(c.b, c.k))
+		}
+	}
+}
+
+func TestWorkloadsSortedAndUnique(t *testing.T) {
+	p := Enumerate(6, 3)
+	seen := map[string]bool{}
+	for _, w := range p.Workloads {
+		for i := 1; i < len(w); i++ {
+			if w[i] < w[i-1] {
+				t.Fatalf("workload %v not sorted", w)
+			}
+		}
+		if seen[w.Key()] {
+			t.Fatalf("duplicate workload %v", w)
+		}
+		seen[w.Key()] = true
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	p := Enumerate(5, 3)
+	for i, w := range p.Workloads {
+		if got := p.IndexOf(w); got != i {
+			t.Fatalf("IndexOf(%v) = %d, want %d", w, got, i)
+		}
+	}
+	// Unsorted query must still resolve.
+	if got := p.IndexOf(Workload{3, 1, 2}); got < 0 {
+		t.Error("IndexOf failed on unsorted workload")
+	}
+	if got := p.IndexOf(Workload{0, 0, 9}); got != -1 {
+		t.Errorf("IndexOf(out of range) = %d, want -1", got)
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	const b, k = 22, 4
+	p := Enumerate(b, k)
+	for i, w := range p.Workloads {
+		if got := Rank(w, b); got != uint64(i) {
+			t.Fatalf("Rank(%v) = %d, want %d", w, got, i)
+		}
+	}
+	for _, rank := range []uint64{0, 1, 100, 12649} {
+		w := Unrank(rank, b, k)
+		if got := p.IndexOf(w); uint64(got) != rank {
+			t.Fatalf("Unrank(%d) = %v which has index %d", rank, w, got)
+		}
+	}
+}
+
+func TestRandomIsUniform(t *testing.T) {
+	// Chi-squared-ish check on a small population: all 15 workloads of
+	// (4 benchmarks, 2 cores) should appear with similar frequency.
+	rng := rand.New(rand.NewSource(11))
+	p := Enumerate(4, 2)
+	counts := make([]int, p.Size())
+	const draws = 15000
+	for i := 0; i < draws; i++ {
+		w := Random(rng, 4, 2)
+		counts[p.IndexOf(w)]++
+	}
+	want := draws / p.Size()
+	for i, c := range counts {
+		if c < want*7/10 || c > want*13/10 {
+			t.Errorf("workload %d drawn %d times, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestSampleUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := SampleUniform(rng, 22, 8, 1000)
+	if p.Size() != 1000 {
+		t.Fatalf("sample size %d", p.Size())
+	}
+	seen := map[string]bool{}
+	for _, w := range p.Workloads {
+		if len(w) != 8 {
+			t.Fatalf("workload %v has wrong K", w)
+		}
+		if seen[w.Key()] {
+			t.Fatalf("duplicate %v in uniform sample", w)
+		}
+		seen[w.Key()] = true
+	}
+}
+
+func TestOccurrences(t *testing.T) {
+	ws := []Workload{{0, 1}, {1, 1}, {0, 2}}
+	got := Occurrences(ws, 3)
+	want := []int{2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("occurrences[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	// Benchmarks 0,1 in class 0; 2 in class 1; 3 in class 2.
+	class := []int{0, 0, 1, 2}
+	got := ClassCounts(Workload{0, 1, 2, 2}, class, 3)
+	want := []int{2, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("class count %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeyAndNames(t *testing.T) {
+	w := Workload{0, 2}
+	if w.Key() != "0,2" {
+		t.Errorf("Key = %q", w.Key())
+	}
+	names := w.Names([]string{"a", "b", "c"})
+	if names[0] != "a" || names[1] != "c" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+// Property: rank/unrank are inverse for random ranks across geometries.
+func TestRankUnrankProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 2 + rng.Intn(21)
+		k := 1 + rng.Intn(6)
+		total := PopulationSize(b, k)
+		rank := uint64(rng.Int63n(int64(total)))
+		w := Unrank(rank, b, k)
+		return Rank(w, b) == rank && len(w) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

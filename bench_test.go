@@ -42,6 +42,19 @@ func lab() *experiments.Lab {
 	return benchLab
 }
 
+// warmedLab returns the shared quick lab with the given request plan
+// precomputed (campaign-level parallelism, outside the timed region).
+// Each benchmark warms only the tables it declares, so a targeted
+// -bench run pays for its own products and a full -bench=. run still
+// builds every table exactly once across benchmarks.
+func warmedLab(b *testing.B, plan func(l *experiments.Lab) []experiments.Request) *experiments.Lab {
+	b.Helper()
+	l := lab()
+	l.Warm(plan(l), 0)
+	b.ResetTimer()
+	return l
+}
+
 // printOnce emits the table on the first iteration only.
 func printOnce(b *testing.B, i int, t *experiments.Table) {
 	b.Helper()
@@ -57,63 +70,63 @@ func BenchmarkFig1(b *testing.B) {
 }
 
 func BenchmarkTable4(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.TableIVRequests() })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.TableIV())
 	}
 }
 
 func BenchmarkTable3(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.TableIIIRequests() })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.TableIIITable(2))
 	}
 }
 
 func BenchmarkFig2(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig2Requests([]int{2, 4}) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.Fig2Table([]int{2, 4}))
 	}
 }
 
 func BenchmarkFig3(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig3Requests([]int{2, 4}) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.Fig3Table([]int{2, 4}))
 	}
 }
 
 func BenchmarkFig4(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig4Requests(4) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.Fig4Table(4))
 	}
 }
 
 func BenchmarkFig5(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig5Requests(4) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.Fig5Table(4))
 	}
 }
 
 func BenchmarkFig6(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig6Requests(2) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.Fig6Table(2))
 	}
 }
 
 func BenchmarkFig7(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig7Requests([]int{2}) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.Fig7Table([]int{2}))
 	}
 }
 
 func BenchmarkOverhead(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.OverheadRequests(2) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.OverheadTable(2))
 	}
@@ -123,28 +136,28 @@ func BenchmarkOverhead(b *testing.B) {
 // Ablations beyond the paper (design-choice sensitivity).
 
 func BenchmarkAblationStrataParams(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.AblationRequests(2) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.AblationStrataParams(2, 20))
 	}
 }
 
 func BenchmarkAblationClassification(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.AblationRequests(2) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.AblationClassification(2, 20))
 	}
 }
 
 func BenchmarkAblationMetricChoice(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.AblationRequests(2) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.AblationMetricChoice(2))
 	}
 }
 
 func BenchmarkSpeedupAccuracy(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.SpeedupRequests(2) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.SpeedupAccuracyTable(2))
 	}
@@ -221,7 +234,7 @@ func BenchmarkPopulationSweep(b *testing.B) {
 }
 
 func BenchmarkGuideline(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.GuidelineRequests(2) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.GuidelineTable(2, metrics.WSU))
 	}
@@ -233,7 +246,7 @@ func BenchmarkGuideline(b *testing.B) {
 // premise behind equation (5).
 
 func BenchmarkExtMethods(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.ExtMethodsRequests(2) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.ExtMethodsTable(2))
 	}
@@ -254,7 +267,7 @@ func BenchmarkPredictorAblation(b *testing.B) {
 }
 
 func BenchmarkNormality(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.NormalityRequests(2) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.NormalityTable(2))
 	}
@@ -268,7 +281,7 @@ func BenchmarkProfileSuite(b *testing.B) {
 }
 
 func BenchmarkExtPolicies(b *testing.B) {
-	l := lab()
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.ExtPoliciesRequests(2) })
 	for i := 0; i < b.N; i++ {
 		printOnce(b, i, l.ExtPoliciesTable(2))
 	}

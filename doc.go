@@ -31,6 +31,14 @@
 //     with text charts from internal/plot;
 //   - cmd/mcbench, cmd/tracegen — the command-line front ends.
 //
+// The experiments package is a concurrent campaign runner: a Lab memoizes
+// its expensive products (population IPC tables per core count, policy
+// and simulator; reference IPCs; the MPKI measurement) with per-key
+// single-flight semantics, each experiment declares the products it
+// reads as a []Request, and Lab.Warm precomputes a whole campaign's plan
+// with bounded parallelism — concurrent requests for one table share a
+// single population sweep while distinct tables sweep in parallel.
+//
 // See DESIGN.md for the system inventory and substitutions, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
 // bench_test.go regenerate each table and figure.

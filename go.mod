@@ -1,0 +1,3 @@
+module mcbench
+
+go 1.24

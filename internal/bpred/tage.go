@@ -16,10 +16,10 @@ package bpred
 
 // TAGEConfig sizes a TAGE predictor.
 type TAGEConfig struct {
-	BaseBits   int   // log2 of bimodal base entries
-	TableBits  int   // log2 of entries per tagged table
-	TagBits    int   // partial tag width (per tagged table)
-	Histories  []int // history length per tagged table, ascending
+	BaseBits   int    // log2 of bimodal base entries
+	TableBits  int    // log2 of entries per tagged table
+	TagBits    int    // partial tag width (per tagged table)
+	Histories  []int  // history length per tagged table, ascending
 	UResetPerd uint64 // gracefully age usefulness every this many branches
 }
 

@@ -62,8 +62,8 @@ func TestSHIPBeatsSRRIPOnMixedScan(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		hot := uint64(4 << 30)   // 32 hot lines, fits easily
-		scan := uint64(8 << 30)  // endless one-use scan
+		hot := uint64(4 << 30)  // 32 hot lines, fits easily
+		scan := uint64(8 << 30) // endless one-use scan
 		scanPos := uint64(0)
 		var hotAcc, hotHits uint64
 		for rep := 0; rep < 6000; rep++ {

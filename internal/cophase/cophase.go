@@ -248,7 +248,7 @@ func (s *Simulator) Run(quota uint64) (Result, error) {
 		return Result{}, fmt.Errorf("cophase: zero quota")
 	}
 	k := len(s.names)
-	pos := make([]float64, k)    // absolute op position per thread
+	pos := make([]float64, k)     // absolute op position per thread
 	cyclesAt := make([]uint64, k) // commit cycle at quota
 	reached := make([]bool, k)
 	phases := make([]int, k)

@@ -14,6 +14,15 @@ import (
 // for benchmark stratification. These go beyond the paper's figures but
 // use the same machinery.
 
+// AblationRequests declares the inputs shared by the three ablation
+// tables: every policy pair's BADCO tables (AblationMetricChoice sweeps
+// all pairs), the reference IPCs, and the MPKI classes.
+func (l *Lab) AblationRequests(cores int) []Request {
+	return append(badcoSet(cores, Policies()),
+		Request{Sim: SimRef, Cores: cores},
+		Request{Sim: SimMPKI})
+}
+
 // AblationStrataParams measures, for the near-tie policy pair at a small
 // sample size, how the workload-stratification parameters trade stratum
 // count against confidence. The paper fixes WT=50, TSD=0.001; this table

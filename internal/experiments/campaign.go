@@ -1,0 +1,212 @@
+package experiments
+
+// The campaign runner. Every experiment declares the expensive memoized
+// products it reads — population IPC tables, reference IPCs, the MPKI
+// measurement — as a []Request (the XxxRequests methods next to each
+// experiment), and Warm precomputes a whole plan with bounded
+// parallelism. Population sweeps already parallelise across workloads
+// internally; Warm adds the campaign-level axis, so different tables
+// build concurrently and a full paper reproduction saturates the host.
+
+import (
+	"runtime"
+	"sync"
+
+	"mcbench/internal/cache"
+)
+
+// Simulator names the engine (or measurement) behind a warmed product.
+type Simulator string
+
+const (
+	// SimBadco is a BADCO population IPC table (BadcoIPC).
+	SimBadco Simulator = "badco"
+	// SimDetailed is a detailed-model IPC table over the detailed
+	// sample (DetailedIPC).
+	SimDetailed Simulator = "detailed"
+	// SimRef is the per-benchmark alone reference IPC vector (RefIPC).
+	SimRef Simulator = "ref"
+	// SimMPKI is the per-benchmark alone MPKI measurement (MPKI);
+	// Cores and Policy are ignored.
+	SimMPKI Simulator = "mpki"
+	// SimModels is the BADCO model set (Models); Cores and Policy are
+	// ignored. Table III and the sim subcommand need the models without
+	// any population table.
+	SimModels Simulator = "models"
+)
+
+// Request names one memoized Lab product a campaign needs. Policy is
+// meaningful only for SimBadco and SimDetailed; Cores only for those and
+// SimRef.
+type Request struct {
+	Sim    Simulator
+	Cores  int
+	Policy cache.PolicyName
+}
+
+// normalize zeroes the fields a request's simulator ignores, so that
+// equivalent requests deduplicate.
+func (r Request) normalize() Request {
+	switch r.Sim {
+	case SimMPKI, SimModels:
+		r.Cores, r.Policy = 0, ""
+	case SimRef:
+		r.Policy = ""
+	}
+	return r
+}
+
+// fulfill computes the requested product (blocking until it is memoized).
+func (l *Lab) fulfill(r Request) {
+	switch r.Sim {
+	case SimBadco:
+		l.BadcoIPC(r.Cores, r.Policy)
+	case SimDetailed:
+		l.DetailedIPC(r.Cores, r.Policy)
+	case SimRef:
+		l.RefIPC(r.Cores)
+	case SimMPKI:
+		l.MPKI()
+	case SimModels:
+		l.Models()
+	}
+}
+
+// Warm precomputes every requested product with at most workers
+// concurrent builds (workers <= 0 means GOMAXPROCS). The plan is
+// deduplicated, and products already memoized return immediately, so
+// warming overlapping plans is free. It returns the number of distinct
+// products warmed.
+//
+// Shared prerequisites (traces, BADCO models) are not built eagerly:
+// the first worker to need them builds them behind their single-flight
+// guard — internally parallel — while the rest block, and a plan fully
+// served by the persistent cache never builds them at all.
+//
+// The workers are coordinators, not the CPU bound: every sweep they
+// trigger draws simulation slots from multicore's process-wide budget
+// (see multicore.RunBounded), so campaign-level and per-sweep
+// parallelism compose without multiplying.
+func (l *Lab) Warm(plan []Request, workers int) int {
+	seen := make(map[Request]bool, len(plan))
+	var uniq []Request
+	for _, r := range plan {
+		r = r.normalize()
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		uniq = append(uniq, r)
+	}
+	if len(uniq) == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, r := range uniq {
+		sem <- struct{}{} // acquire before spawning: at most `workers` goroutines exist
+		wg.Add(1)
+		go func(r Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			l.fulfill(r)
+		}(r)
+	}
+	wg.Wait()
+	return len(uniq)
+}
+
+// badcoSet expands a policy list into BADCO table requests at one core
+// count.
+func badcoSet(cores int, pols []cache.PolicyName) []Request {
+	out := make([]Request, 0, len(pols))
+	for _, p := range pols {
+		out = append(out, Request{Sim: SimBadco, Cores: cores, Policy: p})
+	}
+	return out
+}
+
+// detailedSet expands a policy list into detailed table requests at one
+// core count.
+func detailedSet(cores int, pols []cache.PolicyName) []Request {
+	out := make([]Request, 0, len(pols))
+	for _, p := range pols {
+		out = append(out, Request{Sim: SimDetailed, Cores: cores, Policy: p})
+	}
+	return out
+}
+
+// pairPolicies flattens policy pairs into the distinct policies they
+// mention.
+func pairPolicies(pairs [][2]cache.PolicyName) []cache.PolicyName {
+	seen := map[cache.PolicyName]bool{}
+	var out []cache.PolicyName
+	for _, pr := range pairs {
+		for _, p := range pr {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// CampaignPlan aggregates the requests of the named experiments (the
+// names cmd/mcbench accepts; "all" expands to the paper's full set).
+// cores is the -cores flag value used by the single-core-count
+// experiments. Names without expensive prerequisites (fig1, config,
+// cophase, predictors, profiles) contribute nothing; unknown names are
+// ignored — running the experiment itself reports them.
+func (l *Lab) CampaignPlan(names []string, cores int) []Request {
+	var plan []Request
+	for _, name := range names {
+		switch name {
+		case "all":
+			plan = append(plan, l.CampaignPlan(AllExperiments(), cores)...)
+		case "fig2":
+			plan = append(plan, l.Fig2Requests(nil)...)
+		case "fig3":
+			plan = append(plan, l.Fig3Requests(nil)...)
+		case "fig4":
+			plan = append(plan, l.Fig4Requests(cores)...)
+		case "fig5":
+			plan = append(plan, l.Fig5Requests(cores)...)
+		case "fig6":
+			plan = append(plan, l.Fig6Requests(cores)...)
+		case "fig7":
+			plan = append(plan, l.Fig7Requests(nil)...)
+		case "table3":
+			plan = append(plan, l.TableIIIRequests()...)
+		case "table4":
+			plan = append(plan, l.TableIVRequests()...)
+		case "overhead":
+			plan = append(plan, l.OverheadRequests(cores)...)
+		case "ablation-strata", "ablation-classes", "ablation-metrics":
+			plan = append(plan, l.AblationRequests(cores)...)
+		case "speedup":
+			plan = append(plan, l.SpeedupRequests(cores)...)
+		case "guideline":
+			plan = append(plan, l.GuidelineRequests(cores)...)
+		case "methods":
+			plan = append(plan, l.ExtMethodsRequests(cores)...)
+		case "normality":
+			plan = append(plan, l.NormalityRequests(cores)...)
+		case "policies":
+			plan = append(plan, l.ExtPoliciesRequests(cores)...)
+		}
+	}
+	return plan
+}
+
+// AllExperiments lists the paper experiments "all" expands to, in run
+// order.
+func AllExperiments() []string {
+	return []string{
+		"config", "fig1", "table4", "table3", "fig2", "fig3",
+		"fig4", "fig5", "fig6", "fig7", "overhead",
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"flag"
 	"math"
 	"strings"
 	"sync"
@@ -19,14 +20,44 @@ var (
 	sharedLab *Lab
 )
 
+// testPlan is every memoized product the test suite reads: the paper
+// experiments at 2 cores plus the extension experiments at 4. Warming it
+// up front builds distinct tables concurrently (bounded by GOMAXPROCS),
+// so the package's wall-clock approaches the cost of its slowest single
+// table instead of the sum of all of them.
+func testPlan(l *Lab) []Request {
+	var plan []Request
+	plan = append(plan, l.Fig2Requests([]int{2})...)
+	plan = append(plan, l.Fig3Requests([]int{2})...)
+	plan = append(plan, l.Fig4Requests(2)...)
+	plan = append(plan, l.Fig5Requests(2)...)
+	plan = append(plan, l.Fig6Requests(2)...)
+	plan = append(plan, l.Fig7Requests([]int{2})...)
+	plan = append(plan, l.TableIIIRequests()...)
+	plan = append(plan, l.TableIVRequests()...)
+	plan = append(plan, l.OverheadRequests(2)...)
+	plan = append(plan, l.AblationRequests(2)...)
+	plan = append(plan, l.SpeedupRequests(2)...)
+	plan = append(plan, l.GuidelineRequests(2)...)
+	plan = append(plan, l.ExtPoliciesRequests(2)...)
+	plan = append(plan, l.ExtMethodsRequests(4)...)
+	plan = append(plan, l.NormalityRequests(4)...)
+	return plan
+}
+
 func quickLab(t *testing.T) *Lab {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("experiments need population sweeps; skipped with -short")
 	}
 	labOnce.Do(func() {
-		cfg := QuickConfig()
-		sharedLab = NewLab(cfg)
+		sharedLab = NewLab(QuickConfig())
+		// Warm the whole plan only for full-suite runs; a targeted
+		// `go test -run X` should pay just for the tables X reads
+		// (which the lab then builds lazily).
+		if f := flag.Lookup("test.run"); f == nil || f.Value.String() == "" {
+			sharedLab.Warm(testPlan(sharedLab), 0)
+		}
 	})
 	return sharedLab
 }

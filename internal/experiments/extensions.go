@@ -36,16 +36,14 @@ import (
 // Profiles returns the microarchitecture-independent profile of every
 // benchmark, indexed like Names().
 func (l *Lab) Profiles() []*profile.Profile {
-	traces := l.Traces()
-	names := l.Names()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.profiles == nil {
+	l.profilesOnce.Do(func() {
+		traces := l.Traces()
+		names := l.Names()
 		l.profiles = make([]*profile.Profile, len(names))
 		for i, n := range names {
 			l.profiles[i] = profile.MustCompute(traces[n])
 		}
-	}
+	})
 	return l.profiles
 }
 
@@ -144,11 +142,19 @@ func (l *Lab) ExtMethods(cores int) []ExtMethodsPoint {
 	return out
 }
 
+// ExtMethodsRequests declares the tables ExtMethods reads: the near-tie
+// pair's BADCO tables, the reference IPCs and the MPKI classification.
+func (l *Lab) ExtMethodsRequests(cores int) []Request {
+	return append(badcoSet(cores, []cache.PolicyName{cache.DIP, cache.DRRIP}),
+		Request{Sim: SimRef, Cores: cores},
+		Request{Sim: SimMPKI})
+}
+
 // ExtMethodsTable renders the extended comparison.
 func (l *Lab) ExtMethodsTable(cores int) *Table {
 	points := l.ExtMethods(cores)
 	t := &Table{
-		Title: fmt.Sprintf("Extension: six selection methods on the near-tie pair DRRIP vs DIP (IPCT, %d cores)", cores),
+		Title:   fmt.Sprintf("Extension: six selection methods on the near-tie pair DRRIP vs DIP (IPCT, %d cores)", cores),
 		Columns: []string{"method", "W", "confidence", "trials"},
 		Notes: []string{
 			"cluster-strata derives classes by k-means on profile features instead of MPKI thresholds;",
@@ -354,6 +360,13 @@ func (l *Lab) Normality(cores int) []NormalityPoint {
 		out = append(out, NormalityPoint{SampleSize: w, KS: stats.KSNormal(means)})
 	}
 	return out
+}
+
+// NormalityRequests declares the tables Normality reads: the LRU and DIP
+// BADCO tables plus the reference IPCs.
+func (l *Lab) NormalityRequests(cores int) []Request {
+	return append(badcoSet(cores, []cache.PolicyName{cache.LRU, cache.DIP}),
+		Request{Sim: SimRef, Cores: cores})
 }
 
 // NormalityTable renders the CLT check.

@@ -36,6 +36,14 @@ func (l *Lab) ExtPolicies(cores int) []ExtPolicyRow {
 	return rows
 }
 
+// ExtPoliciesRequests declares the tables ExtPolicies reads: the two
+// baselines and three extension policies' BADCO tables plus the
+// reference IPCs.
+func (l *Lab) ExtPoliciesRequests(cores int) []Request {
+	pols := []cache.PolicyName{cache.LRU, cache.DRRIP, cache.SRRIP, cache.PLRU, cache.SHIP}
+	return append(badcoSet(cores, pols), Request{Sim: SimRef, Cores: cores})
+}
+
 // ExtPoliciesTable renders the extension-policy comparison.
 func (l *Lab) ExtPoliciesTable(cores int) *Table {
 	t := &Table{

@@ -94,6 +94,20 @@ func (l *Lab) Fig2(coreCounts []int) []Fig2Result {
 	return out
 }
 
+// Fig2Requests declares the tables Fig2 reads: BADCO and detailed tables
+// for every case-study policy at each core count.
+func (l *Lab) Fig2Requests(coreCounts []int) []Request {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{2, 4, 8}
+	}
+	var plan []Request
+	for _, cores := range coreCounts {
+		plan = append(plan, badcoSet(cores, Policies())...)
+		plan = append(plan, detailedSet(cores, Policies())...)
+	}
+	return plan
+}
+
 // Fig2Table renders the Figure 2 error summary.
 func (l *Lab) Fig2Table(coreCounts []int) *Table {
 	t := &Table{

@@ -48,6 +48,20 @@ func (l *Lab) Fig3(coreCounts []int) []Fig3Point {
 	return out
 }
 
+// Fig3Requests declares the tables Fig3 reads: the DIP and DRRIP BADCO
+// tables plus the reference IPCs (WSU metric) at each core count.
+func (l *Lab) Fig3Requests(coreCounts []int) []Request {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{2, 4, 8}
+	}
+	var plan []Request
+	for _, cores := range coreCounts {
+		plan = append(plan, badcoSet(cores, []cache.PolicyName{cache.DIP, cache.DRRIP})...)
+		plan = append(plan, Request{Sim: SimRef, Cores: cores})
+	}
+	return plan
+}
+
 // Fig3Table renders Figure 3 as a table of confidence points.
 func (l *Lab) Fig3Table(coreCounts []int) *Table {
 	t := &Table{

@@ -40,6 +40,14 @@ func (l *Lab) Fig4(cores int) []Fig4Row {
 	return rows
 }
 
+// Fig4Requests declares the tables Fig4 reads: every policy with both
+// simulators plus the reference IPCs.
+func (l *Lab) Fig4Requests(cores int) []Request {
+	plan := badcoSet(cores, Policies())
+	plan = append(plan, detailedSet(cores, Policies())...)
+	return append(plan, Request{Sim: SimRef, Cores: cores})
+}
+
 // Fig4Table renders Figure 4.
 func (l *Lab) Fig4Table(cores int) *Table {
 	t := &Table{
@@ -75,6 +83,12 @@ func (l *Lab) Fig5(cores int) []Fig5Row {
 		rows = append(rows, Fig5Row{Pair: pair, Inv: inv})
 	}
 	return rows
+}
+
+// Fig5Requests declares the tables Fig5 reads: every policy's BADCO
+// table plus the reference IPCs.
+func (l *Lab) Fig5Requests(cores int) []Request {
+	return append(badcoSet(cores, Policies()), Request{Sim: SimRef, Cores: cores})
 }
 
 // Fig5Table renders Figure 5.

@@ -74,6 +74,16 @@ func (l *Lab) Fig6(cores int) []Fig6Point {
 	return out
 }
 
+// Fig6Requests declares the tables Fig6 reads: the BADCO tables of its
+// four policy pairs, the reference IPCs, and the MPKI classification
+// backing benchmark stratification.
+func (l *Lab) Fig6Requests(cores int) []Request {
+	plan := badcoSet(cores, pairPolicies(Fig6Pairs()))
+	return append(plan,
+		Request{Sim: SimRef, Cores: cores},
+		Request{Sim: SimMPKI})
+}
+
 // popSizeFor returns the full multiset population size for 22 benchmarks.
 func popSizeFor(cores int) uint64 {
 	return workload.PopulationSize(22, cores)

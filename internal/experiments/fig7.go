@@ -81,6 +81,23 @@ func (l *Lab) Fig7(coreCounts []int) []Fig7Point {
 	return out
 }
 
+// Fig7Requests declares the tables Fig7 reads: LRU and DIP with both
+// simulators, the reference IPCs and the MPKI classification, at each
+// core count.
+func (l *Lab) Fig7Requests(coreCounts []int) []Request {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{2, 4}
+	}
+	pols := []cache.PolicyName{cache.LRU, cache.DIP}
+	plan := []Request{{Sim: SimMPKI}}
+	for _, cores := range coreCounts {
+		plan = append(plan, badcoSet(cores, pols)...)
+		plan = append(plan, detailedSet(cores, pols)...)
+		plan = append(plan, Request{Sim: SimRef, Cores: cores})
+	}
+	return plan
+}
+
 // Fig7Table renders Figure 7.
 func (l *Lab) Fig7Table(coreCounts []int) *Table {
 	points := l.Fig7(coreCounts)

@@ -56,6 +56,12 @@ func (l *Lab) Guideline(cores int, m metrics.Metric, x, y cache.PolicyName) Reco
 	return rec
 }
 
+// GuidelineRequests declares the guideline's inputs over every policy
+// pair: all case-study BADCO tables plus the reference IPCs.
+func (l *Lab) GuidelineRequests(cores int) []Request {
+	return append(badcoSet(cores, Policies()), Request{Sim: SimRef, Cores: cores})
+}
+
 // GuidelineTable applies the guideline to every policy pair.
 func (l *Lab) GuidelineTable(cores int, m metrics.Metric) *Table {
 	t := &Table{

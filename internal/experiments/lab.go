@@ -3,12 +3,20 @@
 // models, workload populations and memoized IPC tables per (core count,
 // policy, simulator) — and each experiment (fig1.go … overhead.go) reads
 // from it and emits a printable Table.
+//
+// All lazy state is memoized with per-key single-flight semantics, so a
+// Lab is safe for concurrent use: two goroutines asking for the same
+// table block on one computation, while different tables build in
+// parallel. Experiments declare the tables they need as []Request (see
+// campaign.go), and Lab.Warm precomputes a whole campaign's plan with
+// bounded parallelism.
 package experiments
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"mcbench/internal/badco"
 	"mcbench/internal/cache"
@@ -89,105 +97,144 @@ type ipcKey struct {
 	policy cache.PolicyName
 }
 
-// Lab lazily builds and caches all experimental state.
+// flight is one in-flight (or completed) computation of a value.
+type flight[V any] struct {
+	once sync.Once
+	val  V
+}
+
+// flightGroup memoizes one value per key with single-flight semantics:
+// concurrent callers of the same key block on a single computation, while
+// different keys compute independently and may run in parallel. The
+// mutex only guards the entry map, never a computation.
+type flightGroup[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+// do returns the memoized value for key, computing it at most once.
+func (g *flightGroup[K, V]) do(key K, compute func() V) V {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*flight[V])
+	}
+	f := g.m[key]
+	if f == nil {
+		f = new(flight[V])
+		g.m[key] = f
+	}
+	g.mu.Unlock()
+	f.once.Do(func() { f.val = compute() })
+	return f.val
+}
+
+// Lab lazily builds and caches all experimental state. The zero-cost
+// products (traces, models, profiles, the persistent store) are guarded
+// by a sync.Once each; everything keyed — populations, IPC tables,
+// detailed samples, reference IPCs — lives in a flightGroup.
 type Lab struct {
 	cfg Config
 
-	mu     sync.Mutex
-	traces map[string]*trace.Trace
-	models map[string]*badco.Model
-	names  []string // benchmark order (suite order)
+	tracesOnce sync.Once
+	traces     map[string]*trace.Trace
+	names      []string // benchmark order (suite order)
 
-	pops map[int]*workload.Population
+	modelsOnce sync.Once
+	models     map[string]*badco.Model
 
-	badcoIPC  map[ipcKey][][]float64 // population IPC tables (BADCO)
-	detIPC    map[ipcKey][][]float64 // detailed IPC tables over DetSample
-	detSample map[int][]int          // population indices simulated in detail
+	storeOnce sync.Once
+	store     *results.Store // nil: no CacheDir, or the directory is unusable
 
-	refIPC map[int][]float64 // per core count: per-benchmark alone IPC (BADCO, LRU)
-	mpki   []float64         // per benchmark: alone LLC misses per kilo-op
+	mpkiOnce sync.Once
+	mpki     []float64 // per benchmark: alone LLC misses per kilo-op
 
-	profiles []*profile.Profile // per benchmark: microarch-independent profile
+	profilesOnce sync.Once
+	profiles     []*profile.Profile // per benchmark: microarch-independent profile
+
+	pops      flightGroup[int, *workload.Population]
+	detSample flightGroup[int, []int]          // population indices simulated in detail
+	refIPC    flightGroup[int, []float64]      // per core count: per-benchmark alone IPC
+	badcoIPC  flightGroup[ipcKey, [][]float64] // population IPC tables (BADCO)
+	detIPC    flightGroup[ipcKey, [][]float64] // detailed IPC tables over DetSample
+
+	// Sweep counters record how many full population sweeps actually ran
+	// (persistent-cache hits excluded); the single-flight regression
+	// tests assert exactly one sweep per key.
+	badcoSweeps atomic.Int64
+	detSweeps   atomic.Int64
 }
 
 // NewLab creates a Lab with the given configuration.
 func NewLab(cfg Config) *Lab {
-	return &Lab{
-		cfg:       cfg,
-		pops:      make(map[int]*workload.Population),
-		badcoIPC:  make(map[ipcKey][][]float64),
-		detIPC:    make(map[ipcKey][][]float64),
-		detSample: make(map[int][]int),
-		refIPC:    make(map[int][]float64),
-	}
+	return &Lab{cfg: cfg}
 }
 
 // Config returns the lab's configuration.
 func (l *Lab) Config() Config { return l.cfg }
 
-// Names returns the benchmark names in index order.
-func (l *Lab) Names() []string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.ensureTracesLocked()
-	return l.names
+func (l *Lab) ensureTraces() {
+	l.tracesOnce.Do(func() {
+		l.names = trace.SuiteNames()
+		l.traces = trace.GenerateSuite(l.cfg.TraceLen)
+	})
 }
 
-func (l *Lab) ensureTracesLocked() {
-	if l.traces != nil {
-		return
-	}
-	l.names = trace.SuiteNames()
-	l.traces = trace.GenerateSuite(l.cfg.TraceLen)
+// Names returns the benchmark names in index order.
+func (l *Lab) Names() []string {
+	l.ensureTraces()
+	return l.names
 }
 
 // Traces returns the benchmark traces, generating them on first use.
 func (l *Lab) Traces() map[string]*trace.Trace {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.ensureTracesLocked()
+	l.ensureTraces()
 	return l.traces
 }
 
 // Models returns the BADCO models, building them on first use (two
 // detailed calibration runs per benchmark, in parallel).
 func (l *Lab) Models() map[string]*badco.Model {
-	traces := l.Traces()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.models == nil {
-		models, err := multicore.BuildModels(traces, badco.DefaultBuildConfig())
+	l.modelsOnce.Do(func() {
+		models, err := multicore.BuildModels(l.Traces(), badco.DefaultBuildConfig())
 		if err != nil {
 			panic(err) // deterministic construction; cannot fail at runtime
 		}
 		l.models = models
-	}
+	})
 	return l.models
+}
+
+// resultStore returns the persistent store, opened once, or nil when
+// CacheDir is unset (or unusable — persistence is best-effort).
+func (l *Lab) resultStore() *results.Store {
+	l.storeOnce.Do(func() {
+		if l.cfg.CacheDir == "" {
+			return
+		}
+		if s, err := results.Open(l.cfg.CacheDir); err == nil {
+			l.store = s
+		}
+	})
+	return l.store
 }
 
 // Population returns the workload population for the given core count:
 // the full enumeration for 2 and 4 cores (optionally subsampled per
 // Pop4Limit) and a Pop8Size uniform sample for 8 cores.
 func (l *Lab) Population(cores int) *workload.Population {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if p, ok := l.pops[cores]; ok {
-		return p
-	}
-	const b = 22
-	var p *workload.Population
-	switch {
-	case cores == 8:
-		rng := rand.New(rand.NewSource(l.cfg.Seed + 8))
-		p = workload.SampleUniform(rng, b, 8, l.cfg.Pop8Size)
-	case cores == 4 && l.cfg.Pop4Limit > 0 && l.cfg.Pop4Limit < 12650:
-		rng := rand.New(rand.NewSource(l.cfg.Seed + 4))
-		p = workload.SampleUniform(rng, b, 4, l.cfg.Pop4Limit)
-	default:
-		p = workload.Enumerate(b, cores)
-	}
-	l.pops[cores] = p
-	return p
+	return l.pops.do(cores, func() *workload.Population {
+		const b = 22
+		switch {
+		case cores == 8:
+			rng := rand.New(rand.NewSource(l.cfg.Seed + 8))
+			return workload.SampleUniform(rng, b, 8, l.cfg.Pop8Size)
+		case cores == 4 && l.cfg.Pop4Limit > 0 && l.cfg.Pop4Limit < 12650:
+			rng := rand.New(rand.NewSource(l.cfg.Seed + 4))
+			return workload.SampleUniform(rng, b, 4, l.cfg.Pop4Limit)
+		default:
+			return workload.Enumerate(b, cores)
+		}
+	})
 }
 
 // toMulticore converts a workload of benchmark indices into names.
@@ -202,43 +249,32 @@ func (l *Lab) toMulticore(w workload.Workload) multicore.Workload {
 
 // BadcoIPC returns the per-workload per-core IPC table of the population
 // for (cores, policy), simulated with BADCO machines. Tables are
-// memoized (and persisted when CacheDir is set); the first call per key
-// runs the full population sweep.
+// memoized (and persisted when CacheDir is set); the first caller per key
+// runs the full population sweep while concurrent callers for the same
+// key block on it, and different keys sweep in parallel.
 func (l *Lab) BadcoIPC(cores int, policy cache.PolicyName) [][]float64 {
-	key := ipcKey{cores, policy}
-	l.mu.Lock()
-	if t, ok := l.badcoIPC[key]; ok {
-		l.mu.Unlock()
-		return t
-	}
-	l.mu.Unlock()
-
-	pop := l.Population(cores)
-	if table, ok := l.loadCached("badco", cores, policy, pop.Size()); ok {
-		l.mu.Lock()
-		l.badcoIPC[key] = table
-		l.mu.Unlock()
+	return l.badcoIPC.do(ipcKey{cores, policy}, func() [][]float64 {
+		pop := l.Population(cores)
+		if table, ok := l.loadCached("badco", cores, policy, pop.Size(), 0); ok {
+			return table
+		}
+		l.badcoSweeps.Add(1)
+		models := l.Models()
+		ws := make([]multicore.Workload, pop.Size())
+		for i, w := range pop.Workloads {
+			ws[i] = l.toMulticore(w)
+		}
+		results, err := multicore.SweepApproximate(ws, models, policy, 0)
+		if err != nil {
+			panic(err)
+		}
+		table := make([][]float64, len(results))
+		for i, r := range results {
+			table[i] = r.IPC
+		}
+		l.saveCached("badco", cores, policy, table, 0)
 		return table
-	}
-
-	models := l.Models()
-	ws := make([]multicore.Workload, pop.Size())
-	for i, w := range pop.Workloads {
-		ws[i] = l.toMulticore(w)
-	}
-	results, err := multicore.SweepApproximate(ws, models, policy, 0)
-	if err != nil {
-		panic(err)
-	}
-	table := make([][]float64, len(results))
-	for i, r := range results {
-		table[i] = r.IPC
-	}
-	l.saveCached("badco", cores, policy, table)
-	l.mu.Lock()
-	l.badcoIPC[key] = table
-	l.mu.Unlock()
-	return table
+	})
 }
 
 // DetSample returns the population indices of the workloads simulated
@@ -246,73 +282,68 @@ func (l *Lab) BadcoIPC(cores int, policy cache.PolicyName) [][]float64 {
 // for 2 cores (the paper simulates all 253 workloads with Zesto),
 // otherwise a DetailedCount random subset (paper: 250 for 4 and 8 cores).
 func (l *Lab) DetSample(cores int) []int {
-	pop := l.Population(cores)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if s, ok := l.detSample[cores]; ok {
-		return s
-	}
-	n := pop.Size()
-	var idx []int
-	if cores <= 2 || n <= l.cfg.DetailedCount+3 {
-		idx = make([]int, n)
-		for i := range idx {
-			idx[i] = i
+	return l.detSample.do(cores, func() []int {
+		n := l.Population(cores).Size()
+		if cores <= 2 || n <= l.cfg.DetailedCount+3 {
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			return idx
 		}
-	} else {
 		rng := rand.New(rand.NewSource(l.cfg.Seed + 100 + int64(cores)))
-		idx = rng.Perm(n)[:l.cfg.DetailedCount]
-	}
-	l.detSample[cores] = idx
-	return idx
+		return rng.Perm(n)[:l.cfg.DetailedCount]
+	})
 }
 
 // DetailedIPC returns the per-workload per-core IPC table over the
 // DetSample workloads for (cores, policy), simulated with the detailed
 // model. Row i corresponds to DetSample(cores)[i].
 func (l *Lab) DetailedIPC(cores int, policy cache.PolicyName) [][]float64 {
-	key := ipcKey{cores, policy}
-	l.mu.Lock()
-	if t, ok := l.detIPC[key]; ok {
-		l.mu.Unlock()
-		return t
-	}
-	l.mu.Unlock()
-
-	pop := l.Population(cores)
-	sample := l.DetSample(cores)
-	traces := l.Traces()
-	ws := make([]multicore.Workload, len(sample))
-	for i, wi := range sample {
-		ws[i] = l.toMulticore(pop.Workloads[wi])
-	}
-	results, err := multicore.SweepDetailed(ws, traces, policy, 0)
-	if err != nil {
-		panic(err)
-	}
-	table := make([][]float64, len(results))
-	for i, r := range results {
-		table[i] = r.IPC
-	}
-	l.saveCached("detailed", cores, policy, table)
-	l.mu.Lock()
-	l.detIPC[key] = table
-	l.mu.Unlock()
-	return table
+	return l.detIPC.do(ipcKey{cores, policy}, func() [][]float64 {
+		pop := l.Population(cores)
+		sample := l.DetSample(cores)
+		// Detailed keys always name the population the sample was drawn
+		// from (DetSample is deterministic given the seed and
+		// population): two configs with equal sample sizes but different
+		// Pop4Limit/Pop8Size must not share a table, and stamping even
+		// full-population tables keeps legacy un-stamped files — written
+		// by versions that never read them back — permanently unloadable.
+		universe := pop.Size()
+		if table, ok := l.loadCached("detailed", cores, policy, len(sample), universe); ok {
+			return table
+		}
+		l.detSweeps.Add(1)
+		traces := l.Traces()
+		ws := make([]multicore.Workload, len(sample))
+		for i, wi := range sample {
+			ws[i] = l.toMulticore(pop.Workloads[wi])
+		}
+		results, err := multicore.SweepDetailed(ws, traces, policy, 0)
+		if err != nil {
+			panic(err)
+		}
+		table := make([][]float64, len(results))
+		for i, r := range results {
+			table[i] = r.IPC
+		}
+		l.saveCached("detailed", cores, policy, table, universe)
+		return table
+	})
 }
 
 // loadCached fetches a persisted IPC table if CacheDir is configured.
-func (l *Lab) loadCached(sim string, cores int, policy cache.PolicyName, population int) ([][]float64, bool) {
-	if l.cfg.CacheDir == "" {
-		return nil, false
-	}
-	store, err := results.Open(l.cfg.CacheDir)
-	if err != nil {
+// universe is non-zero when the table covers a sample of a larger
+// population (see DetailedIPC).
+func (l *Lab) loadCached(sim string, cores int, policy cache.PolicyName, population, universe int) ([][]float64, bool) {
+	store := l.resultStore()
+	if store == nil {
 		return nil, false
 	}
 	t, ok, err := store.Load(results.IPCTable{
 		Simulator: sim, Cores: cores, Policy: string(policy),
 		TraceLen: l.cfg.TraceLen, Population: population, Seed: l.cfg.Seed,
+		Universe: universe,
 	})
 	if err != nil || !ok {
 		return nil, false
@@ -322,18 +353,16 @@ func (l *Lab) loadCached(sim string, cores int, policy cache.PolicyName, populat
 
 // saveCached persists an IPC table if CacheDir is configured; failures
 // are non-fatal (the table is still returned to the caller).
-func (l *Lab) saveCached(sim string, cores int, policy cache.PolicyName, table [][]float64) {
-	if l.cfg.CacheDir == "" {
-		return
-	}
-	store, err := results.Open(l.cfg.CacheDir)
-	if err != nil {
+func (l *Lab) saveCached(sim string, cores int, policy cache.PolicyName, table [][]float64, universe int) {
+	store := l.resultStore()
+	if store == nil {
 		return
 	}
 	_ = store.Save(&results.IPCTable{
 		Simulator: sim, Cores: cores, Policy: string(policy),
 		TraceLen: l.cfg.TraceLen, Population: len(table), Seed: l.cfg.Seed,
-		IPC: table,
+		Universe: universe,
+		IPC:      table,
 	})
 }
 
@@ -341,33 +370,23 @@ func (l *Lab) saveCached(sim string, cores int, policy cache.PolicyName, table [
 // cores-sized machine (benchmark alone, LRU uncore, BADCO), used by the
 // speedup metrics WSU and HSU.
 func (l *Lab) RefIPC(cores int) []float64 {
-	l.mu.Lock()
-	if r, ok := l.refIPC[cores]; ok {
-		l.mu.Unlock()
-		return r
-	}
-	l.mu.Unlock()
-
-	models := l.Models()
-	names := l.Names()
-	ws := make([]multicore.Workload, len(names))
-	for i, n := range names {
-		ws[i] = multicore.Workload{n}
-	}
-	// Alone on the same uncore configuration as the K-core machine: the
-	// uncore is built for `cores` but only core 0 is populated.
-	results := make([]float64, len(names))
-	for i, w := range ws {
-		r, err := aloneOn(cores, w, models)
-		if err != nil {
-			panic(err)
-		}
-		results[i] = r
-	}
-	l.mu.Lock()
-	l.refIPC[cores] = results
-	l.mu.Unlock()
-	return results
+	return l.refIPC.do(cores, func() []float64 {
+		models := l.Models()
+		names := l.Names()
+		// Alone on the same uncore configuration as the K-core machine:
+		// the uncore is built for `cores` but only core 0 is populated.
+		// The runs are independent, so they draw on the shared
+		// simulation budget like the sweeps do.
+		out := make([]float64, len(names))
+		multicore.RunBounded(len(names), func(i int) {
+			r, err := aloneOn(cores, multicore.Workload{names[i]}, models)
+			if err != nil {
+				panic(err)
+			}
+			out[i] = r
+		})
+		return out
+	})
 }
 
 // aloneOn runs one benchmark alone against a cores-sized LRU uncore with
@@ -448,27 +467,14 @@ func (l *Lab) BadcoDiffsAt(cores int, m metrics.Metric, x, y cache.PolicyName, i
 // with the detailed simulator running each benchmark alone on the 1-core
 // LRU configuration (the Table IV measurement).
 func (l *Lab) MPKI() []float64 {
-	l.mu.Lock()
-	if l.mpki != nil {
-		defer l.mu.Unlock()
-		return l.mpki
-	}
-	l.mu.Unlock()
-
-	traces := l.Traces()
-	names := l.Names()
-	out := make([]float64, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			out[i] = measureMPKI(traces[name])
-		}(i, name)
-	}
-	wg.Wait()
-	l.mu.Lock()
-	l.mpki = out
-	l.mu.Unlock()
-	return out
+	l.mpkiOnce.Do(func() {
+		traces := l.Traces()
+		names := l.Names()
+		out := make([]float64, len(names))
+		multicore.RunBounded(len(names), func(i int) {
+			out[i] = measureMPKI(traces[names[i]])
+		})
+		l.mpki = out
+	})
+	return l.mpki
 }

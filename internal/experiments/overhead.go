@@ -116,6 +116,12 @@ func (l *Lab) Overhead(cores int) OverheadResult {
 	return res
 }
 
+// OverheadRequests declares the overhead example's inputs: the Table III
+// speed measurement's prerequisites plus everything Figure 6 reads.
+func (l *Lab) OverheadRequests(cores int) []Request {
+	return append(l.TableIIIRequests(), l.Fig6Requests(cores)...)
+}
+
 // OverheadTable renders the Section VII-A example.
 func (l *Lab) OverheadTable(cores int) *Table {
 	r := l.Overhead(cores)

@@ -105,6 +105,16 @@ func percentile95(xs []float64) float64 {
 	return cp[idx]
 }
 
+// SpeedupRequests declares the tables SpeedupAccuracyTable reads: the
+// BADCO tables of its two pairs, the reference IPCs (WSU) and the MPKI
+// classification behind benchmark stratification.
+func (l *Lab) SpeedupRequests(cores int) []Request {
+	pols := []cache.PolicyName{cache.DIP, cache.DRRIP, cache.LRU, cache.FIFO}
+	return append(badcoSet(cores, pols),
+		Request{Sim: SimRef, Cores: cores},
+		Request{Sim: SimMPKI})
+}
+
 // SpeedupAccuracyTable renders the extension for the near-tie pair (DRRIP
 // vs DIP) and a decisive pair (DRRIP vs LRU) under the WSU metric.
 func (l *Lab) SpeedupAccuracyTable(cores int) *Table {

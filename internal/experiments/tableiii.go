@@ -80,6 +80,14 @@ func (l *Lab) TableIII(workloadsPerPoint int) []TableIIIRow {
 	return rows
 }
 
+// TableIIIRequests declares Table III's prerequisites: it times
+// individual simulations itself, so it only needs the BADCO models (and
+// the traces they imply) built beforehand, keeping the model-building
+// cost out of the timed region.
+func (l *Lab) TableIIIRequests() []Request {
+	return []Request{{Sim: SimModels}}
+}
+
 // TableIIITable renders Table III.
 func (l *Lab) TableIIITable(workloadsPerPoint int) *Table {
 	t := &Table{

@@ -28,6 +28,12 @@ func (l *Lab) Classes() []int {
 	return sampling.ScaledThresholds().ClassifyAll(l.MPKI())
 }
 
+// TableIVRequests declares Table IV's one expensive product: the MPKI
+// measurement (22 detailed alone runs).
+func (l *Lab) TableIVRequests() []Request {
+	return []Request{{Sim: SimMPKI}}
+}
+
 // TableIV reproduces Table IV: the classification of the 22 benchmarks by
 // measured LLC MPKI (Low < 1, Medium < 5, High >= 5).
 func (l *Lab) TableIV() *Table {

@@ -189,18 +189,9 @@ type SweepResult struct {
 func SweepApproximate(workloads []Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64) ([]Result, error) {
 	results := make([]Result, len(workloads))
 	errs := make([]error, len(workloads))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i := range workloads {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = Approximate(workloads[i], models, policy, quota)
-		}(i)
-	}
-	wg.Wait()
+	RunBounded(len(workloads), func(i int) {
+		results[i], errs[i] = Approximate(workloads[i], models, policy, quota)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -214,18 +205,9 @@ func SweepApproximate(workloads []Workload, models map[string]*badco.Model, poli
 func SweepDetailed(workloads []Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64) ([]Result, error) {
 	results := make([]Result, len(workloads))
 	errs := make([]error, len(workloads))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i := range workloads {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = Detailed(workloads[i], traces, policy, quota)
-		}(i)
-	}
-	wg.Wait()
+	RunBounded(len(workloads), func(i int) {
+		results[i], errs[i] = Detailed(workloads[i], traces, policy, quota)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -242,36 +224,52 @@ func maxParallel() int {
 	return n
 }
 
+// simSem bounds concurrent simulation work process-wide. All sweeps
+// draw slots from this one semaphore, so campaign-level parallelism
+// (several sweeps warmed at once) composes with per-sweep parallelism
+// without multiplying: total live simulations stay at maxParallel()
+// rather than workers x maxParallel().
+var simSem = make(chan struct{}, maxParallel())
+
+// RunBounded invokes fn(i) for every i in [0, n), drawing on the shared
+// process-wide simulation budget. The slot is acquired before the
+// goroutine is spawned, so at no point do more goroutines exist than may
+// run — a sweep over thousands of workloads never piles up idle
+// goroutines waiting for a slot. fn must not call RunBounded itself
+// (slot-holders waiting on slots would deadlock).
+func RunBounded(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		simSem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-simSem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // BuildModels constructs BADCO models for every benchmark in the suite,
 // in parallel. It is the "one person-month of model building" step of the
 // paper, automated.
 func BuildModels(traces map[string]*trace.Trace, cfg badco.BuildConfig) (map[string]*badco.Model, error) {
-	type item struct {
-		name  string
-		model *badco.Model
-		err   error
-	}
 	names := make([]string, 0, len(traces))
 	for name := range traces {
 		names = append(names, name)
 	}
-	out := make(chan item, len(names))
-	sem := make(chan struct{}, maxParallel())
-	for _, name := range names {
-		go func(name string) {
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			m, err := badco.Build(traces[name], cfg)
-			out <- item{name: name, model: m, err: err}
-		}(name)
-	}
+	built := make([]*badco.Model, len(names))
+	errs := make([]error, len(names))
+	RunBounded(len(names), func(i int) {
+		built[i], errs[i] = badco.Build(traces[names[i]], cfg)
+	})
 	models := make(map[string]*badco.Model, len(names))
-	for range names {
-		it := <-out
-		if it.err != nil {
-			return nil, fmt.Errorf("multicore: building model %s: %w", it.name, it.err)
+	for i, name := range names {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("multicore: building model %s: %w", name, errs[i])
 		}
-		models[it.name] = it.model
+		models[name] = built[i]
 	}
 	return models, nil
 }

@@ -2,7 +2,9 @@ package multicore
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mcbench/internal/badco"
 	"mcbench/internal/cache"
@@ -253,5 +255,37 @@ func TestQuotaHonored(t *testing.T) {
 	full, _ := Detailed(Workload{"hmmer"}, trs, cache.LRU, 0)
 	if r.Cycles[0] >= full.Cycles[0] {
 		t.Errorf("5000-op quota took %d cycles, full trace %d", r.Cycles[0], full.Cycles[0])
+	}
+}
+
+func TestRunBoundedLimitsConcurrency(t *testing.T) {
+	const n = 200
+	bound := int64(maxParallel())
+	var live, peak, calls atomic.Int64
+	RunBounded(n, func(i int) {
+		calls.Add(1)
+		cur := live.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		live.Add(-1)
+	})
+	if calls.Load() != n {
+		t.Fatalf("ran %d of %d tasks", calls.Load(), n)
+	}
+	if p := peak.Load(); p > bound {
+		t.Errorf("peak concurrency %d above bound %d", p, bound)
+	}
+}
+
+func TestRunBoundedEmpty(t *testing.T) {
+	ran := false
+	RunBounded(0, func(int) { ran = true })
+	if ran {
+		t.Error("fn invoked for n=0")
 	}
 }

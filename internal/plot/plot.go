@@ -23,15 +23,15 @@ type Series struct {
 
 // Config controls chart geometry.
 type Config struct {
-	Width   int    // plot area columns (default 64)
-	Height  int    // plot area rows (default 16)
-	Title   string
-	XLabel  string
-	YLabel  string
-	LogX    bool // logarithmic x axis (sample-size axes in the paper)
-	YMin    float64
-	YMax    float64
-	FixedY  bool // use YMin/YMax instead of data range
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool // logarithmic x axis (sample-size axes in the paper)
+	YMin   float64
+	YMax   float64
+	FixedY bool // use YMin/YMax instead of data range
 }
 
 func (c *Config) defaults() {

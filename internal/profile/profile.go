@@ -50,7 +50,7 @@ type Profile struct {
 	DataLines int // distinct data-cache lines touched
 
 	// Memory locality.
-	MemRefs     int             // load + store µops
+	MemRefs     int // load + store µops
 	ReuseHist   [ReuseBuckets]uint64
 	ColdMisses  uint64  // first-touch accesses (infinite stack distance)
 	SeqFrac     float64 // accesses whose line follows the previous access's line
@@ -76,19 +76,19 @@ func Compute(tr *trace.Trace) (*Profile, error) {
 	lastAccess := make(map[uint64]int, 1<<12) // line -> timestamp (1-based)
 
 	var (
-		deps, depSum   int
-		branches       uint64
-		taken, trans   uint64
-		prevTaken      bool
-		havePrev       bool
-		branchPCs      = map[uint64]struct{}{}
-		codeLines      = map[uint32]struct{}{}
-		prevLine       uint64
-		havePrevLine   bool
-		seq            uint64
-		logDistSum     float64
-		finiteReuses   uint64
-		memTime        int // 1-based timestamp of the current memory access
+		deps, depSum int
+		branches     uint64
+		taken, trans uint64
+		prevTaken    bool
+		havePrev     bool
+		branchPCs    = map[uint64]struct{}{}
+		codeLines    = map[uint32]struct{}{}
+		prevLine     uint64
+		havePrevLine bool
+		seq          uint64
+		logDistSum   float64
+		finiteReuses uint64
+		memTime      int // 1-based timestamp of the current memory access
 	)
 
 	for i := range tr.Ops {

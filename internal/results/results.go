@@ -11,23 +11,35 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 )
 
 // IPCTable is one sweep result: row per workload, column per core.
 type IPCTable struct {
-	Simulator  string      `json:"simulator"` // "detailed" or "badco"
-	Cores      int         `json:"cores"`
-	Policy     string      `json:"policy"`
-	TraceLen   int         `json:"trace_len"`
-	Population int         `json:"population"`
-	Seed       int64       `json:"seed"`
-	IPC        [][]float64 `json:"ipc"`
+	Simulator  string `json:"simulator"` // "detailed" or "badco"
+	Cores      int    `json:"cores"`
+	Policy     string `json:"policy"`
+	TraceLen   int    `json:"trace_len"`
+	Population int    `json:"population"`
+	Seed       int64  `json:"seed"`
+	// Universe is the size of the population the rows were sampled
+	// from, when the table covers only a sample (e.g. the detailed
+	// simulator's subset). 0 means the rows are the whole population.
+	// Without it, two configurations whose populations differ but whose
+	// sample sizes coincide would collide on one key and serve each
+	// other stale tables.
+	Universe int         `json:"universe,omitempty"`
+	IPC      [][]float64 `json:"ipc"`
 }
 
 // Key returns the table's filename-safe identity.
 func (t *IPCTable) Key() string {
-	return fmt.Sprintf("%s-c%d-%s-l%d-p%d-s%d",
+	key := fmt.Sprintf("%s-c%d-%s-l%d-p%d-s%d",
 		t.Simulator, t.Cores, t.Policy, t.TraceLen, t.Population, t.Seed)
+	if t.Universe > 0 {
+		key += fmt.Sprintf("-u%d", t.Universe)
+	}
+	return key
 }
 
 // Validate reports structural problems.
@@ -40,6 +52,9 @@ func (t *IPCTable) Validate() error {
 	}
 	if len(t.IPC) != t.Population {
 		return fmt.Errorf("results: %d rows for population %d", len(t.IPC), t.Population)
+	}
+	if t.Universe > 0 && t.Population > t.Universe {
+		return fmt.Errorf("results: population %d above universe %d", t.Population, t.Universe)
 	}
 	for i, row := range t.IPC {
 		if len(row) != t.Cores {
@@ -59,7 +74,13 @@ type Store struct {
 	dir string
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// staleTempAge is how old a staging file must be before Open reclaims
+// it. Fresh temp files may belong to a concurrent writer mid-Save;
+// anything this old is an orphan from an interrupted run.
+const staleTempAge = time.Hour
+
+// Open creates (if needed) and opens a store rooted at dir, reclaiming
+// staging files stranded by interrupted runs.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("results: empty directory")
@@ -67,7 +88,29 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("results: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	s.removeStaleTemp()
+	return s, nil
+}
+
+// removeStaleTemp deletes orphaned staging files (best-effort): each
+// Save stages through a uniquely named *.tmp file, so a crash between
+// create and rename strands it forever unless someone sweeps.
+func (s *Store) removeStaleTemp() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".tmp" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || time.Since(info.ModTime()) < staleTempAge {
+			continue
+		}
+		os.Remove(filepath.Join(s.dir, e.Name()))
+	}
 }
 
 // path returns the file path of a key.
@@ -75,7 +118,12 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
-// Save writes the table, replacing any previous version atomically.
+// Save writes the table, replacing any previous version atomically. Each
+// writer stages through its own uniquely named temporary file, so
+// concurrent saves of the same key (parallel campaign workers, or
+// several processes sharing one cache directory) never clobber each
+// other's staging data: whichever rename lands last wins, and readers
+// always see a complete file.
 func (s *Store) Save(t *IPCTable) error {
 	if err := t.Validate(); err != nil {
 		return err
@@ -84,12 +132,27 @@ func (s *Store) Save(t *IPCTable) error {
 	if err != nil {
 		return fmt.Errorf("results: %w", err)
 	}
-	tmp := s.path(t.Key()) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(s.dir, t.Key()+"-*.tmp")
+	if err != nil {
 		return fmt.Errorf("results: %w", err)
 	}
-	if err := os.Rename(tmp, s.path(t.Key())); err != nil {
-		os.Remove(tmp)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	// CreateTemp makes the file 0600; published tables must stay
+	// group/world-readable so several users can share a cache directory.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(t.Key())); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("results: %w", err)
 	}
 	return nil

@@ -3,7 +3,9 @@ package results
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 )
 
 func table() *IPCTable {
@@ -142,5 +144,121 @@ func TestKeysAndDelete(t *testing.T) {
 func TestOpenErrors(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Error("Open accepted empty dir")
+	}
+}
+
+// TestConcurrentSaveLoadSameKey exercises the store the way a concurrent
+// campaign does: many goroutines saving and loading one IPCTable key at
+// once. Every load must observe either "absent" or a complete, valid
+// table — never a torn or partially renamed file.
+func TestConcurrentSaveLoadSameKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := table()
+	proto := IPCTable{
+		Simulator: want.Simulator, Cores: want.Cores, Policy: want.Policy,
+		TraceLen: want.TraceLen, Population: want.Population, Seed: want.Seed,
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := s.Save(table()); err != nil {
+					t.Errorf("Save: %v", err)
+					return
+				}
+				got, ok, err := s.Load(proto)
+				if err != nil {
+					t.Errorf("Load: %v", err)
+					return
+				}
+				if !ok {
+					continue // another writer's rename not landed yet
+				}
+				for r := range want.IPC {
+					for c := range want.IPC[r] {
+						if got.IPC[r][c] != want.IPC[r][c] {
+							t.Errorf("IPC[%d][%d] = %g, want %g", r, c, got.IPC[r][c], want.IPC[r][c])
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The store directory must hold exactly the one key — no stranded
+	// staging files counted as tables.
+	keys, err := s.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != want.Key() {
+		t.Fatalf("keys after concurrent saves: %v (err %v)", keys, err)
+	}
+}
+
+func TestOpenReclaimsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "badco-c2-LRU-l1000-p3-s7-12345.tmp")
+	fresh := filepath.Join(dir, "badco-c2-DIP-l1000-p3-s7-67890.tmp")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale staging file not reclaimed")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh staging file must survive (may belong to a live writer)")
+	}
+}
+
+func TestUniverseDistinguishesKeys(t *testing.T) {
+	a := table()
+	b := table()
+	b.Universe = 40 // same sample size drawn from a different population
+	if a.Key() == b.Key() {
+		t.Error("sampled table shares a key with a full-population table")
+	}
+	c := table()
+	c.Universe = 80
+	if b.Key() == c.Key() {
+		t.Error("samples from different universes share a key")
+	}
+	// A sample larger than its universe is structurally invalid.
+	bad := table()
+	bad.Universe = 2 // population is 3
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted population above universe")
+	}
+	if b.Validate() != nil {
+		t.Errorf("Validate rejected sampled table: %v", b.Validate())
+	}
+}
+
+func TestSavedFilesAreWorldReadable(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	want := table()
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dir, want.Key()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared cache directories need group/other read bits (modulo umask).
+	if info.Mode().Perm()&0o044 == 0 {
+		t.Errorf("saved table mode %v lacks group/other read bits", info.Mode().Perm())
 	}
 }

@@ -34,11 +34,11 @@ const (
 
 // tag byte layout.
 const (
-	tagKindMask  = 0x07
-	tagTaken     = 0x08
-	tagIndirect  = 0x10
-	tagHasDep1   = 0x20
-	tagHasDep2   = 0x40
+	tagKindMask = 0x07
+	tagTaken    = 0x08
+	tagIndirect = 0x10
+	tagHasDep1  = 0x20
+	tagHasDep2  = 0x40
 )
 
 // zigzag encodes a signed delta as an unsigned varint-friendly value.

@@ -142,7 +142,7 @@ func TestZigzagProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
-	for _, v := range []int64{0, 1, -1, 1<<62, -(1 << 62)} {
+	for _, v := range []int64{0, 1, -1, 1 << 62, -(1 << 62)} {
 		if unzigzag(zigzag(v)) != v {
 			t.Errorf("zigzag not bijective at %d", v)
 		}

@@ -180,6 +180,7 @@ func benchTracesAndModels(b *testing.B) (map[string]*trace.Trace, map[string]*ba
 func BenchmarkDetailedSimulator2Core(b *testing.B) {
 	traces, _ := benchTracesAndModels(b)
 	w := multicore.Workload{"mcf", "povray"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := multicore.Detailed(w, traces, cache.LRU, 0); err != nil {
@@ -191,6 +192,7 @@ func BenchmarkDetailedSimulator2Core(b *testing.B) {
 func BenchmarkBadcoSimulator2Core(b *testing.B) {
 	_, models := benchTracesAndModels(b)
 	w := multicore.Workload{"mcf", "povray"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := multicore.Approximate(w, models, cache.LRU, 0); err != nil {
@@ -202,6 +204,7 @@ func BenchmarkBadcoSimulator2Core(b *testing.B) {
 func BenchmarkBadcoSimulator8Core(b *testing.B) {
 	_, models := benchTracesAndModels(b)
 	w := multicore.Workload{"mcf", "povray", "gcc", "libquantum", "hmmer", "soplex", "astar", "bzip2"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := multicore.Approximate(w, models, cache.LRU, 0); err != nil {
@@ -212,6 +215,7 @@ func BenchmarkBadcoSimulator8Core(b *testing.B) {
 
 func BenchmarkModelBuild(b *testing.B) {
 	traces := trace.GenerateSuite(20000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := badco.Build(traces["gcc"], badco.DefaultBuildConfig()); err != nil {
@@ -224,6 +228,7 @@ func BenchmarkModelBuild(b *testing.B) {
 // powers Figures 3-7 (2-core population, one policy).
 func BenchmarkPopulationSweep(b *testing.B) {
 	l := lab()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = l.BadcoIPC(2, cache.LRU)

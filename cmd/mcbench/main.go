@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,18 +35,33 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main with an exit code, so profile writers installed by
+// startProfiles always run (os.Exit would skip deferred stops).
+func realMain() int {
 	quick := flag.Bool("quick", false, "reduced campaign (fast, lower resolution)")
 	cores := flag.Int("cores", 4, "core count for fig4/fig5/fig6/overhead")
 	cacheDir := flag.String("cache", "", "directory for persisting population sweeps across runs")
 	plotFlag := flag.Bool("plot", false, "render figures as text charts in addition to tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (pprof)")
 	flag.Usage = usage
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
@@ -56,9 +73,9 @@ func main() {
 	if args[0] == "sim" {
 		if err := simulate(cfg, args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "mcbench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	// Precompute every table the selected experiments declare, with
@@ -73,14 +90,53 @@ func main() {
 
 	for _, name := range args {
 		if name == "all" {
-			runAll(lab, *cores, *plotFlag)
+			if err := runAll(lab, *cores, *plotFlag); err != nil {
+				fmt.Fprintln(os.Stderr, "mcbench:", err)
+				return 1
+			}
 			continue
 		}
 		if err := run(lab, name, *cores, *plotFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "mcbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
+}
+
+// startProfiles starts CPU profiling and arranges a heap snapshot at
+// stop, so future performance work starts from a profile instead of
+// guesses: mcbench -quick -cpuprofile cpu.out all && go tool pprof cpu.out
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mcbench: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // simulate runs one named workload under one policy with both simulators
@@ -156,16 +212,17 @@ extensions (beyond the paper):
   sim               simulate one workload: mcbench sim <policy> <bench,bench,...>
 
 flags: -plot renders figures as text charts in addition to tables
+       -cpuprofile/-memprofile write pprof profiles for performance work
 `)
 }
 
-func runAll(lab *experiments.Lab, cores int, plotFlag bool) {
+func runAll(lab *experiments.Lab, cores int, plotFlag bool) error {
 	for _, name := range experiments.AllExperiments() {
 		if err := run(lab, name, cores, plotFlag); err != nil {
-			fmt.Fprintln(os.Stderr, "mcbench:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }
 
 func run(lab *experiments.Lab, name string, cores int, plotFlag bool) error {

@@ -39,6 +39,14 @@
 // with bounded parallelism — concurrent requests for one table share a
 // single population sweep while distinct tables sweep in parallel.
 //
+// Under the campaign sits an allocation-free, batch-scheduled simulation
+// kernel: the multicore driver dispatches each core in minimum-clock
+// batches (StepUntil) instead of per µop — provably the same schedule,
+// enforced bit-for-bit by golden tests against a retained per-step
+// reference driver — and the cpu/cache/uncore hot paths run free of map
+// traffic and steady-state allocations. See README.md's Performance
+// section and BENCH_2.json for measured speedups (scripts/bench.sh).
+//
 // See DESIGN.md for the system inventory and substitutions, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
 // bench_test.go regenerate each table and figure.

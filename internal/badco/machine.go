@@ -14,6 +14,7 @@ import (
 type Machine struct {
 	model *Model
 	mem   uncore.Memory
+	unc   *uncore.Uncore // mem devirtualized, when it is the real uncore
 	id    int
 
 	next    int      // next node index within the current iteration
@@ -37,9 +38,11 @@ func NewMachine(id int, m *Model, mem uncore.Memory) (*Machine, error) {
 	if mem == nil {
 		return nil, fmt.Errorf("badco: nil memory")
 	}
+	unc, _ := mem.(*uncore.Uncore)
 	return &Machine{
 		model:  m,
 		mem:    mem,
+		unc:    unc,
 		id:     id,
 		issueT: make([]uint64, len(m.Nodes)),
 		compT:  make([]uint64, len(m.Nodes)),
@@ -98,6 +101,7 @@ func (ma *Machine) Step() uint64 {
 	}
 	j := ma.next
 	n := &m.Nodes[j]
+	issueT, compT := ma.issueT, ma.compT
 
 	var t int64
 	switch {
@@ -105,9 +109,9 @@ func (ma *Machine) Step() uint64 {
 		// Head is the lead-in compute time of the iteration's first node.
 		t = int64(ma.prevEnd + m.Head)
 	case n.Dep >= 0:
-		t = int64(ma.compT[n.Dep]) + n.Delay
+		t = int64(compT[n.Dep]) + n.Delay
 	default:
-		t = int64(ma.issueT[j-1]) + n.Delay
+		t = int64(issueT[j-1]) + n.Delay
 	}
 	if t < int64(ma.prevEnd) {
 		t = int64(ma.prevEnd)
@@ -116,18 +120,19 @@ func (ma *Machine) Step() uint64 {
 	// The instruction window bounds run-ahead: this node cannot issue
 	// before the node one ROB behind it has completed.
 	if n.WindowDep >= 0 {
-		if w := ma.compT[n.WindowDep]; w > issue {
+		if w := compT[n.WindowDep]; w > issue {
 			issue = w
 		}
 	}
 	done := ma.mem.Access(ma.id, n.PC, n.VAddr, n.Write, false, issue)
 	ma.reqCount++
-	for _, s := range n.Satellites {
+	for i := range n.Satellites {
+		s := &n.Satellites[i]
 		ma.mem.Access(ma.id, s.PC, s.VAddr, s.Write, s.Prefetch, issue+s.Offset)
 	}
 
-	ma.issueT[j] = issue
-	ma.compT[j] = done
+	issueT[j] = issue
+	compT[j] = done
 	if done > ma.clock {
 		ma.clock = done
 	}
@@ -141,6 +146,99 @@ func (ma *Machine) Step() uint64 {
 		}
 	}
 	return ma.clock
+}
+
+// StepUntil executes nodes until the local clock reaches limit or the
+// committed µop count reaches quota, whichever comes first, and returns
+// the number of nodes executed. It is the batch form of Step used by the
+// multicore driver: because Now is nondecreasing and the other cores'
+// clocks cannot change while this machine runs, stepping until the clock
+// reaches the runner-up core's clock reproduces the per-step
+// smallest-clock-first schedule exactly, with one dispatch per batch.
+//
+// The loop body is Step's node replay with the machine state held in
+// locals and the committed count maintained incrementally; the golden
+// determinism tests (internal/multicore) pin it to the Step-based
+// reference driver, so the two cannot drift apart unnoticed.
+func (ma *Machine) StepUntil(limit, quota uint64) (steps uint64) {
+	m := ma.model
+	nodes := m.Nodes
+	if len(nodes) == 0 {
+		for ma.clock < limit && ma.Committed() < quota {
+			ma.Step()
+			steps++
+		}
+		return steps
+	}
+	issueT, compT := ma.issueT, ma.compT
+	unc, mem, id := ma.unc, ma.mem, ma.id
+	next, iter := ma.next, ma.iter
+	prevEnd, clock := ma.prevEnd, ma.clock
+	reqs := ma.reqCount
+	iterBase := iter * uint64(m.TraceLen)
+	committed := iterBase
+	if next > 0 {
+		committed += uint64(nodes[next-1].OpIndex)
+	}
+	for clock < limit && committed < quota {
+		n := &nodes[next]
+		var t int64
+		switch {
+		case next == 0:
+			t = int64(prevEnd + m.Head)
+		case n.Dep >= 0:
+			t = int64(compT[n.Dep]) + n.Delay
+		default:
+			t = int64(issueT[next-1]) + n.Delay
+		}
+		if t < int64(prevEnd) {
+			t = int64(prevEnd)
+		}
+		issue := uint64(t)
+		if n.WindowDep >= 0 {
+			if w := compT[n.WindowDep]; w > issue {
+				issue = w
+			}
+		}
+		var done uint64
+		if unc != nil {
+			done = unc.Access(id, n.PC, n.VAddr, n.Write, false, issue)
+		} else {
+			done = mem.Access(id, n.PC, n.VAddr, n.Write, false, issue)
+		}
+		reqs++
+		for i := range n.Satellites {
+			s := &n.Satellites[i]
+			if unc != nil {
+				unc.Access(id, s.PC, s.VAddr, s.Write, s.Prefetch, issue+s.Offset)
+			} else {
+				mem.Access(id, s.PC, s.VAddr, s.Write, s.Prefetch, issue+s.Offset)
+			}
+		}
+		issueT[next] = issue
+		compT[next] = done
+		if done > clock {
+			clock = done
+		}
+		next++
+		if next == len(nodes) {
+			prevEnd = done + m.Tail
+			iter++
+			next = 0
+			iterBase += uint64(m.TraceLen)
+			committed = iterBase
+			if prevEnd > clock {
+				clock = prevEnd
+			}
+		} else {
+			committed = iterBase + uint64(n.OpIndex)
+		}
+		steps++
+	}
+	ma.next, ma.iter = next, iter
+	ma.prevEnd, ma.clock = prevEnd, clock
+	ma.reqCount = reqs
+	return steps
 }
 
 // RunIterations executes n full trace iterations and returns the end time

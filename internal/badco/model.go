@@ -182,7 +182,9 @@ func calibrate(tr *trace.Trace, core cpu.Config, lat uint64) ([]cpu.UncoreReques
 	if err != nil {
 		return nil, 0, err
 	}
-	var reqs []cpu.UncoreRequest
+	// Preallocate for a memory-heavy trace (~1 request per 8 µops) so the
+	// recording does not grow through repeated reallocations.
+	reqs := make([]cpu.UncoreRequest, 0, tr.Len()/8)
 	c.SetRecorder(&reqs)
 	c.Run(tr.Len())
 	return reqs, c.Cycles(), nil
@@ -192,8 +194,8 @@ func calibrate(tr *trace.Trace, core cpu.Config, lat uint64) ([]cpu.UncoreReques
 // (prefetches and writebacks). The satellite slice is index-aligned with
 // the demand request that most recently preceded it (-1 if before any).
 func split(reqs []cpu.UncoreRequest) ([]timedReq, []satWithAnchor) {
-	var demand []timedReq
-	var sats []satWithAnchor
+	demand := make([]timedReq, 0, len(reqs))
+	sats := make([]satWithAnchor, 0, len(reqs))
 	for _, r := range reqs {
 		if r.Prefetch || r.Kind == cpu.ReqWB {
 			sats = append(sats, satWithAnchor{req: r, anchor: len(demand) - 1})

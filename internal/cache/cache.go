@@ -16,12 +16,33 @@ import (
 // LineSize is the cache line size in bytes for every cache in the system.
 const LineSize = 64
 
-// line is one cache line's bookkeeping.
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-}
+// line is one cache line's bookkeeping, packed into a single 32-bit
+// word: the tag in the high 29 bits and the valid/dirty/prefetch flags
+// in the low three. The prefetch bit lives in the line itself (rather
+// than a parallel slice) and a whole 16-way set scans as one 64-byte
+// strip — a single cache line of bookkeeping per lookup. The packing
+// constrains addresses to < 2^(29+log2(LineSize*sets)) — at least 2^41
+// for the smallest simulated cache, far above both the synthetic
+// virtual address space and the bump-allocated physical one; Fill
+// panics if an address ever exceeds it.
+type line uint32
+
+const (
+	lineValid    line = 1 << 0
+	lineDirty    line = 1 << 1
+	linePref     line = 1 << 2 // filled by prefetch and not yet demanded
+	lineTagShift      = 3
+	lineTagMax        = 1 << (32 - lineTagShift) // first tag that does not fit
+)
+
+func (l line) tag() uint64 { return uint64(l) >> lineTagShift }
+func (l line) valid() bool { return l&lineValid != 0 }
+func (l line) dirty() bool { return l&lineDirty != 0 }
+func (l line) pref() bool  { return l&linePref != 0 }
+
+// lineKey builds the packed compare key of a valid line with the given
+// tag; masking a line's dirty/pref bits off makes it directly comparable.
+func lineKey(tag uint64) line { return line(tag<<lineTagShift) | lineValid }
 
 // Stats counts cache events. Demand accesses only; prefetch fills are
 // counted separately so MPKI reflects demand misses as in the paper.
@@ -48,11 +69,13 @@ type Cache struct {
 	sets     int
 	ways     int
 	setShift uint
+	tagShift uint // precomputed log2(sets): tag = lineAddr >> tagShift
 	setMask  uint64
 	lines    []line // sets*ways, row-major by set
-	prefBit  []bool // line was filled by prefetch and not yet demanded
 	policy   Policy
+	lru      *lruPolicy   // policy devirtualized, when it is plain LRU
 	addrObs  AddressAware // non-nil if the policy wants addresses
+	gen      uint64       // bumped whenever contents change (see Generation)
 	stats    Stats
 }
 
@@ -90,12 +113,15 @@ func New(name string, sizeBytes, ways int, policy Policy) (*Cache, error) {
 		sets:     sets,
 		ways:     ways,
 		setShift: uint(bits.TrailingZeros(uint(LineSize))),
+		tagShift: uint(bits.TrailingZeros(uint(sets))),
 		setMask:  uint64(sets - 1),
 		lines:    make([]line, sets*ways),
-		prefBit:  make([]bool, sets*ways),
 		policy:   policy,
 	}
 	c.addrObs, _ = policy.(AddressAware)
+	// Plain LRU (every L1, and the LLC in much of the campaign) gets its
+	// hooks called directly: touch on hits and fills, nothing on misses.
+	c.lru, _ = policy.(*lruPolicy)
 	return c, nil
 }
 
@@ -129,19 +155,32 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // Policy returns the attached replacement policy.
 func (c *Cache) Policy() Policy { return c.policy }
 
+// Generation counts content changes: it advances every time a line is
+// installed, invalidated or flushed (never on hits or misses alone). A
+// line observed resident is therefore still resident while Generation
+// is unchanged — the contract behind the uncore's prefetch-proposal
+// filter.
+func (c *Cache) Generation() uint64 { return c.gen }
+
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	lineAddr := addr >> c.setShift
-	return int(lineAddr & c.setMask), lineAddr >> uint(bits.TrailingZeros(uint(c.sets)))
+	return int(lineAddr & c.setMask), lineAddr >> c.tagShift
 }
 
-func (c *Cache) at(set, way int) *line { return &c.lines[set*c.ways+way] }
+// set returns the ways of one set as a sub-slice, which lets the per-way
+// scans run with a single bounds check.
+func (c *Cache) set(set int) []line {
+	base := set * c.ways
+	return c.lines[base : base+c.ways]
+}
 
 // Probe reports whether addr is present without updating replacement
 // state or statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
-	for w := 0; w < c.ways; w++ {
-		if l := c.at(set, w); l.valid && l.tag == tag {
+	want := lineKey(tag)
+	for _, l := range c.set(set) {
+		if l&^(lineDirty|linePref) == want {
 			return true
 		}
 	}
@@ -158,23 +197,32 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool) {
 	if c.addrObs != nil {
 		c.addrObs.ObserveAddr(addr)
 	}
-	for w := 0; w < c.ways; w++ {
-		l := c.at(set, w)
-		if l.valid && l.tag == tag {
+	ways := c.set(set)
+	want := lineKey(tag)
+	for w := range ways {
+		l := ways[w]
+		if l&^(lineDirty|linePref) == want {
 			c.stats.Hits++
 			if write {
-				l.dirty = true
+				l |= lineDirty
 			}
-			if c.prefBit[set*c.ways+w] {
+			if l&linePref != 0 {
 				c.stats.PrefetchHits++
-				c.prefBit[set*c.ways+w] = false
+				l &^= linePref
 			}
-			c.policy.OnHit(set, w)
+			ways[w] = l
+			if c.lru != nil {
+				c.lru.touch(set, w)
+			} else {
+				c.policy.OnHit(set, w)
+			}
 			return true
 		}
 	}
 	c.stats.Misses++
-	c.policy.OnMiss(set)
+	if c.lru == nil {
+		c.policy.OnMiss(set)
+	}
 	return false
 }
 
@@ -191,61 +239,80 @@ type Eviction struct {
 // caller whether a writeback must be modelled.
 func (c *Cache) Fill(addr uint64, write, prefetch bool) Eviction {
 	set, tag := c.index(addr)
+	if tag >= lineTagMax {
+		panic(fmt.Sprintf("cache %s: address %#x exceeds the packed-tag range", c.name, addr))
+	}
 	if c.addrObs != nil {
 		c.addrObs.ObserveAddr(addr)
 	}
 	// Already present (e.g. a prefetch raced a demand fill): refresh state.
-	for w := 0; w < c.ways; w++ {
-		l := c.at(set, w)
-		if l.valid && l.tag == tag {
+	ways := c.set(set)
+	want := lineKey(tag)
+	for w := range ways {
+		if ways[w]&^(lineDirty|linePref) == want {
 			if write {
-				l.dirty = true
+				ways[w] |= lineDirty
 			}
 			return Eviction{}
 		}
 	}
 	way := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.at(set, w).valid {
+	for w := range ways {
+		if !ways[w].valid() {
 			way = w
 			break
 		}
 	}
 	var ev Eviction
 	if way < 0 {
-		way = c.policy.Victim(set)
+		if c.lru != nil {
+			way = c.lru.Victim(set)
+		} else {
+			way = c.policy.Victim(set)
+		}
 		if way < 0 || way >= c.ways {
 			panic(fmt.Sprintf("cache %s: policy %s returned invalid victim %d", c.name, c.policy.Name(), way))
 		}
-		v := c.at(set, way)
-		ev = Eviction{Valid: true, Dirty: v.dirty, Addr: c.lineAddr(set, v.tag)}
-		if v.dirty {
+		v := ways[way]
+		ev = Eviction{Valid: true, Dirty: v.dirty(), Addr: c.lineAddr(set, v.tag())}
+		if v.dirty() {
 			c.stats.Writebacks++
 		}
 	}
-	*c.at(set, way) = line{tag: tag, valid: true, dirty: write}
-	c.prefBit[set*c.ways+way] = prefetch
+	nl := want
+	if write {
+		nl |= lineDirty
+	}
 	if prefetch {
+		nl |= linePref
 		c.stats.PrefetchFills++
 	}
-	c.policy.OnFill(set, way)
+	ways[way] = nl
+	c.gen++
+	if c.lru != nil {
+		c.lru.touch(set, way)
+	} else {
+		c.policy.OnFill(set, way)
+	}
 	return ev
 }
 
 // lineAddr reconstructs the line-aligned address of a (set, tag) pair.
 func (c *Cache) lineAddr(set int, tag uint64) uint64 {
-	setBits := uint(bits.TrailingZeros(uint(c.sets)))
-	return (tag<<setBits | uint64(set)) << c.setShift
+	return (tag<<c.tagShift | uint64(set)) << c.setShift
 }
 
 // Invalidate drops addr if present, returning whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	set, tag := c.index(addr)
-	for w := 0; w < c.ways; w++ {
-		l := c.at(set, w)
-		if l.valid && l.tag == tag {
-			l.valid = false
-			return true, l.dirty
+	ways := c.set(set)
+	want := lineKey(tag)
+	for w := range ways {
+		if ways[w]&^(lineDirty|linePref) == want {
+			dirty = ways[w].dirty()
+			ways[w] &^= lineValid
+			c.gen++
+			return true, dirty
 		}
 	}
 	return false, false
@@ -255,12 +322,12 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // dropped. Statistics are preserved.
 func (c *Cache) Flush() (dirty int) {
 	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
+		if c.lines[i].valid() && c.lines[i].dirty() {
 			dirty++
 		}
-		c.lines[i] = line{}
-		c.prefBit[i] = false
+		c.lines[i] = 0
 	}
+	c.gen++
 	return dirty
 }
 

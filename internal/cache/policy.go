@@ -81,7 +81,9 @@ func MustNewPolicy(name PolicyName, seed int64) Policy {
 // LRU
 
 // lruPolicy tracks a global use counter per line; the victim is the line
-// with the smallest stamp.
+// with the smallest stamp. Touches vastly outnumber victim selections
+// (every hit touches; only evictions scan), so the stamp write is the
+// operation to keep cheap.
 type lruPolicy struct {
 	ways   int
 	clock  uint64

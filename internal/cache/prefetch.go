@@ -110,21 +110,30 @@ func (p *ipStridePrefetcher) Observe(pc, addr uint64, _ bool) []uint64 {
 // ---------------------------------------------------------------------------
 // Stream
 
-// streamEntry tracks one detected sequential stream of cache lines.
-type streamEntry struct {
-	lastLine uint64
-	hits     uint8 // consecutive sequential observations
-	valid    bool
-	lruClock uint64
-}
-
 const (
 	streamTableSize = 16
 	streamTrainHits = 2
+	streamIdxBits   = 4 // log2(streamTableSize), for the victim-scan packing
 )
 
+// The victim scan packs (clock, index) into one word, so the table size
+// must stay in sync with streamIdxBits.
+var _ [streamTableSize - 1<<streamIdxBits]struct{}
+var _ [1<<streamIdxBits - streamTableSize]struct{}
+
+// streamPrefetcher stores its table as parallel strips so each scan reads
+// one dense 128-byte run of words:
+//
+//   - keys[i] holds the stream's lastLine+2 (0 = no stream), so
+//     keys[i] == line+2 is a repeat access and keys[i] == line+1 extends
+//     the stream, and an empty slot matches neither;
+//   - clocks[i] is the entry's LRU clock (0 = empty slot, the allocation
+//     scan's strip);
+//   - hits[i] counts consecutive sequential observations.
 type streamPrefetcher struct {
-	table  [streamTableSize]streamEntry
+	keys   [streamTableSize]uint64
+	clocks [streamTableSize]uint64
+	hits   [streamTableSize]uint8
 	clock  uint64
 	degree int
 	buf    []uint64
@@ -146,23 +155,23 @@ func (p *streamPrefetcher) Observe(_, addr uint64, _ bool) []uint64 {
 	p.clock++
 	p.buf = p.buf[:0]
 
-	// Find a stream this access extends (same line or the next one).
-	for i := range p.table {
-		e := &p.table[i]
-		if !e.valid {
-			continue
-		}
-		switch line {
-		case e.lastLine: // repeat access: keep the stream warm
-			e.lruClock = p.clock
+	// Find a stream this access extends (same line or the next one); the
+	// mostly-not-taken compares predict well, so the scan stays a plain
+	// early-out loop over the dense key strip.
+	// (&p.keys: ranging over the array value would copy it each call.)
+	rk := line + 2
+	for i, k := range &p.keys {
+		if k == rk { // repeat access: keep the stream warm
+			p.clocks[i] = p.clock
 			return nil
-		case e.lastLine + 1:
-			e.lastLine = line
-			e.lruClock = p.clock
-			if e.hits < streamTrainHits {
-				e.hits++
+		}
+		if k == line+1 { // sequential: extend the stream
+			p.keys[i] = rk
+			p.clocks[i] = p.clock
+			if p.hits[i] < streamTrainHits {
+				p.hits[i]++
 			}
-			if e.hits >= streamTrainHits {
+			if p.hits[i] >= streamTrainHits {
 				for d := 1; d <= p.degree; d++ {
 					p.buf = append(p.buf, (line+uint64(d))*LineSize)
 				}
@@ -171,21 +180,21 @@ func (p *streamPrefetcher) Observe(_, addr uint64, _ bool) []uint64 {
 		}
 	}
 
-	// Allocate (replace the LRU entry) for a potential new stream.
-	victim := 0
-	var oldest uint64 = ^uint64(0)
-	for i := range p.table {
-		e := &p.table[i]
-		if !e.valid {
-			victim = i
-			break
-		}
-		if e.lruClock < oldest {
-			oldest = e.lruClock
-			victim = i
+	// Allocate for a potential new stream: the first empty slot, else the
+	// least recently used. Packing (clock, index) into one word makes the
+	// scan a plain min: an empty slot's key is its bare index, which
+	// undercuts every real clock, and unique clocks break ties exactly
+	// like the index order of a first-minimum scan.
+	best := ^uint64(0)
+	for i, c := range &p.clocks {
+		if v := c<<streamIdxBits | uint64(i); v < best {
+			best = v
 		}
 	}
-	p.table[victim] = streamEntry{lastLine: line, valid: true, lruClock: p.clock}
+	victim := int(best & (streamTableSize - 1))
+	p.keys[victim] = rk
+	p.clocks[victim] = p.clock
+	p.hits[victim] = 0
 	return nil
 }
 
@@ -198,8 +207,21 @@ type multiPrefetcher struct {
 }
 
 // Combine merges several prefetchers into one; duplicate proposals are
-// deduplicated per observation.
+// deduplicated per observation. The two pairings the simulators actually
+// build (IP-stride + stream for LLCs, IP-stride + next-line for DL1s)
+// get devirtualized combiners whose parts are called directly on the
+// hot path; any other combination falls back to the generic form.
 func Combine(parts ...Prefetcher) Prefetcher {
+	if len(parts) == 2 {
+		if a, ok := parts[0].(*ipStridePrefetcher); ok {
+			switch b := parts[1].(type) {
+			case *streamPrefetcher:
+				return &StrideStreamPrefetcher{stride: a, stream: b}
+			case *nextLinePrefetcher:
+				return &StrideNextPrefetcher{stride: a, next: b}
+			}
+		}
+	}
 	return &multiPrefetcher{parts: parts}
 }
 
@@ -208,19 +230,68 @@ func (p *multiPrefetcher) Name() string { return "combined" }
 func (p *multiPrefetcher) Observe(pc, addr uint64, miss bool) []uint64 {
 	p.buf = p.buf[:0]
 	for _, part := range p.parts {
-		for _, a := range part.Observe(pc, addr, miss) {
-			dup := false
-			for _, b := range p.buf {
-				if a == b {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				p.buf = append(p.buf, a)
+		p.buf = appendDedup(p.buf, part.Observe(pc, addr, miss))
+	}
+	return p.buf
+}
+
+// appendDedup appends the proposals not already present in buf.
+func appendDedup(buf, proposals []uint64) []uint64 {
+	for _, a := range proposals {
+		dup := false
+		for _, b := range buf {
+			if a == b {
+				dup = true
+				break
 			}
 		}
+		if !dup {
+			buf = append(buf, a)
+		}
 	}
+	return buf
+}
+
+// NewStrideStream builds the LLC pairing (IP-stride + stream, equal
+// degrees) as its concrete type, so callers hold a devirtualized
+// reference on their hot path.
+func NewStrideStream(degree int) *StrideStreamPrefetcher {
+	return Combine(NewIPStride(degree), NewStream(degree)).(*StrideStreamPrefetcher)
+}
+
+// NewStrideNext builds the DL1 pairing (IP-stride + next-line) as its
+// concrete type (see NewStrideStream).
+func NewStrideNext(degree int, onMissOnly bool) *StrideNextPrefetcher {
+	return Combine(NewIPStride(degree), NewNextLine(onMissOnly)).(*StrideNextPrefetcher)
+}
+
+// StrideStreamPrefetcher is Combine(ip-stride, stream) with direct calls.
+type StrideStreamPrefetcher struct {
+	stride *ipStridePrefetcher
+	stream *streamPrefetcher
+	buf    []uint64
+}
+
+func (p *StrideStreamPrefetcher) Name() string { return "combined" }
+
+func (p *StrideStreamPrefetcher) Observe(pc, addr uint64, miss bool) []uint64 {
+	p.buf = appendDedup(p.buf[:0], p.stride.Observe(pc, addr, miss))
+	p.buf = appendDedup(p.buf, p.stream.Observe(pc, addr, miss))
+	return p.buf
+}
+
+// StrideNextPrefetcher is Combine(ip-stride, next-line) with direct calls.
+type StrideNextPrefetcher struct {
+	stride *ipStridePrefetcher
+	next   *nextLinePrefetcher
+	buf    []uint64
+}
+
+func (p *StrideNextPrefetcher) Name() string { return "combined" }
+
+func (p *StrideNextPrefetcher) Observe(pc, addr uint64, miss bool) []uint64 {
+	p.buf = appendDedup(p.buf[:0], p.stride.Observe(pc, addr, miss))
+	p.buf = appendDedup(p.buf, p.next.Observe(pc, addr, miss))
 	return p.buf
 }
 

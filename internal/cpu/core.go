@@ -88,8 +88,8 @@ type Core struct {
 	btac *bpred.BTAC
 	ind  *bpred.Indirect
 	ras  *bpred.RAS
-	dpf  cache.Prefetcher // DL1 prefetcher (ip-stride + next-line)
-	ipf  cache.Prefetcher // IL1 prefetcher (next-line)
+	dpf  *cache.StrideNextPrefetcher // DL1 prefetcher (ip-stride + next-line)
+	ipf  cache.Prefetcher            // IL1 prefetcher (next-line)
 
 	// shadowRAS is the architectural call stack (ground truth for return
 	// targets); the 16-entry ras above is the predictor being modelled.
@@ -116,20 +116,44 @@ type Core struct {
 	lastILine    uint32
 	haveILine    bool
 
-	// Issue bandwidth booking.
-	slotCount [issueSlots]uint8
-	slotTag   [issueSlots]uint64
+	// Issue bandwidth booking: one packed word per slot, the cycle tag in
+	// the high 60 bits and the booked count in the low 4 (IssueWidth is
+	// far below 16), so probing a slot touches one cache line, not two
+	// parallel arrays.
+	slots [issueSlots]uint64
 
 	// Commit bandwidth.
 	lastCommit     uint64
 	lastCommitCyc  uint64
 	commitsInCycle int
 
-	// DL1 MSHRs: line address -> fill completion.
-	dl1Miss map[uint64]uint64
+	// DL1 MSHRs: a fixed array of in-flight fills (line address -> fill
+	// completion), scanned linearly like the uncore's MSHR file — the
+	// fixed array keeps the hot path free of map traffic. The first
+	// dl1MissN entries are live; as with the map this replaced, expired
+	// entries linger until a pruneDL1 call, and all operations are
+	// order-independent, so swap-removal preserves the exact semantics.
+	dl1Miss  [maxDL1MSHRs]mshrEntry
+	dl1MissN int
+
+	// pfBuf detaches DL1 prefetch proposals from the prefetcher's reused
+	// buffer before they are issued (dl1Prefetch feeds the uncore, whose
+	// own prefetchers have their own buffers, so pfBuf is never reused
+	// re-entrantly).
+	pfBuf []uint64
 
 	stats    Stats
 	recorder *[]UncoreRequest
+}
+
+// maxDL1MSHRs bounds Config.DL1MSHRs so the MSHR file can be a fixed
+// array inside Core.
+const maxDL1MSHRs = 64
+
+// mshrEntry is one in-flight DL1 fill.
+type mshrEntry struct {
+	line uint64
+	done uint64
 }
 
 // New builds a core with the given id, executing tr against mem.
@@ -145,6 +169,12 @@ func New(id int, cfg Config, tr *trace.Trace, mem uncore.Memory) (*Core, error) 
 	}
 	if cfg.LDQ > len((&Core{}).loadDone) || cfg.STQ > len((&Core{}).storeDone) {
 		return nil, fmt.Errorf("cpu: LDQ/STQ exceed ring sizes")
+	}
+	if cfg.DL1MSHRs > maxDL1MSHRs {
+		return nil, fmt.Errorf("cpu: DL1MSHRs %d exceeds MSHR file size %d", cfg.DL1MSHRs, maxDL1MSHRs)
+	}
+	if cfg.IssueWidth >= 16 {
+		return nil, fmt.Errorf("cpu: IssueWidth %d exceeds issue-slot count field", cfg.IssueWidth)
 	}
 	il1, err := cache.New("IL1", cfg.IL1Bytes, cfg.IL1Ways, cache.NewLRUPolicy())
 	if err != nil {
@@ -183,12 +213,11 @@ func New(id int, cfg Config, tr *trace.Trace, mem uncore.Memory) (*Core, error) 
 		btac: bpred.NewBTAC(btacEnts, 4),
 		ind:  bpred.DefaultIndirect(),
 		ras:  bpred.NewRAS(ras),
-		dpf: cache.Combine(cache.NewIPStride(cfg.PrefetchDegree),
-			cache.NewNextLine(true)),
+		dpf:  cache.NewStrideNext(cfg.PrefetchDegree, true),
 		// The IL1 next-line prefetcher fires on every access so that
 		// sequential code fetch stays ahead of demand.
-		ipf:     cache.NewNextLine(false),
-		dl1Miss: make(map[uint64]uint64),
+		ipf:   cache.NewNextLine(false),
+		pfBuf: make([]uint64, 0, 8),
 	}, nil
 }
 
@@ -278,6 +307,21 @@ func (c *Core) Step() uint64 {
 		c.shadowRAS = c.shadowRAS[:0]
 	}
 	return commit
+}
+
+// StepUntil executes µops until the local clock reaches limit or the
+// committed count reaches quota, whichever comes first, and returns the
+// number of µops executed. It is the batch form of Step used by the
+// multicore driver: because Now is nondecreasing and the other cores'
+// clocks cannot change while this core runs, stepping until the clock
+// reaches the runner-up core's clock reproduces the per-step
+// smallest-clock-first schedule exactly, with one dispatch per batch.
+func (c *Core) StepUntil(limit, quota uint64) (steps uint64) {
+	for c.lastCommit < limit && c.seq < quota {
+		c.Step()
+		steps++
+	}
+	return steps
 }
 
 // fetch computes the cycle the µop leaves the front end.
@@ -394,12 +438,12 @@ func (c *Core) bookIssueSlot(earliest uint64) uint64 {
 	t := earliest
 	for {
 		idx := t % issueSlots
-		if c.slotTag[idx] != t {
-			c.slotTag[idx] = t
-			c.slotCount[idx] = 0
+		s := c.slots[idx]
+		if s>>4 != t {
+			s = t << 4 // stale slot: re-tag with a zero count
 		}
-		if int(c.slotCount[idx]) < c.cfg.IssueWidth {
-			c.slotCount[idx]++
+		if int(s&15) < c.cfg.IssueWidth {
+			c.slots[idx] = s + 1
 			return t
 		}
 		t++
@@ -473,7 +517,7 @@ func (c *Core) load(op *trace.Op, issue uint64) uint64 {
 	var done uint64
 	if hit {
 		done = t
-		if fill, ok := c.dl1Miss[line]; ok && fill > done {
+		if fill, ok := c.dl1MissLookup(line); ok && fill > done {
 			done = fill // late fill (e.g. in-flight prefetch)
 		}
 	} else {
@@ -502,14 +546,14 @@ func (c *Core) store(op *trace.Op, issue uint64) {
 // dl1FillMiss services a DL1 demand miss at time t through the MSHRs and
 // the uncore; it returns the fill completion time.
 func (c *Core) dl1FillMiss(pc, line uint64, write bool, t uint64) uint64 {
-	if done, ok := c.dl1Miss[line]; ok {
+	if done, ok := c.dl1MissLookup(line); ok {
 		if done < t {
 			return t
 		}
 		return done // merged into an in-flight fill
 	}
 	c.pruneDL1(t)
-	if len(c.dl1Miss) >= c.cfg.DL1MSHRs {
+	if c.dl1MissN >= c.cfg.DL1MSHRs {
 		if e := c.earliestDL1(); e > t {
 			t = e
 		}
@@ -518,7 +562,7 @@ func (c *Core) dl1FillMiss(pc, line uint64, write bool, t uint64) uint64 {
 	done := c.mem.Access(c.id, pc, line, write, false, t)
 	c.record(UncoreRequest{OpIndex: c.pos, VAddr: line, PC: pc, Kind: ReqData, Write: write, Issue: t, Complete: done})
 	c.stats.UncoreDemand++
-	c.dl1Miss[line] = done
+	c.dl1MissInsert(line, done)
 	ev := c.dl1.Fill(line, write, false)
 	if ev.Valid && ev.Dirty {
 		// Write the dirty victim back to the LLC at fill time.
@@ -535,18 +579,18 @@ func (c *Core) dl1Prefetch(pc, line uint64, t uint64) {
 	if c.dl1.Probe(line) {
 		return
 	}
-	if _, ok := c.dl1Miss[line]; ok {
+	if _, ok := c.dl1MissLookup(line); ok {
 		return
 	}
 	// Prefetches only use spare MSHR capacity: demand traffic keeps
 	// priority under pressure.
-	if len(c.dl1Miss) >= c.cfg.DL1MSHRs/2 {
+	if c.dl1MissN >= c.cfg.DL1MSHRs/2 {
 		return
 	}
 	done := c.mem.Access(c.id, pc, line, false, true, t)
 	c.record(UncoreRequest{OpIndex: c.pos, VAddr: line, PC: pc, Kind: ReqData, Prefetch: true, Issue: t, Complete: done})
 	c.stats.UncorePref++
-	c.dl1Miss[line] = done
+	c.dl1MissInsert(line, done)
 	ev := c.dl1.Fill(line, false, true)
 	if ev.Valid && ev.Dirty {
 		c.mem.Access(c.id, pc, ev.Addr, true, false, done)
@@ -561,18 +605,55 @@ func (c *Core) dl1PrefetchObserve(pc, addr uint64, miss bool, t uint64) {
 	if len(props) == 0 {
 		return
 	}
-	// Copy: dl1Prefetch may recurse into Observe via fills.
-	buf := make([]uint64, len(props))
-	copy(buf, props)
-	for _, a := range buf {
+	// Stage through the reusable per-core scratch: props aliases the
+	// prefetcher's internal buffer, which the next Observe overwrites.
+	// (Element-wise: proposals are 1-2 entries, below memmove's worth.)
+	c.pfBuf = c.pfBuf[:0]
+	for _, a := range props {
+		c.pfBuf = append(c.pfBuf, a)
+	}
+	for _, a := range c.pfBuf {
 		c.dl1Prefetch(pc, cache.AlignLine(a), t)
 	}
 }
 
+// dl1MissLookup returns the completion time of the fill of line, if one
+// is booked (possibly already expired — entries persist until pruned).
+func (c *Core) dl1MissLookup(line uint64) (uint64, bool) {
+	for i := 0; i < c.dl1MissN; i++ {
+		if c.dl1Miss[i].line == line {
+			return c.dl1Miss[i].done, true
+		}
+	}
+	return 0, false
+}
+
+// dl1MissInsert books an MSHR for a fill of line completing at done.
+// Callers ensure capacity beforehand; if the file is somehow full, the
+// earliest-completing entry is replaced (unreachable through the normal
+// paths; keeps the model robust).
+func (c *Core) dl1MissInsert(line, done uint64) {
+	if c.dl1MissN == len(c.dl1Miss) {
+		min := 0
+		for i := 1; i < c.dl1MissN; i++ {
+			if c.dl1Miss[i].done < c.dl1Miss[min].done {
+				min = i
+			}
+		}
+		c.dl1Miss[min] = mshrEntry{line: line, done: done}
+		return
+	}
+	c.dl1Miss[c.dl1MissN] = mshrEntry{line: line, done: done}
+	c.dl1MissN++
+}
+
 func (c *Core) pruneDL1(now uint64) {
-	for line, done := range c.dl1Miss {
-		if done <= now {
-			delete(c.dl1Miss, line)
+	for i := 0; i < c.dl1MissN; {
+		if c.dl1Miss[i].done <= now {
+			c.dl1MissN--
+			c.dl1Miss[i] = c.dl1Miss[c.dl1MissN]
+		} else {
+			i++
 		}
 	}
 }
@@ -580,8 +661,8 @@ func (c *Core) pruneDL1(now uint64) {
 func (c *Core) earliestDL1() uint64 {
 	first := true
 	var min uint64
-	for _, done := range c.dl1Miss {
-		if first || done < min {
+	for i := 0; i < c.dl1MissN; i++ {
+		if done := c.dl1Miss[i].done; first || done < min {
 			min = done
 			first = false
 		}

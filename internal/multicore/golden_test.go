@@ -1,0 +1,105 @@
+package multicore
+
+import (
+	"math"
+	"testing"
+
+	"mcbench/internal/cache"
+)
+
+// The golden determinism tests prove the batched driver's central claim:
+// dispatching the minimum-clock core in batches (StepUntil up to the
+// runner-up's clock) produces the exact schedule of the per-step
+// reference driver, so every simulation result is bit-identical.
+
+// assertBitIdentical fails unless the two results match bit for bit.
+func assertBitIdentical(t *testing.T, name string, batched, reference Result) {
+	t.Helper()
+	if len(batched.IPC) != len(reference.IPC) || len(batched.Cycles) != len(reference.Cycles) {
+		t.Fatalf("%s: shape mismatch: %d/%d IPCs, %d/%d cycles", name,
+			len(batched.IPC), len(reference.IPC), len(batched.Cycles), len(reference.Cycles))
+	}
+	if batched.Instructions != reference.Instructions {
+		t.Errorf("%s: quota %d, reference %d", name, batched.Instructions, reference.Instructions)
+	}
+	for i := range batched.IPC {
+		if batched.Cycles[i] != reference.Cycles[i] {
+			t.Errorf("%s: core %d quota cycle %d, reference %d", name, i, batched.Cycles[i], reference.Cycles[i])
+		}
+		if math.Float64bits(batched.IPC[i]) != math.Float64bits(reference.IPC[i]) {
+			t.Errorf("%s: core %d IPC %v (bits %x), reference %v (bits %x)", name, i,
+				batched.IPC[i], math.Float64bits(batched.IPC[i]),
+				reference.IPC[i], math.Float64bits(reference.IPC[i]))
+		}
+	}
+}
+
+func TestGoldenDetailedMatchesReference(t *testing.T) {
+	trs := traces(t)
+	for _, w := range []Workload{
+		{"mcf", "povray"},
+		{"mcf", "soplex", "gcc", "libquantum"},
+	} {
+		batched, err := Detailed(w, trs, cache.LRU, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference, err := detailedWith(w, trs, cache.LRU, 0, runInterleavedReference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, "detailed "+w.String(), batched, reference)
+	}
+}
+
+func TestGoldenApproximateMatchesReference(t *testing.T) {
+	mods := models(t)
+	for _, w := range []Workload{
+		{"mcf", "povray"},
+		{"mcf", "soplex", "gcc", "libquantum"},
+	} {
+		batched, err := Approximate(w, mods, cache.LRU, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference, err := approximateWith(w, mods, cache.LRU, 0, runInterleavedReference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, "approximate "+w.String(), batched, reference)
+	}
+}
+
+// TestGoldenAcrossPolicies widens the equivalence check to a policy with
+// random replacement (seeded) and a non-trivial quota, exercising the
+// quota-capped batch path.
+func TestGoldenAcrossPolicies(t *testing.T) {
+	trs := traces(t)
+	for _, pol := range []cache.PolicyName{cache.DRRIP, cache.Random} {
+		w := Workload{"soplex", "hmmer"}
+		batched, err := Detailed(w, trs, pol, 7500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference, err := detailedWith(w, trs, pol, 7500, runInterleavedReference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, "detailed "+string(pol), batched, reference)
+	}
+}
+
+// TestGoldenSingleCore pins the n==1 fast path of the batched driver to
+// the reference schedule.
+func TestGoldenSingleCore(t *testing.T) {
+	trs := traces(t)
+	batched, err := Detailed(Workload{"hmmer"}, trs, cache.LRU, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := detailedWith(Workload{"hmmer"}, trs, cache.LRU, 5000, runInterleavedReference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "detailed single-core", batched, reference)
+}

@@ -11,6 +11,7 @@ package multicore
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -50,10 +51,11 @@ type Result struct {
 	Instructions uint64
 }
 
-// CPI returns the per-core cycles per instruction.
+// CPI returns the per-core cycles per instruction. A core with zero IPC
+// (it never committed an instruction) has infinite CPI.
 func (r Result) CPI(core int) float64 {
 	if r.IPC[core] == 0 {
-		return 0
+		return math.Inf(1)
 	}
 	return 1 / r.IPC[core]
 }
@@ -61,15 +63,92 @@ func (r Result) CPI(core int) float64 {
 // stepper abstracts the two core models for the interleaving driver.
 type stepper interface {
 	Step() uint64
+	StepUntil(limit, quota uint64) uint64
 	Now() uint64
 	Committed() uint64
 }
 
-// runInterleaved steps the cores smallest-clock-first until every core
-// has committed at least quota instructions, then records each core's
-// quota completion time. quotaCycle[i] is captured the first time core i
-// crosses the quota.
+// driver advances a set of cores until each has committed quota µops and
+// returns the cycle at which each crossed it.
+type driver func(cores []stepper, quota uint64) []uint64
+
+// never is a clock/quota bound that no simulation reaches.
+const never = ^uint64(0)
+
+// runInterleaved advances the cores on the smallest-local-clock-first
+// discipline until every core has committed at least quota instructions,
+// then returns each core's quota completion cycle.
+//
+// It produces the same schedule as the per-step reference driver
+// (runInterleavedReference) but dispatches whole batches: a core's local
+// clock never decreases and the other cores' clocks cannot change while
+// it runs, so the reference loop would keep re-picking the current
+// minimum-clock core until its clock reaches the runner-up's. StepUntil
+// runs that whole stretch as one tight monomorphic loop inside the core
+// model — one interface dispatch and one scheduling decision per batch
+// instead of per simulated µop. Between batches a single pass over the
+// cached clocks carries the pick and the runner-up through a 2-element
+// tournament, instead of a full rescan per µop.
 func runInterleaved(cores []stepper, quota uint64) []uint64 {
+	n := len(cores)
+	quotaCycle := make([]uint64, n)
+	if n == 1 {
+		// A single core is always the pick: run straight to the quota.
+		c := cores[0]
+		c.StepUntil(never, quota)
+		quotaCycle[0] = c.Now()
+		return quotaCycle
+	}
+	reached := make([]bool, n)
+	remaining := n
+	clocks := make([]uint64, n)
+	for i, c := range cores {
+		clocks[i] = c.Now()
+	}
+	for remaining > 0 {
+		// One pass, ties to the lower index: m is the core the per-step
+		// driver would pick, o the runner-up it would pick next.
+		m, o := 0, -1
+		for i := 1; i < n; i++ {
+			switch {
+			case clocks[i] < clocks[m]:
+				m, o = i, m
+			case o < 0 || clocks[i] < clocks[o]:
+				o = i
+			}
+		}
+		// Core m keeps the pick while its clock is below the runner-up's
+		// — or equal to it, when m wins the lower-index tie-break.
+		limit := clocks[o]
+		if m < o {
+			limit++
+		}
+		// A core that has not crossed the quota stops its batch at the
+		// crossing so the crossing cycle is captured; afterwards it keeps
+		// running (restarted) until all cores reach the quota, as in the
+		// paper.
+		quotaCap := never
+		if !reached[m] {
+			quotaCap = quota
+		}
+		c := cores[m]
+		c.StepUntil(limit, quotaCap)
+		if !reached[m] && c.Committed() >= quota {
+			reached[m] = true
+			quotaCycle[m] = c.Now()
+			remaining--
+		}
+		clocks[m] = c.Now()
+	}
+	return quotaCycle
+}
+
+// runInterleavedReference is the original per-step driver: pick the core
+// with the smallest local clock, step it one µop, repeat. It is retained
+// as the executable specification of the schedule; the golden
+// determinism test asserts the batched driver reproduces its results
+// bit-identically.
+func runInterleavedReference(cores []stepper, quota uint64) []uint64 {
 	n := len(cores)
 	quotaCycle := make([]uint64, n)
 	reached := make([]bool, n)
@@ -99,6 +178,13 @@ func runInterleaved(cores []stepper, quota uint64) []uint64 {
 // given LLC policy. quota is the per-thread instruction count (commonly
 // the trace length). Traces are looked up by benchmark name.
 func Detailed(w Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64) (Result, error) {
+	return detailedWith(w, traces, policy, quota, runInterleaved)
+}
+
+// detailedWith is Detailed with an explicit driver, so the golden test
+// can run the reference per-step driver through the identical
+// construction path.
+func detailedWith(w Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64, drive driver) (Result, error) {
 	if len(w) == 0 {
 		return Result{}, fmt.Errorf("multicore: empty workload")
 	}
@@ -121,7 +207,7 @@ func Detailed(w Workload, traces map[string]*trace.Trace, policy cache.PolicyNam
 		}
 		cores[i] = core
 	}
-	cycles := runInterleaved(cores, quota)
+	cycles := drive(cores, quota)
 	return assemble(w, policy, cycles, quota), nil
 }
 
@@ -135,6 +221,12 @@ type badcoStepper struct{ *badco.Machine }
 // uncore. models maps benchmark name to its behavioural model; quota must
 // be a multiple of the model trace length (0 means one trace length).
 func Approximate(w Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64) (Result, error) {
+	return approximateWith(w, models, policy, quota, runInterleaved)
+}
+
+// approximateWith is Approximate with an explicit driver (see
+// detailedWith).
+func approximateWith(w Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64, drive driver) (Result, error) {
 	if len(w) == 0 {
 		return Result{}, fmt.Errorf("multicore: empty workload")
 	}
@@ -157,7 +249,7 @@ func Approximate(w Workload, models map[string]*badco.Model, policy cache.Policy
 		}
 		cores[i] = badcoStepper{ma}
 	}
-	cycles := runInterleaved(cores, quota)
+	cycles := drive(cores, quota)
 	return assemble(w, policy, cycles, quota), nil
 }
 

@@ -238,8 +238,11 @@ func TestResultCPI(t *testing.T) {
 	if got := r.CPI(0); got != 0.5 {
 		t.Errorf("CPI = %g", got)
 	}
-	if got := r.CPI(1); got != 0 {
-		t.Errorf("CPI of zero IPC = %g", got)
+	// Zero IPC means the core never committed an instruction: its CPI is
+	// infinite, consistently with the 1/IPC identity, rather than 0
+	// (which would read as "infinitely fast").
+	if got := r.CPI(1); !math.IsInf(got, 1) {
+		t.Errorf("CPI of zero IPC = %g, want +Inf", got)
 	}
 }
 

@@ -1,0 +1,35 @@
+package uncore
+
+import (
+	"testing"
+
+	"mcbench/internal/cache"
+)
+
+// TestAccessAllocationFree pins the uncore's demand path at zero
+// steady-state allocations: the MSHR file and translation cache are
+// fixed arrays, prefetch proposals stage through a reusable scratch, and
+// page-table inserts only happen on first touch of a page.
+func TestAccessAllocationFree(t *testing.T) {
+	u := MustNew(ConfigFor(2, cache.LRU))
+	// A mix of streaming and strided accesses over a bounded footprint,
+	// from two cores. One warm-up pass touches every page (map inserts)
+	// and trains the prefetchers; the measured pass replays the same
+	// addresses, so every translation is a pure lookup.
+	var now uint64
+	pass := func() {
+		for i := 0; i < 2000; i++ {
+			core := i & 1
+			vaddr := uint64(i%512) * 64
+			if i%3 == 0 {
+				vaddr = 0x100000 + uint64(i%64)*4096
+			}
+			now++
+			u.Access(core, 0x400000+uint64(i%32)*16, vaddr, i%7 == 0, false, now)
+		}
+	}
+	pass() // warm up pages, caches, prefetchers
+	if avg := testing.AllocsPerRun(10, pass); avg != 0 {
+		t.Errorf("steady-state Access allocates %.2f times per pass, want 0", avg)
+	}
+}

@@ -71,7 +71,9 @@ func TestMSHRBoundProperty(t *testing.T) {
 		cfg := ConfigFor(1, cache.LRU)
 		cfg.MSHRs = mshrs
 		u := MustNew(cfg)
-		u.pref = cache.None{} // isolate demand fills from prefetch traffic
+		// Isolate demand fills from prefetch traffic (clearing prefSS so
+		// the devirtualized path cannot resurrect the real prefetcher).
+		u.pref, u.prefSS = cache.None{}, nil
 		dones := make([]uint64, 0, burstLen)
 		for i := 0; i < burstLen; i++ {
 			// Spread addresses widely so no two misses merge.

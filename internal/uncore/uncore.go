@@ -90,17 +90,27 @@ type Stats struct {
 
 // Uncore is the shared LLC + bus + DRAM assembly.
 type Uncore struct {
-	cfg   Config
-	llc   *cache.Cache
-	bus   *mem.Bus
-	dram  *mem.DRAM
-	pref  cache.Prefetcher
-	stats Stats
+	cfg  Config
+	llc  *cache.Cache
+	bus  *mem.Bus
+	dram *mem.DRAM
+	pref cache.Prefetcher
+	// prefSS is pref devirtualized: non-nil when pref is the standard
+	// LLC stride+stream pairing, which the demand path then calls
+	// directly. Tests that swap pref must clear it.
+	prefSS *cache.StrideStreamPrefetcher
+	stats  Stats
 
-	// mshrs is the MSHR file: a fixed array of in-flight fills. A slot
-	// whose completion time is at or before "now" is free. The fixed
-	// array keeps the hot path free of map traffic.
-	mshrs []mshrEntry
+	// The MSHR file: fixed parallel arrays of in-flight fills (line
+	// address and completion time per slot), so each scan walks one dense
+	// strip of words. A slot whose completion time is at or before "now"
+	// is free. The fixed arrays keep the hot path free of map traffic.
+	mshrLine []uint64
+	mshrDone []uint64
+	// mshrMax is the latest completion time ever booked: once "now"
+	// passes it the file is provably empty, and the lookup scans (which
+	// run on every LLC hit) short-circuit.
+	mshrMax uint64
 
 	// writeBuf holds the drain-completion times of in-flight writebacks.
 	writeBuf []uint64
@@ -111,16 +121,37 @@ type Uncore struct {
 	pageTables []map[uint64]uint64
 	nextPage   uint64
 
-	// lastVPage/lastPPage cache each core's most recent translation
-	// (page-level locality makes this hit most of the time).
-	lastVPage []uint64
-	lastPPage []uint64
+	// xlat is a per-core direct-mapped translation cache in front of the
+	// page tables (page-level locality makes it hit most of the time,
+	// keeping map lookups off the hot path). It is a pure memo: physical
+	// pages are still allocated by the bump allocator in first-touch
+	// order, so results are unchanged. Row-major by core.
+	xlat []xlatEntry
+
+	// pfScratch detaches prefetch proposals from the prefetcher's reused
+	// buffer before they are issued. An Uncore serves one simulation
+	// goroutine, so a single reusable scratch keeps the demand path
+	// allocation-free.
+	pfScratch []uint64
+
+	// propLine/propGen form an exact filter over prefetcher proposals:
+	// propLine[h] was observed resident in the LLC while its content
+	// generation was propGen[h]. Trained streams re-propose the lines
+	// they just prefetched on almost every access (>90% of proposals are
+	// already-resident no-ops), and as long as the LLC generation is
+	// unchanged a previously verified line is provably still resident,
+	// so the proposal can be skipped without touching the cache.
+	propLine [16]uint64
+	propGen  [16]uint64
 }
 
-// mshrEntry is one in-flight fill.
-type mshrEntry struct {
-	line uint64
-	done uint64
+// xlatEntries is the per-core translation-cache size (a power of two).
+const xlatEntries = 512
+
+// xlatEntry is one cached vpage -> ppage translation.
+type xlatEntry struct {
+	vpage uint64 // vpage+1, so zero means empty
+	ppage uint64
 }
 
 // New builds an uncore from cfg.
@@ -147,18 +178,20 @@ func New(cfg Config) (*Uncore, error) {
 	for i := range tables {
 		tables[i] = make(map[uint64]uint64)
 	}
+	pref := cache.NewStrideStream(cfg.PrefetchDegree)
 	return &Uncore{
 		cfg:        cfg,
 		llc:        llc,
 		bus:        bus,
 		dram:       mem.NewDRAM(cfg.DRAMLatency),
-		pref:       cache.Combine(cache.NewIPStride(cfg.PrefetchDegree), cache.NewStream(cfg.PrefetchDegree)),
-		mshrs:      make([]mshrEntry, cfg.MSHRs),
+		pref:       pref,
+		prefSS:     pref,
+		mshrLine:   make([]uint64, cfg.MSHRs),
+		mshrDone:   make([]uint64, cfg.MSHRs),
 		writeBuf:   make([]uint64, 0, cfg.WriteBufEnts),
 		pageTables: tables,
 		nextPage:   1, // keep physical page 0 unused
-		lastVPage:  make([]uint64, cfg.Cores),
-		lastPPage:  make([]uint64, cfg.Cores),
+		xlat:       make([]xlatEntry, cfg.Cores*xlatEntries),
 	}, nil
 }
 
@@ -195,9 +228,17 @@ func (u *Uncore) Stats() Stats {
 func (u *Uncore) Translate(core int, vaddr uint64) uint64 {
 	vpage := vaddr / PageSize
 	// +1 in the cache tags distinguishes "page 0" from "empty".
-	if u.lastVPage[core] == vpage+1 {
-		return u.lastPPage[core]*PageSize + vaddr%PageSize
+	e := &u.xlat[core*xlatEntries+int(vpage&(xlatEntries-1))]
+	if e.vpage == vpage+1 {
+		return e.ppage*PageSize + vaddr%PageSize
 	}
+	return u.translateSlow(core, vpage, vaddr, e)
+}
+
+// translateSlow is the translation-cache miss path: consult the page
+// table, allocating a fresh physical page on first touch, and refill the
+// cache entry.
+func (u *Uncore) translateSlow(core int, vpage, vaddr uint64, e *xlatEntry) uint64 {
 	pt := u.pageTables[core]
 	ppage, ok := pt[vpage]
 	if !ok {
@@ -205,18 +246,21 @@ func (u *Uncore) Translate(core int, vaddr uint64) uint64 {
 		u.nextPage++
 		pt[vpage] = ppage
 	}
-	u.lastVPage[core] = vpage + 1
-	u.lastPPage[core] = ppage
+	e.vpage, e.ppage = vpage+1, ppage
 	return ppage*PageSize + vaddr%PageSize
 }
 
 // mshrLookup returns the completion time of an in-flight fill of line, if
 // any.
 func (u *Uncore) mshrLookup(line, now uint64) (uint64, bool) {
-	for i := range u.mshrs {
-		e := &u.mshrs[i]
-		if e.line == line && e.done > now {
-			return e.done, true
+	if now >= u.mshrMax {
+		return 0, false
+	}
+	for i, l := range u.mshrLine {
+		if l == line {
+			if done := u.mshrDone[i]; done > now {
+				return done, true
+			}
 		}
 	}
 	return 0, false
@@ -225,9 +269,12 @@ func (u *Uncore) mshrLookup(line, now uint64) (uint64, bool) {
 // mshrInFlight counts occupied MSHRs and returns the earliest completion
 // among them.
 func (u *Uncore) mshrInFlight(now uint64) (count int, earliest uint64) {
+	if now >= u.mshrMax {
+		return 0, 0
+	}
 	first := true
-	for i := range u.mshrs {
-		if done := u.mshrs[i].done; done > now {
+	for _, done := range u.mshrDone {
+		if done > now {
 			count++
 			if first || done < earliest {
 				earliest = done
@@ -238,24 +285,46 @@ func (u *Uncore) mshrInFlight(now uint64) (count int, earliest uint64) {
 	return count, earliest
 }
 
+// mshrProbe is mshrLookup and mshrInFlight's count in a single pass over
+// the file: it returns the completion time of an in-flight fill of line
+// (at most one fill of a line is ever in flight) and the number of
+// occupied MSHRs.
+func (u *Uncore) mshrProbe(line, now uint64) (done uint64, ok bool, count int) {
+	if now >= u.mshrMax {
+		return 0, false, 0
+	}
+	for i, d := range u.mshrDone {
+		if d > now {
+			count++
+			if u.mshrLine[i] == line {
+				done, ok = d, true
+			}
+		}
+	}
+	return done, ok, count
+}
+
 // mshrInsert books a slot for a fill completing at done. A free (expired)
 // slot must exist; callers ensure capacity beforehand.
 func (u *Uncore) mshrInsert(line, done, now uint64) {
-	for i := range u.mshrs {
-		if u.mshrs[i].done <= now {
-			u.mshrs[i] = mshrEntry{line: line, done: done}
+	if done > u.mshrMax {
+		u.mshrMax = done
+	}
+	for i, d := range u.mshrDone {
+		if d <= now {
+			u.mshrLine[i], u.mshrDone[i] = line, done
 			return
 		}
 	}
 	// No free slot: replace the earliest-completing entry (only reachable
 	// through pathological caller misuse; keeps the model robust).
 	min := 0
-	for i := 1; i < len(u.mshrs); i++ {
-		if u.mshrs[i].done < u.mshrs[min].done {
+	for i := 1; i < len(u.mshrDone); i++ {
+		if u.mshrDone[i] < u.mshrDone[min] {
 			min = i
 		}
 	}
-	u.mshrs[min] = mshrEntry{line: line, done: done}
+	u.mshrLine[min], u.mshrDone[min] = line, done
 }
 
 // Access implements Memory.
@@ -263,7 +332,16 @@ func (u *Uncore) Access(core int, pc, vaddr uint64, write, prefetch bool, now ui
 	if core < 0 || core >= u.cfg.Cores {
 		panic(fmt.Sprintf("uncore: core %d out of range", core))
 	}
-	paddr := u.Translate(core, vaddr)
+	// Translate's cache-hit path, by hand: the call sits on every
+	// simulated memory access and the compiler won't inline it (the
+	// page-table fallback drags it over the inlining budget).
+	vpage := vaddr / PageSize
+	var paddr uint64
+	if e := &u.xlat[core*xlatEntries+int(vpage&(xlatEntries-1))]; e.vpage == vpage+1 {
+		paddr = e.ppage*PageSize + vaddr%PageSize
+	} else {
+		paddr = u.translateSlow(core, vpage, vaddr, e)
+	}
 	line := cache.AlignLine(paddr)
 
 	var done uint64
@@ -274,23 +352,26 @@ func (u *Uncore) Access(core int, pc, vaddr uint64, write, prefetch bool, now ui
 		done = u.demandAccess(line, write, now)
 		// Train the LLC prefetchers on the demand stream. Proposals are
 		// issued as speculative fills through the same path. The PC is
-		// salted with the core id so per-core streams do not alias.
-		for _, a := range clonePrefetches(u.pref.Observe(pc^uint64(core)<<56, paddr, done > now+u.cfg.LLCLatency)) {
+		// salted with the core id so per-core streams do not alias. The
+		// proposals are staged through pfScratch so that issuing them
+		// cannot alias the prefetcher's reused buffer; nothing downstream
+		// of prefetchAccess observes the demand stream, so the scratch is
+		// never reused re-entrantly.
+		var props []uint64
+		if u.prefSS != nil {
+			props = u.prefSS.Observe(pc^uint64(core)<<56, paddr, done > now+u.cfg.LLCLatency)
+		} else {
+			props = u.pref.Observe(pc^uint64(core)<<56, paddr, done > now+u.cfg.LLCLatency)
+		}
+		u.pfScratch = u.pfScratch[:0]
+		for _, a := range props {
+			u.pfScratch = append(u.pfScratch, a)
+		}
+		for _, a := range u.pfScratch {
 			u.prefetchAccess(cache.AlignLine(a), now)
 		}
 	}
 	return done
-}
-
-// clonePrefetches copies the prefetcher's reused buffer so that issuing
-// prefetches (which may observe again) cannot alias it.
-func clonePrefetches(in []uint64) []uint64 {
-	if len(in) == 0 {
-		return nil
-	}
-	out := make([]uint64, len(in))
-	copy(out, in)
-	return out
 }
 
 // demandAccess performs a demand lookup and, on a miss, schedules the
@@ -320,16 +401,36 @@ func (u *Uncore) demandAccess(line uint64, write bool, now uint64) uint64 {
 // prefetchAccess issues a speculative fill if the line is neither resident
 // nor in flight and an MSHR is free. Prefetches are dropped rather than
 // stalled when resources are exhausted.
+//
+// A residency filter fronts the set scan: if the line was seen resident
+// and the LLC's content generation has not moved, it is provably still
+// resident (see Cache.Generation) and the access completes at the hit
+// latency without touching the cache — the exact result the scan would
+// produce. Trained streams re-propose the lines they just prefetched on
+// almost every access (>90% of proposals are already-resident no-ops),
+// which is what makes the filter pay.
 func (u *Uncore) prefetchAccess(line uint64, now uint64) uint64 {
-	if u.llc.Probe(line) {
+	h := int(line/cache.LineSize) & (len(u.propLine) - 1)
+	gen := u.llc.Generation()
+	if u.propGen[h] == gen && u.propLine[h] == line {
 		return now + u.cfg.LLCLatency
 	}
-	if done, ok := u.mshrLookup(line, now); ok {
+	if u.llc.Probe(line) {
+		u.propLine[h], u.propGen[h] = line, gen
+		return now + u.cfg.LLCLatency
+	}
+	return u.prefetchMiss(line, now)
+}
+
+// prefetchMiss is the non-resident tail of prefetchAccess.
+func (u *Uncore) prefetchMiss(line, now uint64) uint64 {
+	done, ok, count := u.mshrProbe(line, now)
+	if ok {
 		return done
 	}
 	// Prefetches only use spare MSHR capacity: they are dropped rather
 	// than allowed to starve demand misses.
-	if count, _ := u.mshrInFlight(now); count >= u.cfg.MSHRs/2 {
+	if count >= u.cfg.MSHRs/2 {
 		return now // dropped
 	}
 	u.stats.PrefetchIssued++

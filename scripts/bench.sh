@@ -1,0 +1,124 @@
+#!/bin/sh
+# bench.sh — measure the simulator microbenchmarks and emit a JSON report.
+#
+# Usage:
+#   scripts/bench.sh [-baseline FILE | -interleave TESTBIN] [-out BENCH.json] [-reps N]
+#
+# Runs the per-µop simulator benchmarks (BenchmarkDetailedSimulator2Core,
+# BenchmarkBadcoSimulator2Core, BenchmarkBadcoSimulator8Core, each with
+# -benchtime 3x, and BenchmarkPopulationSweep with -benchtime 1x), REPS
+# times each, and reports the MINIMUM ns/op per benchmark — the standard
+# way to measure on a noisy shared host, since noise only ever adds time.
+# Allocations per op (from -benchmem) come from the last run.
+#
+# The raw `go test -bench` lines are appended to <out>.raw.txt. Two ways
+# to compare against a baseline:
+#   -baseline FILE     a previous raw file; speedups go into the report.
+#   -interleave BIN    a prebuilt baseline test binary (go test -c on the
+#                      old tree). Its runs are interleaved A/B with the
+#                      current tree's in the same time window, so slow
+#                      drift in the host's background load cannot bias
+#                      the comparison. Raw lines land in <out>.base.raw.txt.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=""
+INTERLEAVE=""
+OUT="BENCH_2.json"
+REPS=5
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-baseline) BASELINE="$2"; shift 2 ;;
+	-interleave) INTERLEAVE="$2"; shift 2 ;;
+	-out) OUT="$2"; shift 2 ;;
+	-reps) REPS="$2"; shift 2 ;;
+	*) echo "usage: $0 [-baseline FILE | -interleave TESTBIN] [-out FILE] [-reps N]" >&2; exit 2 ;;
+	esac
+done
+
+RAW="$OUT.raw.txt"
+: >"$RAW"
+SIMS='BenchmarkDetailedSimulator2Core$|BenchmarkBadcoSimulator2Core$|BenchmarkBadcoSimulator8Core$'
+POP='BenchmarkPopulationSweep$'
+
+if [ -n "$INTERLEAVE" ]; then
+	BASELINE="$OUT.base.raw.txt"
+	: >"$BASELINE"
+fi
+
+# Current tree as a prebuilt binary too, so A and B pay identical costs.
+# default.pgo (regenerable with scripts/pgo.sh) feeds profile-guided
+# optimization when present; go test does not pick it up automatically
+# for library packages, so pass it explicitly.
+PGO=""
+[ -f default.pgo ] && PGO="-pgo=default.pgo"
+BIN=$(mktemp /tmp/mcbench.XXXXXX.test)
+go test $PGO -c -o "$BIN" .
+trap 'rm -f "$BIN"' EXIT
+
+START=$(date +%s)
+i=0
+while [ "$i" -lt "$REPS" ]; do
+	if [ -n "$INTERLEAVE" ]; then
+		"$INTERLEAVE" -test.run '^$' -test.bench "$SIMS" -test.benchtime 3x -test.benchmem | grep '^Benchmark' >>"$BASELINE"
+	fi
+	"$BIN" -test.run '^$' -test.bench "$SIMS" -test.benchtime 3x -test.benchmem | grep '^Benchmark' >>"$RAW"
+	if [ -n "$INTERLEAVE" ]; then
+		"$INTERLEAVE" -test.run '^$' -test.bench "$POP" -test.benchtime 1x -test.benchmem | grep '^Benchmark' >>"$BASELINE"
+	fi
+	"$BIN" -test.run '^$' -test.bench "$POP" -test.benchtime 1x -test.benchmem | grep '^Benchmark' >>"$RAW"
+	i=$((i + 1))
+done
+END=$(date +%s)
+
+# summarize RAWFILE LABEL -> "name min_ns allocs" lines on stdout.
+summarize() {
+	awk '{
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		ns = 0; allocs = -1
+		for (f = 3; f < NF; f++) {
+			if ($(f + 1) == "ns/op") ns = $f
+			if ($(f + 1) == "allocs/op") allocs = $f
+		}
+		if (ns == 0) next
+		if (!(name in min) || ns < min[name]) min[name] = ns
+		al[name] = allocs
+	}
+	END { for (n in min) printf "%s %.0f %.0f\n", n, min[n], al[n] }' "$1" | sort
+}
+
+summarize "$RAW" >"$RAW.sum"
+if [ -n "$BASELINE" ]; then
+	summarize "$BASELINE" >"$RAW.base.sum"
+fi
+
+{
+	echo '{'
+	echo '  "protocol": "min ns/op over '"$REPS"' runs (sim benchmarks: -benchtime 3x; population sweep: -benchtime 1x, fresh process per run), -benchmem",'
+	echo '  "walltime_seconds": '$((END - START))','
+	echo '  "benchmarks": ['
+	first=1
+	while read -r name ns allocs; do
+		[ "$first" -eq 1 ] || echo ','
+		first=0
+		printf '    {"name": "%s", "ns_per_op": %s, "allocs_per_op": %s' "$name" "$ns" "$allocs"
+		if [ -n "$BASELINE" ]; then
+			base=$(awk -v n="$name" '$1 == n { print $2 }' "$RAW.base.sum")
+			base_allocs=$(awk -v n="$name" '$1 == n { print $3 }' "$RAW.base.sum")
+			if [ -n "$base" ]; then
+				speedup=$(awk -v b="$base" -v n="$ns" 'BEGIN { printf "%.2f", b / n }')
+				printf ', "baseline_ns_per_op": %s, "baseline_allocs_per_op": %s, "speedup": %s' \
+					"$base" "$base_allocs" "$speedup"
+			fi
+		fi
+		printf '}'
+	done <"$RAW.sum"
+	echo ''
+	echo '  ]'
+	echo '}'
+} >"$OUT"
+
+rm -f "$RAW.sum" "$RAW.base.sum"
+echo "wrote $OUT (raw samples in $RAW)"

@@ -1,0 +1,275 @@
+package mcbench_test
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mcbench"
+)
+
+// apiCtx is the background context of the API tests.
+var apiCtx = context.Background()
+
+// tinyConfig keeps the public-API tests fast: 4k-µop traces.
+func tinyConfig() mcbench.Config {
+	cfg := mcbench.QuickConfig()
+	cfg.TraceLen = 4000
+	return cfg
+}
+
+func TestSimulateBothEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	workload := []string{"mcf", "povray"}
+	det, err := mcbench.Simulate(apiCtx, workload,
+		mcbench.WithPolicy(mcbench.LRU),
+		mcbench.WithTraceLen(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := mcbench.Simulate(apiCtx, workload,
+		mcbench.WithPolicy(mcbench.LRU),
+		mcbench.WithSimulator(mcbench.BADCO),
+		mcbench.WithTraceLen(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*mcbench.Result{det, app} {
+		if len(r.IPC) != 2 || len(r.Cycles) != 2 {
+			t.Fatalf("%v: shape %d/%d", r.Engine, len(r.IPC), len(r.Cycles))
+		}
+		if r.Instructions != 4000 {
+			t.Errorf("%v: quota %d", r.Engine, r.Instructions)
+		}
+		for i, v := range r.IPC {
+			if v <= 0 || v > 4 {
+				t.Errorf("%v: IPC[%d] = %g implausible", r.Engine, i, v)
+			}
+		}
+	}
+	// BADCO approximates the detailed result (generous bound at this
+	// tiny trace scale).
+	for i := range det.IPC {
+		rel := (app.IPC[i] - det.IPC[i]) / det.IPC[i]
+		if rel < -0.5 || rel > 0.5 {
+			t.Errorf("thread %d: BADCO %.3f vs detailed %.3f", i, app.IPC[i], det.IPC[i])
+		}
+	}
+}
+
+func TestSimulateWithCoresReplicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	r, err := mcbench.Simulate(apiCtx, []string{"gcc"},
+		mcbench.WithCores(2),
+		mcbench.WithTraceLen(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.IPC) != 2 || r.Workload[0] != "gcc" || r.Workload[1] != "gcc" {
+		t.Fatalf("replicated workload %v, IPCs %v", r.Workload, r.IPC)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		workload []string
+		opts     []mcbench.Option
+	}{
+		{"empty workload", nil, nil},
+		{"unknown benchmark", []string{"nosuch"}, nil},
+		{"cores mismatch", []string{"mcf", "gcc"}, []mcbench.Option{mcbench.WithCores(4)}},
+		{"bad policy", []string{"mcf"}, []mcbench.Option{mcbench.WithPolicy("NOPE")}},
+		{"bad trace length", []string{"mcf"}, []mcbench.Option{mcbench.WithTraceLen(-1)}},
+	}
+	for _, c := range cases {
+		if _, err := mcbench.Simulate(apiCtx, c.workload, c.opts...); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestSimulateCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := mcbench.Simulate(ctx, []string{"mcf", "povray"}, mcbench.WithTraceLen(20000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled Simulate took %v", elapsed)
+	}
+}
+
+func TestLabRunRegistryExperiment(t *testing.T) {
+	l := mcbench.NewLab(tinyConfig())
+	// fig1 and config are simulation-free: instant even in -short runs.
+	for _, name := range []string{"fig1", "config"} {
+		tab, err := l.Run(apiCtx, name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+		if !strings.Contains(tab.String(), "==") {
+			t.Errorf("%s: unrenderable table", name)
+		}
+	}
+	// Unknown names suggest the nearest registered experiment — in Run
+	// and in Warm alike (a typo must not silently warm nothing).
+	_, err := l.Run(apiCtx, "fig12", 0)
+	if err == nil || !strings.Contains(err.Error(), `"fig1"`) {
+		t.Errorf("unknown-name error %v lacks suggestion", err)
+	}
+	if _, err := l.Warm(apiCtx, []string{"fgi1"}, 0); err == nil {
+		t.Error("Warm accepted an unknown experiment name")
+	}
+	// fig1 declares no expensive products, so warming it is instant and
+	// must succeed.
+	if _, err := l.Warm(apiCtx, []string{"fig1"}, 0); err != nil {
+		t.Errorf("Warm rejected a valid name: %v", err)
+	}
+}
+
+func TestLabSimulateSharesState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	l := mcbench.NewLab(tinyConfig())
+	a, err := l.Simulate(apiCtx, []string{"mcf", "povray"}, mcbench.WithSimulator(mcbench.BADCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.IPC) != 2 {
+		t.Fatalf("shape %v", a.IPC)
+	}
+	// WithTraceLen conflicts with the lab's configured length.
+	if _, err := l.Simulate(apiCtx, []string{"mcf"}, mcbench.WithTraceLen(100)); err == nil {
+		t.Error("Lab.Simulate accepted WithTraceLen")
+	}
+}
+
+func TestExperimentsCatalogue(t *testing.T) {
+	infos := mcbench.Experiments()
+	if len(infos) < 20 {
+		t.Fatalf("%d experiments, want >= 20", len(infos))
+	}
+	byName := map[string]mcbench.ExperimentInfo{}
+	for _, e := range infos {
+		byName[e.Name] = e
+		if e.Synopsis == "" {
+			t.Errorf("%s: empty synopsis", e.Name)
+		}
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"table3", "table4", "overhead", "config", "speedup", "guideline", "methods",
+		"cophase", "predictors", "normality", "profiles", "policies",
+		"ablation-strata", "ablation-classes", "ablation-metrics"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("catalogue missing %s", want)
+		}
+	}
+	// Paper experiments first.
+	if infos[0].Group != "paper" {
+		t.Errorf("catalogue starts with group %q", infos[0].Group)
+	}
+}
+
+func TestBenchmarksAndTraces(t *testing.T) {
+	names := mcbench.Benchmarks()
+	if len(names) != 22 {
+		t.Fatalf("%d benchmarks", len(names))
+	}
+	tr, err := mcbench.GenerateTrace("mcf", 1000)
+	if err != nil || tr.Len() != 1000 {
+		t.Fatalf("GenerateTrace: %v, len %d", err, tr.Len())
+	}
+	if _, err := mcbench.GenerateTrace("nosuch", 1000); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := mcbench.GenerateTrace("mcf", -1); err == nil {
+		t.Error("negative length accepted")
+	}
+}
+
+func TestPopulationHelpers(t *testing.T) {
+	pop := mcbench.EnumerateWorkloads(2)
+	if pop.Size() != 253 {
+		t.Fatalf("2-core population %d", pop.Size())
+	}
+	ws := mcbench.WorkloadNames(pop)
+	if len(ws) != 253 || len(ws[0]) != 2 {
+		t.Fatalf("workload names shape %d/%d", len(ws), len(ws[0]))
+	}
+}
+
+// TestExamplesUsePublicAPIOnly enforces the library boundary: the
+// runnable examples must compile against the public package alone,
+// never internal/.
+func TestExamplesUsePublicAPIOnly(t *testing.T) {
+	mains, err := filepath.Glob(filepath.Join("examples", "*", "main.go"))
+	if err != nil || len(mains) < 6 {
+		t.Fatalf("found %d examples (err %v), want 6", len(mains), err)
+	}
+	fset := token.NewFileSet()
+	for _, path := range mains {
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			if strings.Contains(imp.Path.Value, "internal/") {
+				t.Errorf("%s imports %s — examples must use the public API", path, imp.Path.Value)
+			}
+		}
+	}
+}
+
+// updateAPI regenerates the API-surface golden.
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.txt from go doc -all")
+
+// TestAPISurfaceGolden pins the public API surface (go doc -all output)
+// to a golden file, so any change to the exported API or its
+// documentation shows up explicitly in review. Regenerate intentionally
+// with: go test -run TestAPISurfaceGolden -update-api .
+func TestAPISurfaceGolden(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not in PATH")
+	}
+	out, err := exec.Command(goBin, "doc", "-all", ".").Output()
+	if err != nil {
+		t.Fatalf("go doc -all: %v", err)
+	}
+	path := filepath.Join("testdata", "api.txt")
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing API golden (regenerate with -update-api): %v", err)
+	}
+	if string(out) != string(want) {
+		t.Errorf("public API surface changed; review the diff and regenerate with -update-api\n(go doc -all . is %d bytes, golden %d bytes)", len(out), len(want))
+	}
+}

@@ -2,6 +2,7 @@ package mcbench_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"os"
@@ -14,7 +15,6 @@ import (
 	"mcbench/internal/cluster"
 	"mcbench/internal/cophase"
 	"mcbench/internal/experiments"
-	"mcbench/internal/metrics"
 	"mcbench/internal/multicore"
 	"mcbench/internal/profile"
 	"mcbench/internal/sampling"
@@ -29,6 +29,8 @@ import (
 //
 // Each benchmark prints its table once, so the -bench output doubles as a
 // results report.
+
+var bctx = context.Background()
 
 var (
 	benchOnce sync.Once
@@ -50,7 +52,9 @@ func lab() *experiments.Lab {
 func warmedLab(b *testing.B, plan func(l *experiments.Lab) []experiments.Request) *experiments.Lab {
 	b.Helper()
 	l := lab()
-	l.Warm(plan(l), 0)
+	if _, err := l.Warm(bctx, plan(l), 0); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	return l
 }
@@ -63,105 +67,52 @@ func printOnce(b *testing.B, i int, t *experiments.Table) {
 	}
 }
 
-func BenchmarkFig1(b *testing.B) {
+// benchExperiment times one registered experiment end to end (reads of
+// memoized tables plus the experiment's own Monte-Carlo work).
+func benchExperiment(b *testing.B, name string, p experiments.Params) {
+	e, ok := experiments.Lookup(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return e.Requests(l, p) })
 	for i := 0; i < b.N; i++ {
-		printOnce(b, i, experiments.Fig1())
+		t, err := e.Run(bctx, l, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
 	}
 }
 
-func BenchmarkTable4(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.TableIVRequests() })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.TableIV())
-	}
+func params2() experiments.Params {
+	return experiments.Params{Cores: 2, CoreCounts: []int{2}}
 }
 
-func BenchmarkTable3(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.TableIIIRequests() })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.TableIIITable(2))
-	}
-}
+func BenchmarkFig1(b *testing.B)     { benchExperiment(b, "fig1", params2()) }
+func BenchmarkTable4(b *testing.B)   { benchExperiment(b, "table4", params2()) }
+func BenchmarkTable3(b *testing.B)   { benchExperiment(b, "table3", params2()) }
+func BenchmarkFig4(b *testing.B)     { benchExperiment(b, "fig4", params2()) }
+func BenchmarkFig5(b *testing.B)     { benchExperiment(b, "fig5", params2()) }
+func BenchmarkFig6(b *testing.B)     { benchExperiment(b, "fig6", params2()) }
+func BenchmarkFig7(b *testing.B)     { benchExperiment(b, "fig7", params2()) }
+func BenchmarkOverhead(b *testing.B) { benchExperiment(b, "overhead", params2()) }
 
 func BenchmarkFig2(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig2Requests([]int{2, 4}) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.Fig2Table([]int{2, 4}))
-	}
+	benchExperiment(b, "fig2", experiments.Params{Cores: 2, CoreCounts: []int{2, 4}})
 }
 
 func BenchmarkFig3(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig3Requests([]int{2, 4}) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.Fig3Table([]int{2, 4}))
-	}
-}
-
-func BenchmarkFig4(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig4Requests(4) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.Fig4Table(4))
-	}
-}
-
-func BenchmarkFig5(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig5Requests(4) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.Fig5Table(4))
-	}
-}
-
-func BenchmarkFig6(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig6Requests(2) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.Fig6Table(2))
-	}
-}
-
-func BenchmarkFig7(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.Fig7Requests([]int{2}) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.Fig7Table([]int{2}))
-	}
-}
-
-func BenchmarkOverhead(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.OverheadRequests(2) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.OverheadTable(2))
-	}
+	benchExperiment(b, "fig3", experiments.Params{Cores: 2, CoreCounts: []int{2, 4}})
 }
 
 // ---------------------------------------------------------------------------
 // Ablations beyond the paper (design-choice sensitivity).
 
-func BenchmarkAblationStrataParams(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.AblationRequests(2) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.AblationStrataParams(2, 20))
-	}
-}
-
-func BenchmarkAblationClassification(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.AblationRequests(2) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.AblationClassification(2, 20))
-	}
-}
-
-func BenchmarkAblationMetricChoice(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.AblationRequests(2) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.AblationMetricChoice(2))
-	}
-}
-
-func BenchmarkSpeedupAccuracy(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.SpeedupRequests(2) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.SpeedupAccuracyTable(2))
-	}
-}
+func BenchmarkAblationStrataParams(b *testing.B)   { benchExperiment(b, "ablation-strata", params2()) }
+func BenchmarkAblationClassification(b *testing.B) { benchExperiment(b, "ablation-classes", params2()) }
+func BenchmarkAblationMetricChoice(b *testing.B)   { benchExperiment(b, "ablation-metrics", params2()) }
+func BenchmarkSpeedupAccuracy(b *testing.B)        { benchExperiment(b, "speedup", params2()) }
+func BenchmarkGuideline(b *testing.B)              { benchExperiment(b, "guideline", params2()) }
 
 // ---------------------------------------------------------------------------
 // Micro-benchmarks of the simulators themselves (the substance behind
@@ -170,7 +121,7 @@ func BenchmarkSpeedupAccuracy(b *testing.B) {
 func benchTracesAndModels(b *testing.B) (map[string]*trace.Trace, map[string]*badco.Model) {
 	b.Helper()
 	traces := trace.GenerateSuite(20000)
-	models, err := multicore.BuildModels(traces, badco.DefaultBuildConfig())
+	models, err := multicore.BuildModels(bctx, traces, badco.DefaultBuildConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -183,7 +134,7 @@ func BenchmarkDetailedSimulator2Core(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := multicore.Detailed(w, traces, cache.LRU, 0); err != nil {
+		if _, err := multicore.Detailed(bctx, w, traces, cache.LRU, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -195,7 +146,7 @@ func BenchmarkBadcoSimulator2Core(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := multicore.Approximate(w, models, cache.LRU, 0); err != nil {
+		if _, err := multicore.Approximate(bctx, w, models, cache.LRU, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -207,7 +158,7 @@ func BenchmarkBadcoSimulator8Core(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := multicore.Approximate(w, models, cache.LRU, 0); err != nil {
+		if _, err := multicore.Approximate(bctx, w, models, cache.LRU, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -231,17 +182,16 @@ func BenchmarkPopulationSweep(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = l.BadcoIPC(2, cache.LRU)
+		if _, err := l.BadcoIPC(bctx, 2, cache.LRU); err != nil {
+			b.Fatal(err)
+		}
 	}
-	if i := len(l.BadcoIPC(2, cache.LRU)); i != 253 {
-		b.Fatalf("population %d", i)
+	tab, err := l.BadcoIPC(bctx, 2, cache.LRU)
+	if err != nil {
+		b.Fatal(err)
 	}
-}
-
-func BenchmarkGuideline(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.GuidelineRequests(2) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.GuidelineTable(2, metrics.WSU))
+	if len(tab) != 253 {
+		b.Fatalf("population %d", len(tab))
 	}
 }
 
@@ -250,47 +200,12 @@ func BenchmarkGuideline(b *testing.B) {
 // footnote-4 co-phase matrix, the Table I branch predictor and the CLT
 // premise behind equation (5).
 
-func BenchmarkExtMethods(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.ExtMethodsRequests(2) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.ExtMethodsTable(2))
-	}
-}
-
-func BenchmarkCophaseValidation(b *testing.B) {
-	l := lab()
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.CophaseTable())
-	}
-}
-
-func BenchmarkPredictorAblation(b *testing.B) {
-	l := lab()
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.PredictorTable())
-	}
-}
-
-func BenchmarkNormality(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.NormalityRequests(2) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.NormalityTable(2))
-	}
-}
-
-func BenchmarkProfileSuite(b *testing.B) {
-	l := lab()
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.ProfileTable())
-	}
-}
-
-func BenchmarkExtPolicies(b *testing.B) {
-	l := warmedLab(b, func(l *experiments.Lab) []experiments.Request { return l.ExtPoliciesRequests(2) })
-	for i := 0; i < b.N; i++ {
-		printOnce(b, i, l.ExtPoliciesTable(2))
-	}
-}
+func BenchmarkExtMethods(b *testing.B)        { benchExperiment(b, "methods", params2()) }
+func BenchmarkCophaseValidation(b *testing.B) { benchExperiment(b, "cophase", params2()) }
+func BenchmarkPredictorAblation(b *testing.B) { benchExperiment(b, "predictors", params2()) }
+func BenchmarkNormality(b *testing.B)         { benchExperiment(b, "normality", params2()) }
+func BenchmarkProfileSuite(b *testing.B)      { benchExperiment(b, "profiles", params2()) }
+func BenchmarkExtPolicies(b *testing.B)       { benchExperiment(b, "policies", params2()) }
 
 // ---------------------------------------------------------------------------
 // Substrate micro-benchmarks: per-operation cost of the new subsystems.
@@ -325,7 +240,11 @@ func BenchmarkProfileCompute(b *testing.B) {
 func BenchmarkKMeansWorkloads(b *testing.B) {
 	l := lab()
 	pop := l.Population(2)
-	wf, err := sampling.WorkloadFeatures(pop, l.BenchFeatures())
+	feats, err := l.BenchFeatures(bctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wf, err := sampling.WorkloadFeatures(pop, feats)
 	if err != nil {
 		b.Fatal(err)
 	}

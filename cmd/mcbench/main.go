@@ -6,32 +6,40 @@
 // Usage:
 //
 //	mcbench [-quick] [-cores N] <experiment>...
+//	mcbench list
+//	mcbench sim <policy> <bench,bench,...>
 //
-// where experiment is one of: fig1, fig2, fig3, fig4, fig5, fig6, fig7,
-// table3, table4, overhead, config, all.
-//
-// -quick runs a reduced campaign (smaller traces, subsampled populations,
-// fewer Monte-Carlo trials) that finishes in a few minutes; the default
+// Experiments are dispatched through the registry in
+// internal/experiments; `mcbench list` enumerates them. -quick runs a
+// reduced campaign (smaller traces, subsampled populations, fewer
+// Monte-Carlo trials) that finishes in a few minutes; the default
 // campaign matches the paper's scale and may take much longer.
+//
+// A SIGINT/SIGTERM cancels the campaign gracefully: in-flight population
+// sweeps stop promptly, and every table completed before the interrupt
+// is already persisted when -cache is set, so the next run resumes where
+// this one stopped.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"mcbench/internal/badco"
 	"mcbench/internal/cache"
-	"mcbench/internal/cpu"
 	"mcbench/internal/experiments"
-	"mcbench/internal/metrics"
 	"mcbench/internal/multicore"
 	"mcbench/internal/trace"
-	"mcbench/internal/uncore"
 )
 
 func main() {
@@ -42,7 +50,7 @@ func main() {
 // startProfiles always run (os.Exit would skip deferred stops).
 func realMain() int {
 	quick := flag.Bool("quick", false, "reduced campaign (fast, lower resolution)")
-	cores := flag.Int("cores", 4, "core count for fig4/fig5/fig6/overhead")
+	cores := flag.Int("cores", 4, "core count for the single-core-count experiments (fig4/fig5/fig6/overhead/extensions)")
 	cacheDir := flag.String("cache", "", "directory for persisting population sweeps across runs")
 	plotFlag := flag.Bool("plot", false, "render figures as text charts in addition to tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof)")
@@ -50,11 +58,21 @@ func realMain() int {
 	flag.Usage = usage
 	flag.Parse()
 
+	if *cores < 1 {
+		fmt.Fprintf(os.Stderr, "mcbench: -cores must be >= 1 (got %d)\n", *cores)
+		return 2
+	}
+
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		return 2
 	}
+
+	// SIGINT/SIGTERM cancel the campaign context; everything below —
+	// warming, sweeps, experiment runs — stops promptly when it fires.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -69,39 +87,76 @@ func realMain() int {
 	}
 	cfg.CacheDir = *cacheDir
 	lab := experiments.NewLab(cfg)
+	params := experiments.Params{Cores: *cores}
 
-	if args[0] == "sim" {
-		if err := simulate(cfg, args[1:]); err != nil {
+	switch args[0] {
+	case "list":
+		listExperiments(os.Stdout)
+		return 0
+	case "sim":
+		if err := simulate(ctx, cfg, args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "mcbench:", err)
 			return 1
 		}
 		return 0
 	}
 
+	// Validate every requested name before any simulation starts, so a
+	// typo late in the argument list cannot waste a warmed campaign.
+	for _, name := range args {
+		if name == "all" {
+			continue
+		}
+		if _, ok := experiments.Lookup(name); !ok {
+			msg := fmt.Sprintf("mcbench: unknown experiment %q", name)
+			if s := experiments.Suggest(name, "all", "list", "sim"); s != "" {
+				msg += fmt.Sprintf(" (did you mean %q?)", s)
+			}
+			fmt.Fprintln(os.Stderr, msg)
+			fmt.Fprintln(os.Stderr, "run `mcbench list` for the full catalogue")
+			return 2
+		}
+	}
+
 	// Precompute every table the selected experiments declare, with
 	// campaign-level parallelism on top of the per-sweep parallelism, so
 	// a full reproduction saturates the host's cores. The experiments
 	// then read memoized (or -cache persisted) tables.
-	if plan := lab.CampaignPlan(args, *cores); len(plan) > 0 {
+	if plan := lab.CampaignPlan(args, params); len(plan) > 0 {
 		start := time.Now()
-		n := lab.Warm(plan, 0)
+		n, err := lab.Warm(ctx, plan, 0)
+		if err != nil {
+			return campaignErr(err, *cacheDir)
+		}
 		fmt.Printf("(warmed %d tables/products in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
 	}
 
 	for _, name := range args {
+		names := []string{name}
 		if name == "all" {
-			if err := runAll(lab, *cores, *plotFlag); err != nil {
-				fmt.Fprintln(os.Stderr, "mcbench:", err)
-				return 1
-			}
-			continue
+			names = experiments.AllExperiments()
 		}
-		if err := run(lab, name, *cores, *plotFlag); err != nil {
-			fmt.Fprintln(os.Stderr, "mcbench:", err)
-			return 1
+		for _, n := range names {
+			if err := run(ctx, lab, n, params, *plotFlag); err != nil {
+				return campaignErr(err, *cacheDir)
+			}
 		}
 	}
 	return 0
+}
+
+// campaignErr reports a campaign failure, distinguishing a cancelled
+// context (exit 130, the conventional SIGINT code) from real errors.
+func campaignErr(err error, cacheDir string) int {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "mcbench: interrupted")
+		if cacheDir != "" {
+			fmt.Fprintln(os.Stderr, "mcbench: completed sweeps are persisted in", cacheDir, "— rerun to resume")
+		}
+		return 130
+	}
+	fmt.Fprintln(os.Stderr, "mcbench:", err)
+	return 1
 }
 
 // startProfiles starts CPU profiling and arranges a heap snapshot at
@@ -141,7 +196,7 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 
 // simulate runs one named workload under one policy with both simulators
 // and prints the per-thread IPCs: mcbench sim DRRIP mcf,povray
-func simulate(cfg experiments.Config, args []string) error {
+func simulate(ctx context.Context, cfg experiments.Config, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: mcbench sim <policy> <bench,bench,...>")
 	}
@@ -156,19 +211,23 @@ func simulate(cfg experiments.Config, args []string) error {
 		if !ok {
 			return fmt.Errorf("unknown benchmark %q (see internal/trace Suite)", n)
 		}
-		traces[n] = trace.MustGenerate(p, cfg.TraceLen)
+		tr, err := trace.Generate(p, cfg.TraceLen)
+		if err != nil {
+			return err
+		}
+		traces[n] = tr
 	}
 	w := multicore.Workload(names)
 
-	det, err := multicore.Detailed(w, traces, policy, 0)
+	det, err := multicore.Detailed(ctx, w, traces, policy, 0)
 	if err != nil {
 		return err
 	}
-	models, err := multicore.BuildModels(traces, badco.DefaultBuildConfig())
+	models, err := multicore.BuildModels(ctx, traces, badco.DefaultBuildConfig())
 	if err != nil {
 		return err
 	}
-	app, err := multicore.Approximate(w, models, policy, 0)
+	app, err := multicore.Approximate(ctx, w, models, policy, 0)
 	if err != nil {
 		return err
 	}
@@ -180,150 +239,70 @@ func simulate(cfg experiments.Config, args []string) error {
 	return nil
 }
 
+// listExperiments prints the registry catalogue, grouped.
+func listExperiments(w io.Writer) {
+	fmt.Fprintln(w, "experiments (paper):")
+	printGroup(w, experiments.GroupPaper)
+	fmt.Fprintln(w, "\nextensions (beyond the paper):")
+	printGroup(w, experiments.GroupExtension)
+	fmt.Fprintln(w, "\ncommands:")
+	printEntry(w, "all", "every paper experiment above, in order")
+	printEntry(w, "sim", "simulate one workload: mcbench sim <policy> <bench,bench,...>")
+	printEntry(w, "list", "this catalogue")
+}
+
+func printGroup(w io.Writer, g experiments.Group) {
+	for _, e := range experiments.ByGroup(g) {
+		printEntry(w, e.Name(), e.Synopsis())
+	}
+}
+
+// printEntry is the one place the catalogue's column layout lives, so
+// `mcbench list` and the usage text cannot drift apart.
+func printEntry(w io.Writer, name, synopsis string) {
+	fmt.Fprintf(w, "  %-18s%s\n", name, synopsis)
+}
+
+// usage is generated from the registry, so a newly registered experiment
+// shows up without touching the CLI.
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: mcbench [-quick] [-cores N] <experiment>...
+	fmt.Fprint(os.Stderr, `usage: mcbench [-quick] [-cores N] <experiment>...
 
 experiments:
-  fig1      confidence vs (1/cv)sqrt(W/2), the analytic model curve
-  fig2      detailed vs BADCO CPI/speedup accuracy
-  fig3      confidence vs sample size: experiment vs model (DRRIP>DIP, WSU)
-  fig4      1/cv per policy pair x metric: samples vs population (4 cores)
-  fig5      1/cv on the full population per metric
-  fig6      confidence for 4 sampling methods (IPCT)
-  fig7      actual (detailed-simulator) confidence for DIP>LRU
-  table3    simulation speed (MIPS) and BADCO speedup
-  table4    benchmark MPKI classification
-  overhead  Section VII-A simulation-overhead example
-  config    print the simulated core/uncore configurations
-  all       everything above
-
-extensions (beyond the paper):
-  ablation-strata   WT/TSD sensitivity of workload stratification
-  ablation-classes  value of the MPKI classes for benchmark stratification
-  ablation-metrics  required sample size per throughput metric (incl. GMSU)
-  speedup           accuracy of sample speedup estimates (paper's open problem)
-  guideline         Sec. VII decision procedure applied to every pair
-  methods           six selection methods incl. cluster-based (Sec. II-B refs [6,7])
-  cophase           co-phase matrix method vs detailed simulation (footnote 4)
-  predictors        branch predictor ablation (bimodal/gshare/tournament/TAGE)
-  normality         CLT premise: KS distance of mean(d) from normal vs W
-  profiles          microarchitecture-independent benchmark profiles
-  policies          SRRIP/PLRU/SHiP placed in the paper's 1/cv framework
-  sim               simulate one workload: mcbench sim <policy> <bench,bench,...>
-
+`)
+	printGroup(os.Stderr, experiments.GroupPaper)
+	printEntry(os.Stderr, "all", "everything above")
+	fmt.Fprint(os.Stderr, "\nextensions (beyond the paper):\n")
+	printGroup(os.Stderr, experiments.GroupExtension)
+	printEntry(os.Stderr, "sim", "simulate one workload: mcbench sim <policy> <bench,bench,...>")
+	fmt.Fprint(os.Stderr, `
+commands: list enumerates the catalogue with one line per experiment
 flags: -plot renders figures as text charts in addition to tables
        -cpuprofile/-memprofile write pprof profiles for performance work
 `)
 }
 
-func runAll(lab *experiments.Lab, cores int, plotFlag bool) error {
-	for _, name := range experiments.AllExperiments() {
-		if err := run(lab, name, cores, plotFlag); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func run(lab *experiments.Lab, name string, cores int, plotFlag bool) error {
-	start := time.Now()
-	var t *experiments.Table
-	switch name {
-	case "fig1":
-		t = experiments.Fig1()
-	case "fig2":
-		t = lab.Fig2Table(nil)
-	case "fig3":
-		t = lab.Fig3Table(nil)
-	case "fig4":
-		t = lab.Fig4Table(cores)
-	case "fig5":
-		t = lab.Fig5Table(cores)
-	case "fig6":
-		t = lab.Fig6Table(cores)
-	case "fig7":
-		t = lab.Fig7Table(nil)
-	case "table3":
-		t = lab.TableIIITable(3)
-	case "table4":
-		t = lab.TableIV()
-	case "overhead":
-		t = lab.OverheadTable(cores)
-	case "ablation-strata":
-		t = lab.AblationStrataParams(cores, 20)
-	case "ablation-classes":
-		t = lab.AblationClassification(cores, 20)
-	case "ablation-metrics":
-		t = lab.AblationMetricChoice(cores)
-	case "speedup":
-		t = lab.SpeedupAccuracyTable(cores)
-	case "guideline":
-		t = lab.GuidelineTable(cores, metrics.WSU)
-	case "methods":
-		t = lab.ExtMethodsTable(cores)
-	case "cophase":
-		t = lab.CophaseTable()
-	case "predictors":
-		t = lab.PredictorTable()
-	case "normality":
-		t = lab.NormalityTable(cores)
-	case "profiles":
-		t = lab.ProfileTable()
-	case "policies":
-		t = lab.ExtPoliciesTable(cores)
-	case "config":
-		t = configTable()
-	default:
+// run executes one registered experiment and prints its table (and
+// chart, with -plot).
+func run(ctx context.Context, lab *experiments.Lab, name string, p experiments.Params, plotFlag bool) error {
+	e, ok := experiments.Lookup(name)
+	if !ok {
+		// Unreachable after upfront validation; kept for safety.
 		return fmt.Errorf("unknown experiment %q", name)
+	}
+	start := time.Now()
+	t, err := e.Run(ctx, lab, p)
+	if err != nil {
+		return err
 	}
 	t.Fprint(os.Stdout)
 	if plotFlag {
-		if chart := chartFor(lab, name, cores); chart != "" {
+		if chart, ok, err := experiments.Chart(ctx, e, lab, p); err != nil {
+			return err
+		} else if ok && chart != "" {
 			fmt.Println(chart)
 		}
 	}
 	fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	return nil
-}
-
-// chartFor renders the text chart of figures that have one.
-func chartFor(lab *experiments.Lab, name string, cores int) string {
-	switch name {
-	case "fig1":
-		return experiments.Fig1Chart()
-	case "fig2":
-		return lab.Fig2Chart(nil)
-	case "fig3":
-		return lab.Fig3Chart(nil)
-	case "fig5":
-		return lab.Fig5Chart(cores)
-	case "fig6":
-		return lab.Fig6Chart(cores)
-	}
-	return ""
-}
-
-// configTable prints the Table I / Table II configurations in force.
-func configTable() *experiments.Table {
-	core := cpu.DefaultConfig()
-	t := &experiments.Table{
-		Title:   "Tables I & II: simulated configurations",
-		Columns: []string{"parameter", "value"},
-		Notes: []string{
-			"LLC capacities are the paper's scaled by 1/4, matching the 10^-3 trace-length scale (see DESIGN.md)",
-		},
-	}
-	t.AddRow("decode/issue/commit", fmt.Sprintf("%d/%d/%d", core.DecodeWidth, core.IssueWidth, core.CommitWidth))
-	t.AddRow("RS/LDQ/STQ/ROB", fmt.Sprintf("%d/%d/%d/%d", core.RS, core.LDQ, core.STQ, core.ROB))
-	t.AddRow("IL1", fmt.Sprintf("%d kB, %d-way, %d cycles", core.IL1Bytes>>10, core.IL1Ways, core.IL1Lat))
-	t.AddRow("DL1", fmt.Sprintf("%d kB, %d-way, %d cycles, %d MSHRs", core.DL1Bytes>>10, core.DL1Ways, core.DL1Lat, core.DL1MSHRs))
-	t.AddRow("ITLB/DTLB", fmt.Sprintf("%d/%d entries, %d-cycle walk", core.ITLBEntries, core.DTLBEntries, core.TLBWalkLat))
-	t.AddRow("branch predictor", fmt.Sprintf("bimodal 2^%d, %d-cycle redirect", core.BPIndexBits, core.MispredictPenalty))
-	for _, k := range []int{2, 4, 8} {
-		u := uncore.ConfigFor(k, "LRU")
-		t.AddRow(fmt.Sprintf("uncore %d cores", k),
-			fmt.Sprintf("LLC %d kB/%d-way/%d cycles, %d MSHRs, %d-entry WB, DRAM %d cycles",
-				u.LLCBytes>>10, u.LLCWays, u.LLCLatency, u.MSHRs, u.WriteBufEnts, u.DRAMLatency))
-	}
-	return t
 }

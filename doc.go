@@ -1,6 +1,40 @@
 // Package mcbench is a reproduction, in pure Go, of "Selecting Benchmark
 // Combinations for the Evaluation of Multicore Throughput" (R. A.
-// Velásquez, P. Michaud, A. Seznec — ISPASS 2013).
+// Velásquez, P. Michaud, A. Seznec — ISPASS 2013), exposed as a
+// library: the module root is the public, context-aware API over the
+// internal simulation stack.
+//
+// # Library usage
+//
+// Simulate runs one multiprogrammed workload with either simulator,
+// configured by functional options:
+//
+//	r, err := mcbench.Simulate(ctx, []string{"mcf", "povray"},
+//	    mcbench.WithPolicy(mcbench.DRRIP),
+//	    mcbench.WithSimulator(mcbench.BADCO),
+//	    mcbench.WithTraceLen(20000))
+//
+// Sweep does the same for many workloads at once, sharing traces and
+// models and parallelising across the process-wide simulation budget.
+//
+// A Lab owns a whole experiment campaign: memoized population sweeps,
+// reference IPCs and MPKI measurements behind a single-flight guard,
+// optionally persisted across processes via Config.CacheDir. Every
+// registered experiment — the paper's figures and tables plus the
+// extensions; see Experiments() — runs through it:
+//
+//	lab := mcbench.NewLab(mcbench.QuickConfig())
+//	table, err := lab.Run(ctx, "fig6", 2)
+//	table.Fprint(os.Stdout)
+//
+// All entry points take a context.Context; cancellation aborts in-flight
+// simulations promptly, and completed products stay memoized, so an
+// interrupted campaign resumes where it stopped. The analysis machinery
+// the paper builds on top of the simulators — throughput metrics, the
+// CLT confidence model, the four sampling methods, cluster-based
+// selection, the co-phase matrix method — is exported here as well; the
+// runnable examples under examples/ exercise all of it through this
+// package alone.
 //
 // The repository contains the paper's full experimental stack, built from
 // scratch on the standard library:

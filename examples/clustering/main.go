@@ -1,43 +1,42 @@
 // Clustering: derive benchmark classes and representative workloads by
 // cluster analysis on microarchitecture-independent profiles — the two
 // fully-automatic selection methods the paper surveys in Section II-B
-// (Vandierendonck & Seznec [6]; Van Biesbrouck, Eeckhout & Calder [7]).
+// (Vandierendonck & Seznec [6]; Van Biesbrouck, Eeckhout & Calder [7])
+// — through the public mcbench API.
 //
 // Run with: go run ./examples/clustering
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"mcbench/internal/cluster"
-	"mcbench/internal/profile"
-	"mcbench/internal/sampling"
-	"mcbench/internal/trace"
-	"mcbench/internal/workload"
+	"mcbench"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Profile the 22-benchmark suite: instruction mix, footprints,
 	// reuse-distance histograms — no microarchitecture parameters used.
-	const traceLen = 20000
-	names := trace.SuiteNames()
-	traces := trace.GenerateSuite(traceLen)
-	features := make([][]float64, len(names))
-	for i, name := range names {
-		p := profile.MustCompute(traces[name])
-		features[i] = p.Features()
+	// The lab memoizes the profiles (QuickConfig: 20k-µop traces).
+	lab := mcbench.NewLab(mcbench.QuickConfig())
+	names := mcbench.Benchmarks()
+	features, err := lab.BenchFeatures(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// 2. Cluster the benchmarks into behavioural classes (k chosen by
 	// silhouette score) and print the classes.
 	rng := rand.New(rand.NewSource(1))
-	best, err := cluster.BestK(rng, cluster.Normalize(features), 2, 6)
+	best, err := mcbench.BestK(rng, mcbench.NormalizeFeatures(features), 2, 6)
 	if err != nil {
 		log.Fatal(err)
 	}
-	assign := cluster.SortedAssign(best)
+	assign := mcbench.SortedAssign(best)
 	fmt.Printf("k-means chose %d benchmark classes (silhouette-selected):\n", best.K)
 	for c := 0; c < best.K; c++ {
 		fmt.Printf("  class %d:", c)
@@ -51,8 +50,8 @@ func main() {
 
 	// 3. Use the classes for benchmark stratification over the 2-core
 	// workload population, and draw a 20-workload sample.
-	pop := workload.Enumerate(len(names), 2)
-	strata, classes, err := sampling.NewClusterBenchStrata(rng, pop, features, best.K)
+	pop := mcbench.EnumerateWorkloads(2)
+	strata, classes, err := mcbench.NewClusterBenchStrata(rng, pop, features, best.K)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,11 +66,11 @@ func main() {
 	// 4. Van Biesbrouck-style representative workloads: cluster the
 	// workload feature matrix and simulate only the medoids, weighted by
 	// cluster size.
-	wf, err := sampling.WorkloadFeatures(pop, features)
+	wf, err := mcbench.WorkloadFeatures(pop, features)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := sampling.NewRepresentative(wf, 30)
+	rep := mcbench.NewRepresentative(wf, 30)
 	medoids, wts := rep.Draw(rng, 6)
 	fmt.Printf("\n6 representative workloads stand in for all %d:\n", pop.Size())
 	for i, m := range medoids {

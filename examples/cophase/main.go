@@ -1,36 +1,29 @@
 // Cophase: run the co-phase matrix method (Van Biesbrouck et al., ISPASS
 // 2006 — the rigorous multiprogram simulation method the paper's footnote
-// 4 points to) on a 2-core workload and compare it against direct
-// detailed simulation: accuracy, matrix size and detailed-simulation
-// cost.
+// 4 points to) on a 2-core workload through the public mcbench API and
+// compare it against direct detailed simulation: accuracy, matrix size
+// and detailed-simulation cost.
 //
 // Run with: go run ./examples/cophase
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mcbench/internal/cache"
-	"mcbench/internal/cophase"
-	"mcbench/internal/multicore"
-	"mcbench/internal/trace"
+	"mcbench"
 )
 
 func main() {
+	ctx := context.Background()
 	const traceLen = 20000
-	traces := map[string]*trace.Trace{}
-	for _, name := range []string{"soplex", "gobmk"} {
-		p, ok := trace.ByName(name)
-		if !ok {
-			log.Fatalf("unknown benchmark %s", name)
-		}
-		traces[name] = trace.MustGenerate(p, traceLen)
-	}
-	w := multicore.Workload{"soplex", "gobmk"}
+	workload := []string{"soplex", "gobmk"}
 
 	// Reference: one direct detailed simulation of the whole workload.
-	ref, err := multicore.Detailed(w, traces, cache.LRU, traceLen)
+	ref, err := mcbench.Simulate(ctx, workload,
+		mcbench.WithTraceLen(traceLen),
+		mcbench.WithQuota(traceLen))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,11 +31,19 @@ func main() {
 	// Co-phase matrix: 10 phases per benchmark, short warm+measure
 	// detailed samples per phase combination, analytical fast-forwarding
 	// in between.
-	sim, err := cophase.New([]string(w), traces, cophase.Config{
+	traces := map[string]*mcbench.Trace{}
+	for _, name := range workload {
+		tr, err := mcbench.GenerateTrace(name, traceLen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces[name] = tr
+	}
+	sim, err := mcbench.NewCophase(workload, traces, mcbench.CophaseConfig{
 		Phases:    10,
 		SampleOps: traceLen / 20,
 		WarmOps:   traceLen / 5,
-		Policy:    cache.LRU,
+		Policy:    mcbench.LRU,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -52,15 +53,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("workload %s under LRU, %d µops/thread\n\n", w, traceLen)
+	fmt.Printf("workload %s+%s under LRU, %d µops/thread\n\n", workload[0], workload[1], traceLen)
 	fmt.Printf("%-10s %10s %10s %8s\n", "thread", "detailed", "co-phase", "err")
-	for i, name := range w {
+	for i, name := range workload {
 		e := (pred.IPC[i] - ref.IPC[i]) / ref.IPC[i] * 100
 		fmt.Printf("%-10s %10.4f %10.4f %+7.1f%%\n", name, ref.IPC[i], pred.IPC[i], e)
 	}
 	fmt.Printf("\nco-phase matrix: %d entries measured\n", pred.MatrixEntries)
 	fmt.Printf("detailed µops spent: %d (one direct simulation: %d)\n",
-		pred.SimulatedOps, traceLen*len(w))
+		pred.SimulatedOps, traceLen*len(workload))
 	fmt.Println("at this toy scale the matrix costs more than one direct run;")
 	fmt.Println("the win appears when executions dwarf the per-entry samples:")
 
@@ -71,7 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	direct := 100 * traceLen * len(w)
+	direct := 100 * traceLen * len(workload)
 	fmt.Printf("\n100x longer run: %d matrix entries, %d total detailed µops vs %d direct (%.1fx cheaper)\n",
 		longer.MatrixEntries, longer.SimulatedOps, direct,
 		float64(direct)/float64(longer.SimulatedOps))

@@ -1,83 +1,58 @@
-// Policycompare: the paper's end-to-end method. Compare two LLC
-// replacement policies on a population of multiprogrammed workloads with
-// the fast simulator, estimate the coefficient of variation of the
-// per-workload throughput difference, and apply the W = 8*cv^2 rule
-// (Section III) to decide how many workloads a detailed-simulation study
-// would need.
+// Policycompare: the paper's end-to-end method through the public
+// mcbench API. Compare two LLC replacement policies on a population of
+// multiprogrammed workloads with the fast simulator, estimate the
+// coefficient of variation of the per-workload throughput difference,
+// and apply the W = 8*cv^2 rule (Section III) to decide how many
+// workloads a detailed-simulation study would need.
 //
 // Run with: go run ./examples/policycompare
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mcbench/internal/badco"
-	"mcbench/internal/cache"
-	"mcbench/internal/metrics"
-	"mcbench/internal/multicore"
-	"mcbench/internal/stats"
-	"mcbench/internal/trace"
-	"mcbench/internal/workload"
+	"mcbench"
 )
 
-const (
-	traceLen = 20000
-	cores    = 2
-)
+const cores = 2
 
 func main() {
-	traces := trace.GenerateSuite(traceLen)
-	models, err := multicore.BuildModels(traces, badco.DefaultBuildConfig())
+	ctx := context.Background()
+
+	// A Lab owns the campaign state: traces, BADCO models and the
+	// population sweeps, all built lazily and memoized. QuickConfig uses
+	// 20k-µop traces; the 2-core population is the full C(23,2) = 253
+	// workload enumeration.
+	lab := mcbench.NewLab(mcbench.QuickConfig())
+	pop := lab.Population(cores)
+
+	// d(w) = t_Y(w) - t_X(w) over the whole population, simulated with
+	// BADCO under both policies (two population sweeps, memoized).
+	x, y := mcbench.LRU, mcbench.DRRIP
+	d, err := lab.Diffs(ctx, cores, mcbench.IPCT, x, y)
 	if err != nil {
 		log.Fatal(err)
 	}
-	names := trace.SuiteNames()
 
-	// The full 2-core population: C(23,2) = 253 workloads.
-	pop := workload.Enumerate(len(names), cores)
-	ws := make([]multicore.Workload, pop.Size())
-	for i, w := range pop.Workloads {
-		ws[i] = make(multicore.Workload, len(w))
-		for k, b := range w {
-			ws[i][k] = names[b]
-		}
-	}
-
-	// Simulate the whole population under both policies with BADCO.
-	throughput := func(pol cache.PolicyName) []float64 {
-		rs, err := multicore.SweepApproximate(ws, models, pol, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ts := make([]float64, len(rs))
-		for i, r := range rs {
-			ts[i] = metrics.IPCT.PerWorkload(r.IPC, nil)
-		}
-		return ts
-	}
-	x, y := cache.LRU, cache.DRRIP
-	tX := throughput(x)
-	tY := throughput(y)
-	d := metrics.IPCT.Diffs(tX, tY)
-
-	cv := stats.CoefVar(d)
+	cv := mcbench.CoefVar(d)
 	fmt.Printf("comparing %s (X) vs %s (Y) on %d workloads (IPCT, %d cores)\n",
 		x, y, pop.Size(), cores)
-	fmt.Printf("mean d(w) = %+.5f   (positive means %s wins)\n", stats.Mean(d), y)
+	fmt.Printf("mean d(w) = %+.5f   (positive means %s wins)\n", mcbench.Mean(d), y)
 	fmt.Printf("1/cv      = %+.3f\n", 1/cv)
 
 	switch {
 	case cv > 10 || cv < -10:
 		fmt.Println("=> |cv| > 10: the two policies perform equally on average (paper's rule)")
 	case cv < 2 && cv > -2:
-		w := stats.RequiredSampleSize(cv)
+		w := mcbench.RequiredSampleSize(cv)
 		fmt.Printf("=> |cv| < 2: random sampling suffices; W = 8*cv^2 = %d workloads\n", w)
 	default:
-		w := stats.RequiredSampleSize(cv)
+		w := mcbench.RequiredSampleSize(cv)
 		fmt.Printf("=> cv in [2,10]: random sampling needs W = %d; use workload stratification instead\n", w)
 	}
 	for _, w := range []int{10, 30, 100} {
-		fmt.Printf("confidence with %3d random workloads: %.3f\n", w, stats.Confidence(cv, w))
+		fmt.Printf("confidence with %3d random workloads: %.3f\n", w, mcbench.Confidence(cv, w))
 	}
 }

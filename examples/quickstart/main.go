@@ -1,67 +1,58 @@
 // Quickstart: simulate one 2-core multiprogrammed workload with both
-// simulators and compare their per-thread IPCs and a throughput metric.
+// simulators through the public mcbench API and compare their
+// per-thread IPCs and a throughput metric.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mcbench/internal/badco"
-	"mcbench/internal/cache"
-	"mcbench/internal/metrics"
-	"mcbench/internal/multicore"
-	"mcbench/internal/trace"
+	"mcbench"
 )
 
 func main() {
-	// 1. Generate the synthetic benchmark traces (the SPEC CPU2006
-	// stand-ins). 20k µops keeps this example fast.
+	ctx := context.Background()
+
+	// The workload: a memory-bound thread (mcf) next to a compute-bound
+	// one (povray), sharing the LLC. 20k µops per thread keeps this
+	// example fast.
+	workload := []string{"mcf", "povray"}
 	const traceLen = 20000
-	traces := map[string]*trace.Trace{}
-	for _, name := range []string{"mcf", "povray"} {
-		p, ok := trace.ByName(name)
-		if !ok {
-			log.Fatalf("unknown benchmark %s", name)
-		}
-		traces[name] = trace.MustGenerate(p, traceLen)
-	}
 
-	// 2. The workload: a memory-bound thread (mcf) next to a compute-
-	// bound one (povray), sharing the LLC.
-	w := multicore.Workload{"mcf", "povray"}
-
-	// 3. Detailed simulation under two replacement policies.
+	// 1. Detailed simulation under two replacement policies.
 	fmt.Println("detailed simulator:")
 	var ipcLRU []float64
-	for _, pol := range []cache.PolicyName{cache.LRU, cache.DRRIP} {
-		r, err := multicore.Detailed(w, traces, pol, 0)
+	for _, pol := range []mcbench.Policy{mcbench.LRU, mcbench.DRRIP} {
+		r, err := mcbench.Simulate(ctx, workload,
+			mcbench.WithPolicy(pol),
+			mcbench.WithTraceLen(traceLen))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-5s IPC: mcf %.3f, povray %.3f\n", pol, r.IPC[0], r.IPC[1])
-		if pol == cache.LRU {
+		if pol == mcbench.LRU {
 			ipcLRU = r.IPC
 		}
 	}
 
-	// 4. The same with BADCO models (built from two calibration runs of
+	// 2. The same with BADCO models (built from two calibration runs of
 	// the detailed core each) — the fast approximate path.
-	models, err := multicore.BuildModels(traces, badco.DefaultBuildConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Println("BADCO (approximate) simulator:")
-	for _, pol := range []cache.PolicyName{cache.LRU, cache.DRRIP} {
-		r, err := multicore.Approximate(w, models, pol, 0)
+	for _, pol := range []mcbench.Policy{mcbench.LRU, mcbench.DRRIP} {
+		r, err := mcbench.Simulate(ctx, workload,
+			mcbench.WithPolicy(pol),
+			mcbench.WithSimulator(mcbench.BADCO),
+			mcbench.WithTraceLen(traceLen))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-5s IPC: mcf %.3f, povray %.3f\n", pol, r.IPC[0], r.IPC[1])
 	}
 
-	// 5. A throughput metric: IPC throughput of the LRU run.
-	t := metrics.IPCT.PerWorkload(ipcLRU, nil)
+	// 3. A throughput metric: IPC throughput of the LRU run.
+	t := mcbench.IPCT.PerWorkload(ipcLRU, nil)
 	fmt.Printf("IPC throughput t(w) under LRU: %.3f\n", t)
 }

@@ -1,7 +1,8 @@
 // Samplesize: explore the paper's analytical confidence model (Section
-// III). For a grid of coefficients of variation, print the confidence
-// reached by different random-sample sizes and the W = 8*cv^2 rule — the
-// numbers behind the "how many workloads do I need?" question.
+// III) through the public mcbench API. For a grid of coefficients of
+// variation, print the confidence reached by different random-sample
+// sizes and the W = 8*cv^2 rule — the numbers behind the "how many
+// workloads do I need?" question.
 //
 // Run with: go run ./examples/samplesize
 package main
@@ -9,7 +10,7 @@ package main
 import (
 	"fmt"
 
-	"mcbench/internal/stats"
+	"mcbench"
 )
 
 func main() {
@@ -27,9 +28,9 @@ func main() {
 	for _, cv := range []float64{0.5, 1, 2, 4, 8, 16} {
 		fmt.Printf("%8.1f", cv)
 		for _, w := range sizes {
-			fmt.Printf("  %.4f ", stats.Confidence(cv, w))
+			fmt.Printf("  %.4f ", mcbench.Confidence(cv, w))
 		}
-		fmt.Printf("  %d\n", stats.RequiredSampleSize(cv))
+		fmt.Printf("  %d\n", mcbench.RequiredSampleSize(cv))
 	}
 
 	fmt.Println()

@@ -1,76 +1,54 @@
-// Stratification: the paper's main proposal in action. Build workload
-// strata from fast-simulator estimates of the per-workload difference
-// between two policies, then show how much smaller a stratified sample
-// can be than a random one at equal confidence (Section VI-B-2).
+// Stratification: the paper's main proposal in action, through the
+// public mcbench API. Build workload strata from fast-simulator
+// estimates of the per-workload difference between two policies, then
+// show how much smaller a stratified sample can be than a random one at
+// equal confidence (Section VI-B-2).
 //
 // Run with: go run ./examples/stratification
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"mcbench/internal/badco"
-	"mcbench/internal/cache"
-	"mcbench/internal/metrics"
-	"mcbench/internal/multicore"
-	"mcbench/internal/sampling"
-	"mcbench/internal/trace"
-	"mcbench/internal/workload"
+	"mcbench"
 )
 
 const (
-	traceLen = 20000
-	cores    = 2
-	trials   = 2000
+	cores  = 2
+	trials = 2000
 )
 
 func main() {
-	traces := trace.GenerateSuite(traceLen)
-	models, err := multicore.BuildModels(traces, badco.DefaultBuildConfig())
+	ctx := context.Background()
+
+	// BADCO population sweeps for the two policies under study, via the
+	// lab's memoized machinery (QuickConfig: 20k-µop traces, full
+	// 253-workload 2-core population).
+	lab := mcbench.NewLab(mcbench.QuickConfig())
+	pop := lab.Population(cores)
+	d, err := lab.Diffs(ctx, cores, mcbench.IPCT, mcbench.LRU, mcbench.DIP)
 	if err != nil {
 		log.Fatal(err)
 	}
-	names := trace.SuiteNames()
-	pop := workload.Enumerate(len(names), cores)
-
-	// BADCO population sweep for the two policies under study.
-	sweep := func(pol cache.PolicyName) []float64 {
-		ws := make([]multicore.Workload, pop.Size())
-		for i, w := range pop.Workloads {
-			ws[i] = make(multicore.Workload, len(w))
-			for k, b := range w {
-				ws[i][k] = names[b]
-			}
-		}
-		rs, err := multicore.SweepApproximate(ws, models, pol, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ts := make([]float64, len(rs))
-		for i, r := range rs {
-			ts[i] = metrics.IPCT.PerWorkload(r.IPC, nil)
-		}
-		return ts
-	}
-	d := metrics.IPCT.Diffs(sweep(cache.LRU), sweep(cache.DIP))
 
 	// Build strata from d(w) with the paper's parameters.
-	cfg := sampling.WorkloadStrataConfig{MinSize: 20, MaxStdDev: 0.001}
-	strata := sampling.NewWorkloadStrata(d, cfg)
-	random := sampling.NewSimpleRandom(len(d))
-	balanced := sampling.NewBalancedRandom(pop)
+	cfg := mcbench.WorkloadStrataConfig{MinSize: 20, MaxStdDev: 0.001}
+	strata := mcbench.NewWorkloadStrata(d, cfg)
+	random := mcbench.NewSimpleRandom(len(d))
+	balanced := mcbench.NewBalancedRandom(pop)
 
 	fmt.Printf("DIP vs LRU on %d workloads (%d cores, IPCT): %d strata (WT=%d, TSD=%g)\n",
-		pop.Size(), cores, sampling.NumStrata(strata), cfg.MinSize, cfg.MaxStdDev)
+		pop.Size(), cores, mcbench.NumStrata(strata), cfg.MinSize, cfg.MaxStdDev)
 	fmt.Println()
 	fmt.Printf("%6s  %10s  %12s  %16s\n", "W", "random", "bal-random", "workload-strata")
 	rng := rand.New(rand.NewSource(42))
 	for _, w := range []int{10, 20, 40, 80, 160} {
-		r := sampling.EmpiricalConfidence(rng, d, random, w, trials)
-		b := sampling.EmpiricalConfidence(rng, d, balanced, w, trials)
-		s := sampling.EmpiricalConfidence(rng, d, strata, w, trials)
+		r := mcbench.EmpiricalConfidence(rng, d, random, w, trials)
+		b := mcbench.EmpiricalConfidence(rng, d, balanced, w, trials)
+		s := mcbench.EmpiricalConfidence(rng, d, strata, w, trials)
 		fmt.Printf("%6d  %10.3f  %12.3f  %16.3f\n", w, r, b, s)
 	}
 	fmt.Println()

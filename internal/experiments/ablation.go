@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -13,6 +14,40 @@ import (
 // stratification parameters (WT, TSD) and the choice of classification
 // for benchmark stratification. These go beyond the paper's figures but
 // use the same machinery.
+
+// ablationSampleSize is the fixed sample size of the two sampling
+// ablations (the regime where detailed-simulation budgets live).
+const ablationSampleSize = 20
+
+func init() {
+	Register(Spec{
+		Name:     "ablation-strata",
+		Synopsis: "WT/TSD sensitivity of workload stratification",
+		Group:    GroupExtension,
+		Requests: func(l *Lab, p Params) []Request { return l.AblationRequests(p.cores()) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.AblationStrataParams(ctx, p.cores(), ablationSampleSize)
+		},
+	})
+	Register(Spec{
+		Name:     "ablation-classes",
+		Synopsis: "value of the MPKI classes for benchmark stratification",
+		Group:    GroupExtension,
+		Requests: func(l *Lab, p Params) []Request { return l.AblationRequests(p.cores()) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.AblationClassification(ctx, p.cores(), ablationSampleSize)
+		},
+	})
+	Register(Spec{
+		Name:     "ablation-metrics",
+		Synopsis: "required sample size per throughput metric (incl. GMSU)",
+		Group:    GroupExtension,
+		Requests: func(l *Lab, p Params) []Request { return l.AblationRequests(p.cores()) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.AblationMetricChoice(ctx, p.cores())
+		},
+	})
+}
 
 // AblationRequests declares the inputs shared by the three ablation
 // tables: every policy pair's BADCO tables (AblationMetricChoice sweeps
@@ -27,8 +62,11 @@ func (l *Lab) AblationRequests(cores int) []Request {
 // sample size, how the workload-stratification parameters trade stratum
 // count against confidence. The paper fixes WT=50, TSD=0.001; this table
 // shows the neighbourhood.
-func (l *Lab) AblationStrataParams(cores, sampleSize int) *Table {
-	d := l.Diffs(cores, metrics.IPCT, cache.DIP, cache.DRRIP)
+func (l *Lab) AblationStrataParams(ctx context.Context, cores, sampleSize int) (*Table, error) {
+	d, err := l.Diffs(ctx, cores, metrics.IPCT, cache.DIP, cache.DRRIP)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: fmt.Sprintf("Ablation: workload-stratification parameters (DRRIP vs DIP, IPCT, %d cores, W=%d)",
 			cores, sampleSize),
@@ -49,16 +87,23 @@ func (l *Lab) AblationStrataParams(cores, sampleSize int) *Table {
 				f3(conf), f3(conf-random))
 		}
 	}
-	return t
+	return t, nil
 }
 
 // AblationClassification compares benchmark stratification built from the
 // measured MPKI classes against (a) a random class assignment and (b) no
 // classes at all (plain random sampling), quantifying how much the
 // "authors' intuition" the paper discusses is worth.
-func (l *Lab) AblationClassification(cores, sampleSize int) *Table {
+func (l *Lab) AblationClassification(ctx context.Context, cores, sampleSize int) (*Table, error) {
 	pop := l.Population(cores)
-	d := l.Diffs(cores, metrics.IPCT, cache.LRU, cache.DRRIP)
+	d, err := l.Diffs(ctx, cores, metrics.IPCT, cache.LRU, cache.DRRIP)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := l.Classes(ctx)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: fmt.Sprintf("Ablation: class definitions for benchmark stratification (DRRIP vs LRU, IPCT, %d cores, W=%d)",
 			cores, sampleSize),
@@ -73,23 +118,23 @@ func (l *Lab) AblationClassification(cores, sampleSize int) *Table {
 	random := sampling.NewSimpleRandom(len(d))
 	t.AddRow("none (random)", "1", f3(sampling.EmpiricalConfidence(rng, d, random, sampleSize, trials)))
 
-	mpki := sampling.NewBenchmarkStrata(pop, l.Classes(), sampling.NumClasses)
+	mpki := sampling.NewBenchmarkStrata(pop, classes, sampling.NumClasses)
 	t.AddRow("measured MPKI", fmt.Sprint(sampling.NumStrata(mpki)),
 		f3(sampling.EmpiricalConfidence(rng, d, mpki, sampleSize, trials)))
 
-	shuffled := append([]int(nil), l.Classes()...)
+	shuffled := append([]int(nil), classes...)
 	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 	scrambled := sampling.NewBenchmarkStrata(pop, shuffled, sampling.NumClasses)
 	t.AddRow("shuffled classes", fmt.Sprint(sampling.NumStrata(scrambled)),
 		f3(sampling.EmpiricalConfidence(rng, d, scrambled, sampleSize, trials)))
 
-	return t
+	return t, nil
 }
 
 // AblationMetricChoice shows the paper's Section V-C point numerically:
 // the same policy pair needs different random-sample sizes under
 // different metrics.
-func (l *Lab) AblationMetricChoice(cores int) *Table {
+func (l *Lab) AblationMetricChoice(ctx context.Context, cores int) (*Table, error) {
 	t := &Table{
 		Title:   fmt.Sprintf("Ablation: required random-sample size per metric (W = 8*cv^2, %d cores)", cores),
 		Columns: []string{"pair (X>Y)", "IPCT", "WSU", "HSU", "GMSU"},
@@ -100,10 +145,13 @@ func (l *Lab) AblationMetricChoice(cores int) *Table {
 	for _, pair := range PolicyPairs() {
 		row := []string{fmt.Sprintf("%s>%s", pair[0], pair[1])}
 		for _, m := range []metrics.Metric{metrics.IPCT, metrics.WSU, metrics.HSU, metrics.GMSU} {
-			d := l.Diffs(cores, m, pair[0], pair[1])
+			d, err := l.Diffs(ctx, cores, m, pair[0], pair[1])
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, fmt.Sprint(sampling.RequiredSampleSize(d)))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }

@@ -2,13 +2,15 @@ package experiments
 
 // The campaign runner. Every experiment declares the expensive memoized
 // products it reads — population IPC tables, reference IPCs, the MPKI
-// measurement — as a []Request (the XxxRequests methods next to each
-// experiment), and Warm precomputes a whole plan with bounded
-// parallelism. Population sweeps already parallelise across workloads
-// internally; Warm adds the campaign-level axis, so different tables
-// build concurrently and a full paper reproduction saturates the host.
+// measurement — via its registry Requests method, and Warm precomputes a
+// whole plan with bounded parallelism. Population sweeps already
+// parallelise across workloads internally; Warm adds the campaign-level
+// axis, so different tables build concurrently and a full paper
+// reproduction saturates the host.
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 
@@ -57,26 +59,34 @@ func (r Request) normalize() Request {
 }
 
 // fulfill computes the requested product (blocking until it is memoized).
-func (l *Lab) fulfill(r Request) {
+func (l *Lab) fulfill(ctx context.Context, r Request) error {
+	var err error
 	switch r.Sim {
 	case SimBadco:
-		l.BadcoIPC(r.Cores, r.Policy)
+		_, err = l.BadcoIPC(ctx, r.Cores, r.Policy)
 	case SimDetailed:
-		l.DetailedIPC(r.Cores, r.Policy)
+		_, err = l.DetailedIPC(ctx, r.Cores, r.Policy)
 	case SimRef:
-		l.RefIPC(r.Cores)
+		_, err = l.RefIPC(ctx, r.Cores)
 	case SimMPKI:
-		l.MPKI()
+		_, err = l.MPKI(ctx)
 	case SimModels:
-		l.Models()
+		_, err = l.Models(ctx)
 	}
+	return err
 }
 
 // Warm precomputes every requested product with at most workers
 // concurrent builds (workers <= 0 means GOMAXPROCS). The plan is
 // deduplicated, and products already memoized return immediately, so
 // warming overlapping plans is free. It returns the number of distinct
-// products warmed.
+// products the plan named.
+//
+// Cancelling the context stops dispatching new products, interrupts the
+// in-flight sweeps, waits for every worker to drain (no goroutine
+// leaks), and returns the context's error. Products fully warmed before
+// the cancellation stay memoized (and persisted when CacheDir is set),
+// so an interrupted campaign resumes where it left off.
 //
 // Shared prerequisites (traces, BADCO models) are not built eagerly:
 // the first worker to need them builds them behind their single-flight
@@ -87,7 +97,7 @@ func (l *Lab) fulfill(r Request) {
 // trigger draws simulation slots from multicore's process-wide budget
 // (see multicore.RunBounded), so campaign-level and per-sweep
 // parallelism compose without multiplying.
-func (l *Lab) Warm(plan []Request, workers int) int {
+func (l *Lab) Warm(ctx context.Context, plan []Request, workers int) (int, error) {
 	seen := make(map[Request]bool, len(plan))
 	var uniq []Request
 	for _, r := range plan {
@@ -99,24 +109,42 @@ func (l *Lab) Warm(plan []Request, workers int) int {
 		uniq = append(uniq, r)
 	}
 	if len(uniq) == 0 {
-		return 0
+		return 0, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var wg sync.WaitGroup
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
 	sem := make(chan struct{}, workers)
+	done := ctx.Done()
+loop:
 	for _, r := range uniq {
-		sem <- struct{}{} // acquire before spawning: at most `workers` goroutines exist
+		// Acquire before spawning: at most `workers` goroutines exist.
+		select {
+		case <-done:
+			break loop
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
 		go func(r Request) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			l.fulfill(r)
+			if err := l.fulfill(ctx, r); err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+			}
 		}(r)
 	}
 	wg.Wait()
-	return len(uniq)
+	if err := ctx.Err(); err != nil {
+		return len(uniq), err
+	}
+	return len(uniq), errors.Join(errs...)
 }
 
 // badcoSet expands a policy list into BADCO table requests at one core
@@ -155,58 +183,20 @@ func pairPolicies(pairs [][2]cache.PolicyName) []cache.PolicyName {
 	return out
 }
 
-// CampaignPlan aggregates the requests of the named experiments (the
-// names cmd/mcbench accepts; "all" expands to the paper's full set).
-// cores is the -cores flag value used by the single-core-count
-// experiments. Names without expensive prerequisites (fig1, config,
-// cophase, predictors, profiles) contribute nothing; unknown names are
-// ignored — running the experiment itself reports them.
-func (l *Lab) CampaignPlan(names []string, cores int) []Request {
+// CampaignPlan aggregates the registry Requests of the named experiments
+// ("all" expands to the paper's full set). p carries the run parameters
+// the requests depend on (the -cores flag). Unknown names are ignored —
+// name validation is the dispatcher's job, before planning.
+func (l *Lab) CampaignPlan(names []string, p Params) []Request {
 	var plan []Request
 	for _, name := range names {
-		switch name {
-		case "all":
-			plan = append(plan, l.CampaignPlan(AllExperiments(), cores)...)
-		case "fig2":
-			plan = append(plan, l.Fig2Requests(nil)...)
-		case "fig3":
-			plan = append(plan, l.Fig3Requests(nil)...)
-		case "fig4":
-			plan = append(plan, l.Fig4Requests(cores)...)
-		case "fig5":
-			plan = append(plan, l.Fig5Requests(cores)...)
-		case "fig6":
-			plan = append(plan, l.Fig6Requests(cores)...)
-		case "fig7":
-			plan = append(plan, l.Fig7Requests(nil)...)
-		case "table3":
-			plan = append(plan, l.TableIIIRequests()...)
-		case "table4":
-			plan = append(plan, l.TableIVRequests()...)
-		case "overhead":
-			plan = append(plan, l.OverheadRequests(cores)...)
-		case "ablation-strata", "ablation-classes", "ablation-metrics":
-			plan = append(plan, l.AblationRequests(cores)...)
-		case "speedup":
-			plan = append(plan, l.SpeedupRequests(cores)...)
-		case "guideline":
-			plan = append(plan, l.GuidelineRequests(cores)...)
-		case "methods":
-			plan = append(plan, l.ExtMethodsRequests(cores)...)
-		case "normality":
-			plan = append(plan, l.NormalityRequests(cores)...)
-		case "policies":
-			plan = append(plan, l.ExtPoliciesRequests(cores)...)
+		if name == "all" {
+			plan = append(plan, l.CampaignPlan(AllExperiments(), p)...)
+			continue
+		}
+		if e, ok := Lookup(name); ok {
+			plan = append(plan, e.Requests(l, p)...)
 		}
 	}
 	return plan
-}
-
-// AllExperiments lists the paper experiments "all" expands to, in run
-// order.
-func AllExperiments() []string {
-	return []string{
-		"config", "fig1", "table4", "table3", "fig2", "fig3",
-		"fig4", "fig5", "fig6", "fig7", "overhead",
-	}
 }

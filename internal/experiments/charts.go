@@ -2,15 +2,28 @@ package experiments
 
 // Text-chart renderings of the paper's figures (package plot), so
 // `mcbench -plot figN` shows the same curves the PDF does. Tables remain
-// the precise record; charts give the shape at a glance.
+// the precise record; charts give the shape at a glance. Charts are
+// wired to their experiments through the registry's Chart hook.
 
 import (
+	"context"
 	"fmt"
 
 	"mcbench/internal/metrics"
 	"mcbench/internal/plot"
 	"mcbench/internal/stats"
 )
+
+func init() {
+	Register(Spec{
+		Name:     "profiles",
+		Synopsis: "microarchitecture-independent benchmark profiles",
+		Group:    GroupExtension,
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.ProfileTable(ctx)
+		},
+	})
+}
 
 // metricsAll aliases metrics.All for the chart code.
 func metricsAll() []metrics.Metric { return metrics.All() }
@@ -29,8 +42,11 @@ func Fig1Chart() string {
 
 // Fig2Chart renders the CPI scatter of Figure 2 (detailed vs BADCO, all
 // core counts pooled; the bisector is perfect agreement).
-func (l *Lab) Fig2Chart(coreCounts []int) string {
-	results := l.Fig2(coreCounts)
+func (l *Lab) Fig2Chart(ctx context.Context, coreCounts []int) (string, error) {
+	results, err := l.Fig2(ctx, coreCounts)
+	if err != nil {
+		return "", err
+	}
 	var series []plot.Series
 	for _, r := range results {
 		s := plot.Series{Name: fmt.Sprintf("%d cores", r.Cores)}
@@ -45,12 +61,15 @@ func (l *Lab) Fig2Chart(coreCounts []int) string {
 		XLabel: "BADCO CPI",
 		YLabel: "detailed CPI",
 		Height: 20,
-	}, true, series...)
+	}, true, series...), nil
 }
 
 // Fig3Chart renders the model-vs-experiment confidence curves.
-func (l *Lab) Fig3Chart(coreCounts []int) string {
-	points := l.Fig3(coreCounts)
+func (l *Lab) Fig3Chart(ctx context.Context, coreCounts []int) (string, error) {
+	points, err := l.Fig3(ctx, coreCounts)
+	if err != nil {
+		return "", err
+	}
 	bySeries := map[string]*plot.Series{}
 	var order []string
 	add := func(name string, w int, y float64) {
@@ -78,13 +97,16 @@ func (l *Lab) Fig3Chart(coreCounts []int) string {
 		LogX:   true,
 		FixedY: true, YMin: 0.5, YMax: 1,
 		Height: 20,
-	}, series...)
+	}, series...), nil
 }
 
-// Fig45Chart renders the grouped 1/cv bars of Figure 4 or 5 (population
-// column for Figure 5).
-func (l *Lab) Fig5Chart(cores int) string {
-	rows := l.Fig5(cores)
+// Fig5Chart renders the grouped 1/cv bars of Figure 5 (population
+// column).
+func (l *Lab) Fig5Chart(ctx context.Context, cores int) (string, error) {
+	rows, err := l.Fig5(ctx, cores)
+	if err != nil {
+		return "", err
+	}
 	names := []string{"IPCT", "WSU", "HSU"}
 	out := make([]plot.BarGroup, 0, len(rows))
 	for _, r := range rows {
@@ -97,12 +119,15 @@ func (l *Lab) Fig5Chart(cores int) string {
 	return plot.Bars(plot.Config{
 		Title: fmt.Sprintf("Figure 5: 1/cv per policy pair and metric (%d cores, full population)", cores),
 		Width: 48,
-	}, names, out)
+	}, names, out), nil
 }
 
 // Fig6Chart renders the per-pair confidence curves of Figure 6.
-func (l *Lab) Fig6Chart(cores int) string {
-	points := l.Fig6(cores)
+func (l *Lab) Fig6Chart(ctx context.Context, cores int) (string, error) {
+	points, err := l.Fig6(ctx, cores)
+	if err != nil {
+		return "", err
+	}
 	type pairKey string
 	byPair := map[pairKey]map[string]*plot.Series{}
 	var pairOrder []pairKey
@@ -137,13 +162,16 @@ func (l *Lab) Fig6Chart(cores int) string {
 		}, series...)
 		out += "\n"
 	}
-	return out
+	return out, nil
 }
 
 // ProfileTable renders the per-benchmark microarchitecture-independent
 // profiles (an extension table backing the clustering methods).
-func (l *Lab) ProfileTable() *Table {
-	profs := l.Profiles()
+func (l *Lab) ProfileTable(ctx context.Context) (*Table, error) {
+	profs, err := l.Profiles(ctx)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: "Extension: microarchitecture-independent benchmark profiles",
 		Columns: []string{"benchmark", "load", "store", "branch", "taken",
@@ -155,5 +183,5 @@ func (l *Lab) ProfileTable() *Table {
 			f3(p.TakenRate), fmt.Sprint(p.CodeLines), fmt.Sprint(p.DataLines),
 			f3(p.SeqFrac), f2(p.MeanLogDist), f3(p.MissRatio(1<<12)))
 	}
-	return t
+	return t, nil
 }

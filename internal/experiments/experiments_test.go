@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"math"
 	"strings"
@@ -12,6 +13,19 @@ import (
 	"mcbench/internal/sampling"
 	"mcbench/internal/stats"
 )
+
+// tctx is the background context of tests that do not exercise
+// cancellation.
+var tctx = context.Background()
+
+// must unwraps a (value, error) pair in tests; an error fails the test
+// via panic (which the testing runner reports with a stack).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // sharedLab caches one quick lab across tests (population sweeps are the
 // expensive part; the lab memoizes them).
@@ -56,7 +70,9 @@ func quickLab(t *testing.T) *Lab {
 		// `go test -run X` should pay just for the tables X reads
 		// (which the lab then builds lazily).
 		if f := flag.Lookup("test.run"); f == nil || f.Value.String() == "" {
-			sharedLab.Warm(testPlan(sharedLab), 0)
+			if _, err := sharedLab.Warm(tctx, testPlan(sharedLab), 0); err != nil {
+				panic(err)
+			}
 		}
 	})
 	return sharedLab
@@ -111,7 +127,7 @@ func TestLabBasics(t *testing.T) {
 func TestRefIPCPositive(t *testing.T) {
 	l := quickLab(t)
 	for _, cores := range []int{2, 4} {
-		ref := l.RefIPC(cores)
+		ref := must(l.RefIPC(tctx, cores))
 		for i, v := range ref {
 			if v <= 0 || v > 4 {
 				t.Errorf("cores=%d: ref IPC of %s = %g implausible", cores, l.Names()[i], v)
@@ -122,7 +138,7 @@ func TestRefIPCPositive(t *testing.T) {
 
 func TestBadcoIPCTableShape(t *testing.T) {
 	l := quickLab(t)
-	tab := l.BadcoIPC(2, cache.LRU)
+	tab := must(l.BadcoIPC(tctx, 2, cache.LRU))
 	if len(tab) != 253 {
 		t.Fatalf("table rows %d", len(tab))
 	}
@@ -137,7 +153,7 @@ func TestBadcoIPCTableShape(t *testing.T) {
 		}
 	}
 	// Memoized: second call returns identical slice.
-	tab2 := l.BadcoIPC(2, cache.LRU)
+	tab2 := must(l.BadcoIPC(tctx, 2, cache.LRU))
 	if &tab[0] != &tab2[0] {
 		t.Error("BadcoIPC not memoized")
 	}
@@ -148,7 +164,7 @@ func TestDiffsConsistentAcrossMetrics(t *testing.T) {
 	// LRU vs FIFO is decisive: every metric must agree LRU wins
 	// (negative mean with our d = tY - tX and (X=LRU, Y=FIFO)).
 	for _, m := range metrics.All() {
-		d := l.Diffs(2, m, cache.LRU, cache.FIFO)
+		d := must(l.Diffs(tctx, 2, m, cache.LRU, cache.FIFO))
 		if mean := stats.Mean(d); mean >= 0 {
 			t.Errorf("%v: mean d(LRU->FIFO) = %g, want < 0 (LRU clearly better)", m, mean)
 		}
@@ -157,7 +173,7 @@ func TestDiffsConsistentAcrossMetrics(t *testing.T) {
 
 func TestFig3ModelMatchesExperiment(t *testing.T) {
 	l := quickLab(t)
-	points := l.Fig3([]int{2})
+	points := must(l.Fig3(tctx, []int{2}))
 	if len(points) == 0 {
 		t.Fatal("no points")
 	}
@@ -170,7 +186,7 @@ func TestFig3ModelMatchesExperiment(t *testing.T) {
 
 func TestFig4SampleTracksPopulation(t *testing.T) {
 	l := quickLab(t)
-	rows := l.Fig4(2)
+	rows := must(l.Fig4(tctx, 2))
 	if len(rows) != 30 { // 10 pairs x 3 metrics
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -189,7 +205,7 @@ func TestFig4SampleTracksPopulation(t *testing.T) {
 
 func TestFig5SignsConsistent(t *testing.T) {
 	l := quickLab(t)
-	rows := l.Fig5(2)
+	rows := must(l.Fig5(tctx, 2))
 	if len(rows) != 10 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -216,7 +232,7 @@ func TestFig5SignsConsistent(t *testing.T) {
 
 func TestFig6StratificationWins(t *testing.T) {
 	l := quickLab(t)
-	points := l.Fig6(2) // 2 cores: full population, all 4 methods present
+	points := must(l.Fig6(tctx, 2)) // 2 cores: full population, all 4 methods present
 	if len(points) == 0 {
 		t.Fatal("no points")
 	}
@@ -251,7 +267,7 @@ func decisive(c float64) float64 { return math.Abs(c - 0.5) }
 
 func TestFig7DetailedConfidence(t *testing.T) {
 	l := quickLab(t)
-	points := l.Fig7([]int{2})
+	points := must(l.Fig7(tctx, []int{2}))
 	if len(points) == 0 {
 		t.Fatal("no points")
 	}
@@ -273,7 +289,7 @@ func TestFig7DetailedConfidence(t *testing.T) {
 
 func TestTableIVClassesSeparate(t *testing.T) {
 	l := quickLab(t)
-	tab := l.TableIV()
+	tab := must(l.TableIV(tctx))
 	if len(tab.Rows) != 22 {
 		t.Fatalf("%d rows", len(tab.Rows))
 	}
@@ -289,7 +305,7 @@ func TestTableIVClassesSeparate(t *testing.T) {
 
 func TestTableIIIBadcoFaster(t *testing.T) {
 	l := quickLab(t)
-	rows := l.TableIII(2)
+	rows := must(l.TableIII(tctx, 2))
 	if len(rows) != 4 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -305,7 +321,7 @@ func TestTableIIIBadcoFaster(t *testing.T) {
 
 func TestFig2AccuracyWithinBounds(t *testing.T) {
 	l := quickLab(t)
-	res := l.Fig2([]int{2})
+	res := must(l.Fig2(tctx, []int{2}))
 	if len(res) != 1 {
 		t.Fatalf("%d results", len(res))
 	}
@@ -324,7 +340,7 @@ func TestFig2AccuracyWithinBounds(t *testing.T) {
 
 func TestOverheadStory(t *testing.T) {
 	l := quickLab(t)
-	r := l.Overhead(2)
+	r := must(l.Overhead(tctx, 2))
 	if r.DetMIPS <= 0 || r.BadcoMIPS <= r.DetMIPS {
 		t.Fatalf("speeds %.3f/%.3f", r.DetMIPS, r.BadcoMIPS)
 	}
@@ -365,15 +381,15 @@ func TestPaperClassTable(t *testing.T) {
 
 func TestAblationTables(t *testing.T) {
 	l := quickLab(t)
-	strata := l.AblationStrataParams(2, 20)
+	strata := must(l.AblationStrataParams(tctx, 2, 20))
 	if len(strata.Rows) != 16 {
 		t.Errorf("strata ablation rows %d, want 16", len(strata.Rows))
 	}
-	classes := l.AblationClassification(2, 20)
+	classes := must(l.AblationClassification(tctx, 2, 20))
 	if len(classes.Rows) != 3 {
 		t.Errorf("classification ablation rows %d, want 3", len(classes.Rows))
 	}
-	met := l.AblationMetricChoice(2)
+	met := must(l.AblationMetricChoice(tctx, 2))
 	if len(met.Rows) != 10 {
 		t.Errorf("metric ablation rows %d, want 10", len(met.Rows))
 	}
@@ -381,7 +397,7 @@ func TestAblationTables(t *testing.T) {
 
 func TestSpeedupAccuracyShrinksWithW(t *testing.T) {
 	l := quickLab(t)
-	pts := l.SpeedupAccuracy(2, metrics.WSU, cache.LRU, cache.FIFO, []int{10, 100}, 300)
+	pts := must(l.SpeedupAccuracy(tctx, 2, metrics.WSU, cache.LRU, cache.FIFO, []int{10, 100}, 300))
 	byMethod := map[string]map[int]float64{}
 	for _, p := range pts {
 		if byMethod[p.Method] == nil {
@@ -409,11 +425,11 @@ func TestLabCachePersistsSweeps(t *testing.T) {
 	cfg.TraceLen = 4000 // tiny: this test runs its own lab
 	cfg.CacheDir = t.TempDir()
 	l1 := NewLab(cfg)
-	a := l1.BadcoIPC(2, cache.FIFO)
+	a := must(l1.BadcoIPC(tctx, 2, cache.FIFO))
 	// A fresh lab with the same config must load the persisted table
 	// (bitwise identical) without resimulating.
 	l2 := NewLab(cfg)
-	b := l2.BadcoIPC(2, cache.FIFO)
+	b := must(l2.BadcoIPC(tctx, 2, cache.FIFO))
 	if len(a) != len(b) {
 		t.Fatalf("row counts %d vs %d", len(a), len(b))
 	}
@@ -429,7 +445,7 @@ func TestLabCachePersistsSweeps(t *testing.T) {
 func TestGuidelineRecommendations(t *testing.T) {
 	l := quickLab(t)
 	// The decisive pair must be "random" with a small W.
-	r := l.Guideline(2, metrics.WSU, cache.LRU, cache.FIFO)
+	r := must(l.Guideline(tctx, 2, metrics.WSU, cache.LRU, cache.FIFO))
 	if r.Strategy != "random" {
 		t.Errorf("LRU/FIFO strategy %q, want random (decisive pair)", r.Strategy)
 	}
@@ -437,7 +453,7 @@ func TestGuidelineRecommendations(t *testing.T) {
 		t.Errorf("LRU/FIFO recommended W=%d implausible", r.SampleSize)
 	}
 	// Every pair must yield a well-formed recommendation.
-	tab := l.GuidelineTable(2, metrics.WSU)
+	tab := must(l.GuidelineTable(tctx, 2, metrics.WSU))
 	if len(tab.Rows) != 10 {
 		t.Fatalf("%d guideline rows", len(tab.Rows))
 	}

@@ -17,6 +17,7 @@ package experiments
 //     distribution of d(w) from a fitted normal, as the sample size grows.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -33,28 +34,75 @@ import (
 	"mcbench/internal/uncore"
 )
 
+func init() {
+	Register(Spec{
+		Name:     "methods",
+		Synopsis: "six selection methods incl. cluster-based (Sec. II-B refs [6,7])",
+		Group:    GroupExtension,
+		Requests: func(l *Lab, p Params) []Request { return l.ExtMethodsRequests(p.cores()) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.extMethodsTable(ctx, p.cores())
+		},
+	})
+	Register(Spec{
+		Name:     "cophase",
+		Synopsis: "co-phase matrix method vs detailed simulation (footnote 4)",
+		Group:    GroupExtension,
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.cophaseTable(ctx)
+		},
+	})
+	Register(Spec{
+		Name:     "predictors",
+		Synopsis: "branch predictor ablation (bimodal/gshare/tournament/TAGE)",
+		Group:    GroupExtension,
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.predictorTable()
+		},
+	})
+	Register(Spec{
+		Name:     "normality",
+		Synopsis: "CLT premise: KS distance of mean(d) from normal vs W",
+		Group:    GroupExtension,
+		Requests: func(l *Lab, p Params) []Request { return l.NormalityRequests(p.cores()) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.normalityTable(ctx, p.cores())
+		},
+	})
+}
+
 // Profiles returns the microarchitecture-independent profile of every
 // benchmark, indexed like Names().
-func (l *Lab) Profiles() []*profile.Profile {
-	l.profilesOnce.Do(func() {
-		traces := l.Traces()
-		names := l.Names()
-		l.profiles = make([]*profile.Profile, len(names))
-		for i, n := range names {
-			l.profiles[i] = profile.MustCompute(traces[n])
+func (l *Lab) Profiles(ctx context.Context) ([]*profile.Profile, error) {
+	return l.profiles.get(ctx, func() ([]*profile.Profile, error) {
+		traces, err := l.Traces(ctx)
+		if err != nil {
+			return nil, err
 		}
+		names := l.Names()
+		out := make([]*profile.Profile, len(names))
+		for i, n := range names {
+			p, err := profile.Compute(traces[n])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
 	})
-	return l.profiles
 }
 
 // BenchFeatures returns the benchmark feature matrix for clustering.
-func (l *Lab) BenchFeatures() [][]float64 {
-	profs := l.Profiles()
+func (l *Lab) BenchFeatures(ctx context.Context) ([][]float64, error) {
+	profs, err := l.Profiles(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]float64, len(profs))
 	for i, p := range profs {
 		out[i] = p.Features()
 	}
-	return out
+	return out, nil
 }
 
 // ExtMethodsSampleSizes is the (small) sample-size sweep of the extended
@@ -78,10 +126,20 @@ type ExtMethodsPoint struct {
 // cluster-derived classes, and representative workload clustering. The
 // representative method re-clusters per draw, so its Monte-Carlo trial
 // count is reduced.
-func (l *Lab) ExtMethods(cores int) []ExtMethodsPoint {
+func (l *Lab) ExtMethods(ctx context.Context, cores int) ([]ExtMethodsPoint, error) {
 	pop := l.Population(cores)
-	d := l.Diffs(cores, metrics.IPCT, cache.DIP, cache.DRRIP)
-	feats := l.BenchFeatures()
+	d, err := l.Diffs(ctx, cores, metrics.IPCT, cache.DIP, cache.DRRIP)
+	if err != nil {
+		return nil, err
+	}
+	feats, err := l.BenchFeatures(ctx)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := l.Classes(ctx)
+	if err != nil {
+		return nil, err
+	}
 
 	full := uint64(pop.Size()) == popSizeFor(cores)
 	samplers := []struct {
@@ -99,7 +157,7 @@ func (l *Lab) ExtMethods(cores int) []ExtMethodsPoint {
 	samplers = append(samplers, struct {
 		s      sampling.Sampler
 		trials int
-	}{sampling.NewBenchmarkStrata(pop, l.Classes(), sampling.NumClasses), l.cfg.Fig6Trials})
+	}{sampling.NewBenchmarkStrata(pop, classes, sampling.NumClasses), l.cfg.Fig6Trials})
 
 	clusterRng := rand.New(rand.NewSource(l.cfg.Seed + 9001))
 	if cs, _, err := sampling.NewClusterBenchStrata(clusterRng, pop, feats, sampling.NumClasses); err == nil {
@@ -139,7 +197,7 @@ func (l *Lab) ExtMethods(cores int) []ExtMethodsPoint {
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ExtMethodsRequests declares the tables ExtMethods reads: the near-tie
@@ -150,9 +208,12 @@ func (l *Lab) ExtMethodsRequests(cores int) []Request {
 		Request{Sim: SimMPKI})
 }
 
-// ExtMethodsTable renders the extended comparison.
-func (l *Lab) ExtMethodsTable(cores int) *Table {
-	points := l.ExtMethods(cores)
+// extMethodsTable renders the extended comparison.
+func (l *Lab) extMethodsTable(ctx context.Context, cores int) (*Table, error) {
+	points, err := l.ExtMethods(ctx, cores)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Extension: six selection methods on the near-tie pair DRRIP vs DIP (IPCT, %d cores)", cores),
 		Columns: []string{"method", "W", "confidence", "trials"},
@@ -164,7 +225,7 @@ func (l *Lab) ExtMethodsTable(cores int) *Table {
 	for _, p := range points {
 		t.AddRow(p.Method, fmt.Sprint(p.SampleSize), f3(p.Confidence), fmt.Sprint(p.Trials))
 	}
-	return t
+	return t, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -181,8 +242,11 @@ type CophaseRow struct {
 
 // CophaseValidation runs the co-phase matrix method on a handful of
 // 2-core workloads and compares it against direct detailed simulation.
-func (l *Lab) CophaseValidation() []CophaseRow {
-	traces := l.Traces()
+func (l *Lab) CophaseValidation(ctx context.Context) ([]CophaseRow, error) {
+	traces, err := l.Traces(ctx)
+	if err != nil {
+		return nil, err
+	}
 	names := l.Names()
 	quota := uint64(l.cfg.TraceLen)
 	// Mixed-intensity pairs exercise the interesting co-phase coupling.
@@ -191,9 +255,9 @@ func (l *Lab) CophaseValidation() []CophaseRow {
 	var rows []CophaseRow
 	for _, pr := range pairs {
 		w := multicore.Workload{names[pr[0]], names[pr[1]]}
-		ref, err := multicore.Detailed(w, traces, cache.LRU, quota)
+		ref, err := multicore.Detailed(ctx, w, traces, cache.LRU, quota)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		cfg := cophase.Config{
 			Phases:    10,
@@ -203,11 +267,11 @@ func (l *Lab) CophaseValidation() []CophaseRow {
 		}
 		sim, err := cophase.New([]string(w), traces, cfg)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		pred, err := sim.Run(quota)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		errSum := 0.0
 		for k := range ref.IPC {
@@ -225,11 +289,11 @@ func (l *Lab) CophaseValidation() []CophaseRow {
 			CostFrac: float64(pred.SimulatedOps) / float64(quota*uint64(len(w))),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
-// CophaseTable renders the validation.
-func (l *Lab) CophaseTable() *Table {
+// cophaseTable renders the validation.
+func (l *Lab) cophaseTable(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:   "Extension: co-phase matrix method (footnote 4 / ref [19]) vs detailed simulation, 2 cores, LRU",
 		Columns: []string{"workload", "mean IPC err", "rank ok", "matrix entries", "cost fraction"},
@@ -238,11 +302,15 @@ func (l *Lab) CophaseTable() *Table {
 			"the matrix amortises further over repeated or longer runs",
 		},
 	}
-	for _, r := range l.CophaseValidation() {
+	rows, err := l.CophaseValidation(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		t.AddRow(r.Workload, fmt.Sprintf("%.1f%%", r.IPCErr*100), fmt.Sprint(r.RankOK),
 			fmt.Sprint(r.Entries), f3(r.CostFrac))
 	}
-	return t
+	return t, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -261,7 +329,7 @@ type PredictorRow struct {
 // branches, loop-dominated control flow, and correlated if/else chains.
 // It justifies the core model's default (bimodal matches TAGE on the
 // suite's traces) and shows where TAGE pays off.
-func (l *Lab) PredictorAblation() []PredictorRow {
+func (l *Lab) PredictorAblation() ([]PredictorRow, error) {
 	base := trace.Params{
 		Name:        "ablation",
 		LoadFrac:    0.22,
@@ -291,11 +359,21 @@ func (l *Lab) PredictorAblation() []PredictorRow {
 		params := base
 		params.Name = fl.name
 		fl.mod(&params)
-		tr := trace.MustGenerate(params, n)
+		tr, err := trace.Generate(params, n)
+		if err != nil {
+			return nil, err
+		}
 		for _, kind := range kinds {
 			cfg := cpu.DefaultConfig()
 			cfg.Predictor = kind
-			core := cpu.MustNew(0, cfg, tr, uncore.MustNew(uncore.ConfigFor(1, cache.LRU)))
+			unc, err := uncore.New(uncore.ConfigFor(1, cache.LRU))
+			if err != nil {
+				return nil, err
+			}
+			core, err := cpu.New(0, cfg, tr, unc)
+			if err != nil {
+				return nil, err
+			}
 			warm := core.Run(tr.Len())
 			st := core.Run(tr.Len())
 			rows = append(rows, PredictorRow{
@@ -307,11 +385,11 @@ func (l *Lab) PredictorAblation() []PredictorRow {
 			})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
-// PredictorTable renders the ablation.
-func (l *Lab) PredictorTable() *Table {
+// predictorTable renders the ablation.
+func (l *Lab) predictorTable() (*Table, error) {
 	t := &Table{
 		Title:   "Extension: branch predictor ablation (Table I front end), steady state, 1 core",
 		Columns: []string{"workload flavour", "predictor", "miss rate", "IPC"},
@@ -320,10 +398,14 @@ func (l *Lab) PredictorTable() *Table {
 			"loop and correlated control flow is where TAGE's tagged geometric histories pay",
 		},
 	}
-	for _, r := range l.PredictorAblation() {
+	rows, err := l.PredictorAblation()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		t.AddRow(r.Flavour, string(r.Predictor), f4(r.MissRate), f3(r.IPC))
 	}
-	return t
+	return t, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -340,8 +422,11 @@ type NormalityPoint struct {
 // distribution of the sample mean of d(w) (DIP vs LRU, IPCT) approaches a
 // normal distribution. Each point Monte-Carlos cfg.Fig3Trials sample
 // means and reports their Kolmogorov–Smirnov distance from normality.
-func (l *Lab) Normality(cores int) []NormalityPoint {
-	d := l.Diffs(cores, metrics.IPCT, cache.LRU, cache.DIP)
+func (l *Lab) Normality(ctx context.Context, cores int) ([]NormalityPoint, error) {
+	d, err := l.Diffs(ctx, cores, metrics.IPCT, cache.LRU, cache.DIP)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(l.cfg.Seed + 424242))
 	trials := l.cfg.Fig3Trials
 	if trials < 200 {
@@ -359,7 +444,7 @@ func (l *Lab) Normality(cores int) []NormalityPoint {
 		}
 		out = append(out, NormalityPoint{SampleSize: w, KS: stats.KSNormal(means)})
 	}
-	return out
+	return out, nil
 }
 
 // NormalityRequests declares the tables Normality reads: the LRU and DIP
@@ -369,15 +454,19 @@ func (l *Lab) NormalityRequests(cores int) []Request {
 		Request{Sim: SimRef, Cores: cores})
 }
 
-// NormalityTable renders the CLT check.
-func (l *Lab) NormalityTable(cores int) *Table {
+// normalityTable renders the CLT check.
+func (l *Lab) normalityTable(ctx context.Context, cores int) (*Table, error) {
 	t := &Table{
 		Title:   fmt.Sprintf("Extension: CLT premise of eq. (5) — KS distance of mean(d) from normal (%d cores, DIP vs LRU, IPCT)", cores),
 		Columns: []string{"W", "KS distance"},
 		Notes:   []string{"monotone-ish decrease towards 0 justifies the normal approximation behind W = 8cv^2"},
 	}
-	for _, p := range l.Normality(cores) {
+	points, err := l.Normality(ctx, cores)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
 		t.AddRow(fmt.Sprint(p.SampleSize), f4(p.KS))
 	}
-	return t
+	return t, nil
 }

@@ -10,18 +10,18 @@ import (
 
 func TestProfilesAndFeatures(t *testing.T) {
 	l := quickLab(t)
-	profs := l.Profiles()
+	profs := must(l.Profiles(tctx))
 	if len(profs) != 22 {
 		t.Fatalf("%d profiles, want 22", len(profs))
 	}
-	feats := l.BenchFeatures()
+	feats := must(l.BenchFeatures(tctx))
 	if len(feats) != 22 || len(feats[0]) != len(profile.FeatureNames()) {
 		t.Fatalf("feature matrix %dx%d", len(feats), len(feats[0]))
 	}
 	// Profile-estimated memory intensity must correlate with the measured
 	// MPKI classification: the mean estimated LLC-size miss ratio of the
 	// high class must exceed that of the low class.
-	classes := l.Classes()
+	classes := must(l.Classes(tctx))
 	var lo, hi, nlo, nhi float64
 	for i, p := range profs {
 		r := p.MissRatio(1 << 12)
@@ -44,7 +44,7 @@ func TestProfilesAndFeatures(t *testing.T) {
 
 func TestExtMethodsComparison(t *testing.T) {
 	l := quickLab(t)
-	points := l.ExtMethods(4)
+	points := must(l.ExtMethods(tctx, 4))
 	if len(points) == 0 {
 		t.Fatal("no points")
 	}
@@ -80,7 +80,7 @@ func TestExtMethodsComparison(t *testing.T) {
 			t.Errorf("confidence at W=%d not converging: ws %.3f, random %.3f", last, ws[last], rnd[last])
 		}
 	}
-	tab := l.ExtMethodsTable(4)
+	tab := must(l.extMethodsTable(tctx, 4))
 	if !strings.Contains(tab.String(), "workload-cluster") {
 		t.Error("table missing workload-cluster rows")
 	}
@@ -88,7 +88,7 @@ func TestExtMethodsComparison(t *testing.T) {
 
 func TestCophaseValidationExperiment(t *testing.T) {
 	l := quickLab(t)
-	rows := l.CophaseValidation()
+	rows := must(l.CophaseValidation(tctx))
 	if len(rows) != 4 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -114,7 +114,7 @@ func TestCophaseValidationExperiment(t *testing.T) {
 
 func TestPredictorAblationExperiment(t *testing.T) {
 	l := quickLab(t)
-	rows := l.PredictorAblation()
+	rows := must(l.PredictorAblation())
 	if len(rows) != 12 {
 		t.Fatalf("%d rows, want 3 flavours x 4 predictors", len(rows))
 	}
@@ -148,7 +148,7 @@ func TestPredictorAblationExperiment(t *testing.T) {
 
 func TestNormalityExperiment(t *testing.T) {
 	l := quickLab(t)
-	points := l.Normality(4)
+	points := must(l.Normality(tctx, 4))
 	if len(points) < 5 {
 		t.Fatalf("%d points", len(points))
 	}
@@ -163,7 +163,7 @@ func TestNormalityExperiment(t *testing.T) {
 			t.Errorf("KS %g out of range", p.KS)
 		}
 	}
-	if tab := l.NormalityTable(4); len(tab.Rows) != len(points) {
+	if tab := must(l.normalityTable(tctx, 4)); len(tab.Rows) != len(points) {
 		t.Error("table row mismatch")
 	}
 }

@@ -7,7 +7,7 @@ import (
 
 func TestExtPolicies(t *testing.T) {
 	l := quickLab(t)
-	rows := l.ExtPolicies(2)
+	rows := must(l.ExtPolicies(tctx, 2))
 	if len(rows) != 6 {
 		t.Fatalf("%d rows, want 3 policies x 2 baselines", len(rows))
 	}
@@ -24,7 +24,7 @@ func TestExtPolicies(t *testing.T) {
 			t.Errorf("%v: 1/cv %.2f but required W %d", r.Pair, r.InvCV, r.RequiredW)
 		}
 	}
-	tab := l.ExtPoliciesTable(2)
+	tab := must(l.extPoliciesTable(tctx, 2))
 	if len(tab.Rows) != 6 {
 		t.Errorf("table rows %d", len(tab.Rows))
 	}

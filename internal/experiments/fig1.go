@@ -1,6 +1,24 @@
 package experiments
 
-import "mcbench/internal/stats"
+import (
+	"context"
+
+	"mcbench/internal/stats"
+)
+
+func init() {
+	Register(Spec{
+		Name:     "fig1",
+		Synopsis: "confidence vs (1/cv)sqrt(W/2), the analytic model curve",
+		Group:    GroupPaper,
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return Fig1(), nil
+		},
+		Chart: func(ctx context.Context, l *Lab, p Params) (string, error) {
+			return Fig1Chart(), nil
+		},
+	})
+}
 
 // Fig1 reproduces Figure 1: the analytic degree of confidence as a
 // function of the reduced variable x = (1/cv)·sqrt(W/2) (equation 5).

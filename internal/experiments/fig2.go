@@ -1,11 +1,36 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mcbench/internal/cache"
 	"mcbench/internal/stats"
 )
+
+func init() {
+	Register(Spec{
+		Name:     "fig2",
+		Synopsis: "detailed vs BADCO CPI/speedup accuracy",
+		Group:    GroupPaper,
+		Requests: func(l *Lab, p Params) []Request { return l.Fig2Requests(p.CoreCounts) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.fig2Table(ctx, p.CoreCounts)
+		},
+		Chart: func(ctx context.Context, l *Lab, p Params) (string, error) {
+			return l.Fig2Chart(ctx, p.CoreCounts)
+		},
+	})
+}
+
+// fig2CoreCounts resolves the figure's core-count sweep (paper default:
+// 2, 4 and 8 cores).
+func fig2CoreCounts(coreCounts []int) []int {
+	if len(coreCounts) == 0 {
+		return []int{2, 4, 8}
+	}
+	return coreCounts
+}
 
 // Fig2Point is one (BADCO CPI, detailed CPI) pair of the scatter plot.
 type Fig2Point struct {
@@ -34,10 +59,8 @@ type Fig2Result struct {
 // derived CPI and speedup error statistics the paper quotes (4.59 %,
 // 3.98 %, 4.09 % average CPI error and < 22 % max for 2/4/8 cores;
 // speedup errors 0.66 %, 0.61 %, 1.43 %).
-func (l *Lab) Fig2(coreCounts []int) []Fig2Result {
-	if len(coreCounts) == 0 {
-		coreCounts = []int{2, 4, 8}
-	}
+func (l *Lab) Fig2(ctx context.Context, coreCounts []int) ([]Fig2Result, error) {
+	coreCounts = fig2CoreCounts(coreCounts)
 	pols := Policies()
 	var out []Fig2Result
 	for _, cores := range coreCounts {
@@ -49,8 +72,14 @@ func (l *Lab) Fig2(coreCounts []int) []Fig2Result {
 		perPolicyBadco := map[cache.PolicyName][][]float64{}
 		perPolicyDet := map[cache.PolicyName][][]float64{}
 		for _, pol := range pols {
-			det := l.DetailedIPC(cores, pol)
-			badcoAll := l.BadcoIPC(cores, pol)
+			det, err := l.DetailedIPC(ctx, cores, pol)
+			if err != nil {
+				return nil, err
+			}
+			badcoAll, err := l.BadcoIPC(ctx, cores, pol)
+			if err != nil {
+				return nil, err
+			}
 			badco := make([][]float64, len(sample))
 			for i, wi := range sample {
 				badco[i] = badcoAll[wi]
@@ -91,25 +120,22 @@ func (l *Lab) Fig2(coreCounts []int) []Fig2Result {
 		res.AvgSpeedupErr = stats.MeanAbsError(badcoSp, detSp)
 		out = append(out, res)
 	}
-	return out
+	return out, nil
 }
 
 // Fig2Requests declares the tables Fig2 reads: BADCO and detailed tables
 // for every case-study policy at each core count.
 func (l *Lab) Fig2Requests(coreCounts []int) []Request {
-	if len(coreCounts) == 0 {
-		coreCounts = []int{2, 4, 8}
-	}
 	var plan []Request
-	for _, cores := range coreCounts {
+	for _, cores := range fig2CoreCounts(coreCounts) {
 		plan = append(plan, badcoSet(cores, Policies())...)
 		plan = append(plan, detailedSet(cores, Policies())...)
 	}
 	return plan
 }
 
-// Fig2Table renders the Figure 2 error summary.
-func (l *Lab) Fig2Table(coreCounts []int) *Table {
+// fig2Table renders the Figure 2 error summary.
+func (l *Lab) fig2Table(ctx context.Context, coreCounts []int) (*Table, error) {
 	t := &Table{
 		Title:   "Figure 2: detailed (Zesto-role) vs BADCO CPI and speedup accuracy",
 		Columns: []string{"cores", "avg CPI err %", "max CPI err %", "avg speedup err %", "points"},
@@ -118,9 +144,13 @@ func (l *Lab) Fig2Table(coreCounts []int) *Table {
 			"paper: avg speedup err 0.66/0.61/1.43 % — speedups predicted better than raw CPIs",
 		},
 	}
-	for _, r := range l.Fig2(coreCounts) {
+	results, err := l.Fig2(ctx, coreCounts)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
 		t.AddRow(fmt.Sprint(r.Cores), f2(r.AvgCPIErr*100), f2(r.MaxCPIErr*100),
 			f2(r.AvgSpeedupErr*100), fmt.Sprint(len(r.Points)))
 	}
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +10,21 @@ import (
 	"mcbench/internal/sampling"
 	"mcbench/internal/workload"
 )
+
+func init() {
+	Register(Spec{
+		Name:     "fig6",
+		Synopsis: "confidence for 4 sampling methods (IPCT)",
+		Group:    GroupPaper,
+		Requests: func(l *Lab, p Params) []Request { return l.Fig6Requests(p.cores()) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.fig6Table(ctx, p.cores())
+		},
+		Chart: func(ctx context.Context, l *Lab, p Params) (string, error) {
+			return l.Fig6Chart(ctx, p.cores())
+		},
+	})
+}
 
 // Fig6Pairs are the four policy pairs of Figure 6 (as (X, Y), labelled
 // "Y > X" in the figure).
@@ -38,14 +54,20 @@ type Fig6Point struct {
 // pairs. Workload stratification uses the paper's parameters
 // (TSD = 0.001, WT = 50). Balanced random sampling requires the full
 // population; when the lab runs on a subsampled population it is skipped.
-func (l *Lab) Fig6(cores int) []Fig6Point {
+func (l *Lab) Fig6(ctx context.Context, cores int) ([]Fig6Point, error) {
 	pop := l.Population(cores)
-	classes := l.Classes()
+	classes, err := l.Classes(ctx)
+	if err != nil {
+		return nil, err
+	}
 	full := uint64(pop.Size()) == popSizeFor(cores)
 
 	var out []Fig6Point
 	for pi, pair := range Fig6Pairs() {
-		d := l.Diffs(cores, metrics.IPCT, pair[0], pair[1])
+		d, err := l.Diffs(ctx, cores, metrics.IPCT, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
 
 		samplers := []sampling.Sampler{sampling.NewSimpleRandom(len(d))}
 		if full {
@@ -71,7 +93,7 @@ func (l *Lab) Fig6(cores int) []Fig6Point {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig6Requests declares the tables Fig6 reads: the BADCO tables of its
@@ -89,10 +111,13 @@ func popSizeFor(cores int) uint64 {
 	return workload.PopulationSize(22, cores)
 }
 
-// Fig6Table renders Figure 6 with one row per (pair, sample size) and one
+// fig6Table renders Figure 6 with one row per (pair, sample size) and one
 // column per method.
-func (l *Lab) Fig6Table(cores int) *Table {
-	points := l.Fig6(cores)
+func (l *Lab) fig6Table(ctx context.Context, cores int) (*Table, error) {
+	points, err := l.Fig6(ctx, cores)
+	if err != nil {
+		return nil, err
+	}
 	methods := []string{"random", "bal-random", "bench-strata", "workload-strata"}
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 6: confidence vs sample size, 4 sampling methods (IPCT, %d cores)", cores),
@@ -127,5 +152,5 @@ func (l *Lab) Fig6Table(cores int) *Table {
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -10,8 +11,28 @@ import (
 	"mcbench/internal/workload"
 )
 
+func init() {
+	Register(Spec{
+		Name:     "fig7",
+		Synopsis: "actual (detailed-simulator) confidence for DIP>LRU",
+		Group:    GroupPaper,
+		Requests: func(l *Lab, p Params) []Request { return l.Fig7Requests(p.CoreCounts) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.fig7Table(ctx, p.CoreCounts)
+		},
+	})
+}
+
 // Fig7SampleSizes is the figure's small-sample sweep.
 var Fig7SampleSizes = []int{10, 20, 30, 40, 50}
+
+// fig7CoreCounts resolves the figure's core-count sweep.
+func fig7CoreCounts(coreCounts []int) []int {
+	if len(coreCounts) == 0 {
+		return []int{2, 4}
+	}
+	return coreCounts
+}
 
 // Fig7Point is one (cores, method, sample size) confidence measurement
 // with the detailed simulator.
@@ -30,21 +51,28 @@ type Fig7Point struct {
 // (and 8) cores only the detailed sample is available, and sampling is
 // performed within it. Balanced random sampling is only applicable when
 // the sampled set is the full population (2 cores), as in the paper.
-func (l *Lab) Fig7(coreCounts []int) []Fig7Point {
-	if len(coreCounts) == 0 {
-		coreCounts = []int{2, 4}
-	}
+func (l *Lab) Fig7(ctx context.Context, coreCounts []int) ([]Fig7Point, error) {
 	var out []Fig7Point
-	for _, cores := range coreCounts {
+	for _, cores := range fig7CoreCounts(coreCounts) {
 		pop := l.Population(cores)
 		sample := l.DetSample(cores)
 
 		// Detailed-simulator differences over the sample: the values the
 		// confidence is measured on.
-		dDet := l.DetailedDiffs(cores, metrics.IPCT, cache.LRU, cache.DIP)
+		dDet, err := l.DetailedDiffs(ctx, cores, metrics.IPCT, cache.LRU, cache.DIP)
+		if err != nil {
+			return nil, err
+		}
 		// BADCO differences over the same workloads: what the strata are
 		// built from.
-		dBadco := l.BadcoDiffsAt(cores, metrics.IPCT, cache.LRU, cache.DIP, sample)
+		dBadco, err := l.BadcoDiffsAt(ctx, cores, metrics.IPCT, cache.LRU, cache.DIP, sample)
+		if err != nil {
+			return nil, err
+		}
+		classes, err := l.Classes(ctx)
+		if err != nil {
+			return nil, err
+		}
 
 		// The sampled workloads, as their own population for the
 		// class-based and balanced methods.
@@ -59,7 +87,7 @@ func (l *Lab) Fig7(coreCounts []int) []Fig7Point {
 			samplers = append(samplers, sampling.NewBalancedRandom(subPop))
 		}
 		samplers = append(samplers,
-			sampling.NewBenchmarkStrata(subPop, l.Classes(), sampling.NumClasses),
+			sampling.NewBenchmarkStrata(subPop, classes, sampling.NumClasses),
 			sampling.NewWorkloadStrata(dBadco, sampling.DefaultWorkloadStrataConfig()),
 		)
 
@@ -78,19 +106,16 @@ func (l *Lab) Fig7(coreCounts []int) []Fig7Point {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig7Requests declares the tables Fig7 reads: LRU and DIP with both
 // simulators, the reference IPCs and the MPKI classification, at each
 // core count.
 func (l *Lab) Fig7Requests(coreCounts []int) []Request {
-	if len(coreCounts) == 0 {
-		coreCounts = []int{2, 4}
-	}
 	pols := []cache.PolicyName{cache.LRU, cache.DIP}
 	plan := []Request{{Sim: SimMPKI}}
-	for _, cores := range coreCounts {
+	for _, cores := range fig7CoreCounts(coreCounts) {
 		plan = append(plan, badcoSet(cores, pols)...)
 		plan = append(plan, detailedSet(cores, pols)...)
 		plan = append(plan, Request{Sim: SimRef, Cores: cores})
@@ -98,9 +123,12 @@ func (l *Lab) Fig7Requests(coreCounts []int) []Request {
 	return plan
 }
 
-// Fig7Table renders Figure 7.
-func (l *Lab) Fig7Table(coreCounts []int) *Table {
-	points := l.Fig7(coreCounts)
+// fig7Table renders Figure 7.
+func (l *Lab) fig7Table(ctx context.Context, coreCounts []int) (*Table, error) {
+	points, err := l.Fig7(ctx, coreCounts)
+	if err != nil {
+		return nil, err
+	}
 	methods := []string{"random", "bal-random", "bench-strata", "workload-strata"}
 	t := &Table{
 		Title:   "Figure 7: actual confidence that DIP > LRU (IPCT), measured with the detailed simulator",
@@ -134,5 +162,5 @@ func (l *Lab) Fig7Table(coreCounts []int) *Table {
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,6 +10,18 @@ import (
 	"mcbench/internal/sampling"
 	"mcbench/internal/stats"
 )
+
+func init() {
+	Register(Spec{
+		Name:     "guideline",
+		Synopsis: "Sec. VII decision procedure applied to every pair",
+		Group:    GroupExtension,
+		Requests: func(l *Lab, p Params) []Request { return l.GuidelineRequests(p.cores()) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.GuidelineTable(ctx, p.cores(), metrics.WSU)
+		},
+	})
+}
 
 // Recommendation is the outcome of the paper's Section VII decision
 // procedure for one pair of microarchitectures and one metric.
@@ -37,8 +50,11 @@ type Recommendation struct {
 //     random for small samples);
 //     otherwise (cv in [2, 10]): use workload stratification, whose
 //     sample can be as small as the stratum count.
-func (l *Lab) Guideline(cores int, m metrics.Metric, x, y cache.PolicyName) Recommendation {
-	d := l.Diffs(cores, m, x, y)
+func (l *Lab) Guideline(ctx context.Context, cores int, m metrics.Metric, x, y cache.PolicyName) (Recommendation, error) {
+	d, err := l.Diffs(ctx, cores, m, x, y)
+	if err != nil {
+		return Recommendation{}, err
+	}
 	cv := stats.CoefVar(d)
 	rec := Recommendation{Pair: [2]cache.PolicyName{x, y}, Metric: m, CV: cv}
 	switch abs := math.Abs(cv); {
@@ -53,7 +69,7 @@ func (l *Lab) Guideline(cores int, m metrics.Metric, x, y cache.PolicyName) Reco
 		rec.Strata = sampling.NumStrata(s)
 		rec.SampleSize = rec.Strata
 	}
-	return rec
+	return rec, nil
 }
 
 // GuidelineRequests declares the guideline's inputs over every policy
@@ -63,7 +79,7 @@ func (l *Lab) GuidelineRequests(cores int) []Request {
 }
 
 // GuidelineTable applies the guideline to every policy pair.
-func (l *Lab) GuidelineTable(cores int, m metrics.Metric) *Table {
+func (l *Lab) GuidelineTable(ctx context.Context, cores int, m metrics.Metric) (*Table, error) {
 	t := &Table{
 		Title:   fmt.Sprintf("Section VII guideline applied to every pair (%s, %d cores)", m, cores),
 		Columns: []string{"pair (X,Y)", "cv", "strategy", "recommended W", "strata"},
@@ -73,7 +89,10 @@ func (l *Lab) GuidelineTable(cores int, m metrics.Metric) *Table {
 		},
 	}
 	for _, pair := range PolicyPairs() {
-		r := l.Guideline(cores, m, pair[0], pair[1])
+		r, err := l.Guideline(ctx, cores, m, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
 		strata := "-"
 		if r.Strata > 0 {
 			strata = fmt.Sprint(r.Strata)
@@ -84,5 +103,5 @@ func (l *Lab) GuidelineTable(cores int, m metrics.Metric) *Table {
 		}
 		t.AddRow(fmt.Sprintf("%s,%s", pair[0], pair[1]), f2(r.CV), r.Strategy, w, strata)
 	}
-	return t
+	return t, nil
 }

@@ -1,18 +1,28 @@
 // Package experiments reproduces every table and figure of the paper's
-// evaluation. A Lab owns the experimental state — benchmark traces, BADCO
-// models, workload populations and memoized IPC tables per (core count,
-// policy, simulator) — and each experiment (fig1.go … overhead.go) reads
-// from it and emits a printable Table.
+// evaluation, plus the extension experiments beyond it. A Lab owns the
+// experimental state — benchmark traces, BADCO models, workload
+// populations and memoized IPC tables per (core count, policy,
+// simulator) — and each experiment reads from it and emits a printable
+// Table.
+//
+// Experiments are registered implementations of the Experiment interface
+// (see registry.go): each declares its name, the expensive Lab products
+// it reads as a []Request, and a Run method producing its Table.
+// cmd/mcbench and the public mcbench package dispatch through the
+// registry instead of hard-coded switches.
 //
 // All lazy state is memoized with per-key single-flight semantics, so a
 // Lab is safe for concurrent use: two goroutines asking for the same
 // table block on one computation, while different tables build in
-// parallel. Experiments declare the tables they need as []Request (see
-// campaign.go), and Lab.Warm precomputes a whole campaign's plan with
-// bounded parallelism.
+// parallel. Lab.Warm precomputes a whole campaign's plan with bounded
+// parallelism. Everything is context-aware: cancelling the context
+// aborts in-flight population sweeps promptly, and failed (cancelled)
+// computations are not memoized, so a later call retries cleanly.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -99,57 +109,100 @@ type ipcKey struct {
 
 // flight is one in-flight (or completed) computation of a value.
 type flight[V any] struct {
-	once sync.Once
+	done chan struct{}
 	val  V
+	err  error
 }
 
 // flightGroup memoizes one value per key with single-flight semantics:
 // concurrent callers of the same key block on a single computation, while
 // different keys compute independently and may run in parallel. The
 // mutex only guards the entry map, never a computation.
+//
+// A computation that fails (most commonly: its context was cancelled) is
+// not memoized — the entry is dropped, the failure is reported to every
+// caller blocked on it, and the next caller recomputes. A waiter whose
+// own context is cancelled stops waiting with that context's error while
+// the computation keeps running for the remaining callers.
 type flightGroup[K comparable, V any] struct {
 	mu sync.Mutex
 	m  map[K]*flight[V]
 }
 
 // do returns the memoized value for key, computing it at most once.
-func (g *flightGroup[K, V]) do(key K, compute func() V) V {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[K]*flight[V])
-	}
-	f := g.m[key]
-	if f == nil {
-		f = new(flight[V])
+func (g *flightGroup[K, V]) do(ctx context.Context, key K, compute func() (V, error)) (V, error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[K]*flight[V])
+		}
+		if f, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-f.done:
+				if isCtxErr(f.err) && ctx.Err() == nil {
+					// The computing caller was cancelled, but this
+					// waiter is live: retry with our own context
+					// instead of inheriting someone else's
+					// cancellation. (The failed entry was already
+					// dropped, so the loop starts a fresh flight.)
+					continue
+				}
+				return f.val, f.err
+			case <-ctx.Done():
+				var zero V
+				return zero, ctx.Err()
+			}
+		}
+		f := &flight[V]{done: make(chan struct{})}
 		g.m[key] = f
+		g.mu.Unlock()
+		f.val, f.err = compute()
+		if f.err != nil {
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+		}
+		close(f.done)
+		return f.val, f.err
 	}
-	g.mu.Unlock()
-	f.once.Do(func() { f.val = compute() })
-	return f.val
 }
 
-// Lab lazily builds and caches all experimental state. The zero-cost
-// products (traces, models, profiles, the persistent store) are guarded
-// by a sync.Once each; everything keyed — populations, IPC tables,
-// detailed samples, reference IPCs — lives in a flightGroup.
+// isCtxErr reports whether err is a context cancellation/deadline — the
+// only failures worth retrying on behalf of a live waiter (a
+// deterministic compute error would just fail again).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// lazy is a single-value flightGroup: a memoized computation with the
+// same retry-on-failure and cancellation semantics.
+type lazy[V any] struct {
+	fg flightGroup[struct{}, V]
+}
+
+func (z *lazy[V]) get(ctx context.Context, compute func() (V, error)) (V, error) {
+	return z.fg.do(ctx, struct{}{}, compute)
+}
+
+// Lab lazily builds and caches all experimental state. The pure products
+// (benchmark names, populations, detailed-sample indices, the persistent
+// store handle) are cheap and infallible; everything that simulates —
+// traces, models, IPC tables, reference IPCs, the MPKI measurement,
+// profiles — is context-aware and memoized with single-flight semantics.
 type Lab struct {
 	cfg Config
 
-	tracesOnce sync.Once
-	traces     map[string]*trace.Trace
-	names      []string // benchmark order (suite order)
+	namesOnce sync.Once
+	names     []string // benchmark order (suite order)
 
-	modelsOnce sync.Once
-	models     map[string]*badco.Model
+	traces   lazy[map[string]*trace.Trace]
+	models   lazy[map[string]*badco.Model]
+	mpki     lazy[[]float64]          // per benchmark: alone LLC misses per kilo-op
+	profiles lazy[[]*profile.Profile] // per benchmark: microarch-independent profile
 
 	storeOnce sync.Once
 	store     *results.Store // nil: no CacheDir, or the directory is unusable
-
-	mpkiOnce sync.Once
-	mpki     []float64 // per benchmark: alone LLC misses per kilo-op
-
-	profilesOnce sync.Once
-	profiles     []*profile.Profile // per benchmark: microarch-independent profile
 
 	pops      flightGroup[int, *workload.Population]
 	detSample flightGroup[int, []int]          // population indices simulated in detail
@@ -172,36 +225,30 @@ func NewLab(cfg Config) *Lab {
 // Config returns the lab's configuration.
 func (l *Lab) Config() Config { return l.cfg }
 
-func (l *Lab) ensureTraces() {
-	l.tracesOnce.Do(func() {
-		l.names = trace.SuiteNames()
-		l.traces = trace.GenerateSuite(l.cfg.TraceLen)
-	})
-}
-
-// Names returns the benchmark names in index order.
+// Names returns the benchmark names in index order. It never simulates
+// (the order is the suite definition order), so it is infallible.
 func (l *Lab) Names() []string {
-	l.ensureTraces()
+	l.namesOnce.Do(func() { l.names = trace.SuiteNames() })
 	return l.names
 }
 
 // Traces returns the benchmark traces, generating them on first use.
-func (l *Lab) Traces() map[string]*trace.Trace {
-	l.ensureTraces()
-	return l.traces
+func (l *Lab) Traces(ctx context.Context) (map[string]*trace.Trace, error) {
+	return l.traces.get(ctx, func() (map[string]*trace.Trace, error) {
+		return trace.NewSuite(l.cfg.TraceLen)
+	})
 }
 
 // Models returns the BADCO models, building them on first use (two
 // detailed calibration runs per benchmark, in parallel).
-func (l *Lab) Models() map[string]*badco.Model {
-	l.modelsOnce.Do(func() {
-		models, err := multicore.BuildModels(l.Traces(), badco.DefaultBuildConfig())
+func (l *Lab) Models(ctx context.Context) (map[string]*badco.Model, error) {
+	return l.models.get(ctx, func() (map[string]*badco.Model, error) {
+		traces, err := l.Traces(ctx)
 		if err != nil {
-			panic(err) // deterministic construction; cannot fail at runtime
+			return nil, err
 		}
-		l.models = models
+		return multicore.BuildModels(ctx, traces, badco.DefaultBuildConfig())
 	})
-	return l.models
 }
 
 // resultStore returns the persistent store, opened once, or nil when
@@ -220,21 +267,23 @@ func (l *Lab) resultStore() *results.Store {
 
 // Population returns the workload population for the given core count:
 // the full enumeration for 2 and 4 cores (optionally subsampled per
-// Pop4Limit) and a Pop8Size uniform sample for 8 cores.
+// Pop4Limit) and a Pop8Size uniform sample for 8 cores. Populations are
+// pure combinatorics — no simulation — so this is infallible.
 func (l *Lab) Population(cores int) *workload.Population {
-	return l.pops.do(cores, func() *workload.Population {
+	pop, _ := l.pops.do(context.Background(), cores, func() (*workload.Population, error) {
 		const b = 22
 		switch {
 		case cores == 8:
 			rng := rand.New(rand.NewSource(l.cfg.Seed + 8))
-			return workload.SampleUniform(rng, b, 8, l.cfg.Pop8Size)
+			return workload.SampleUniform(rng, b, 8, l.cfg.Pop8Size), nil
 		case cores == 4 && l.cfg.Pop4Limit > 0 && l.cfg.Pop4Limit < 12650:
 			rng := rand.New(rand.NewSource(l.cfg.Seed + 4))
-			return workload.SampleUniform(rng, b, 4, l.cfg.Pop4Limit)
+			return workload.SampleUniform(rng, b, 4, l.cfg.Pop4Limit), nil
 		default:
-			return workload.Enumerate(b, cores)
+			return workload.Enumerate(b, cores), nil
 		}
 	})
+	return pop
 }
 
 // toMulticore converts a workload of benchmark indices into names.
@@ -252,28 +301,31 @@ func (l *Lab) toMulticore(w workload.Workload) multicore.Workload {
 // memoized (and persisted when CacheDir is set); the first caller per key
 // runs the full population sweep while concurrent callers for the same
 // key block on it, and different keys sweep in parallel.
-func (l *Lab) BadcoIPC(cores int, policy cache.PolicyName) [][]float64 {
-	return l.badcoIPC.do(ipcKey{cores, policy}, func() [][]float64 {
+func (l *Lab) BadcoIPC(ctx context.Context, cores int, policy cache.PolicyName) ([][]float64, error) {
+	return l.badcoIPC.do(ctx, ipcKey{cores, policy}, func() ([][]float64, error) {
 		pop := l.Population(cores)
 		if table, ok := l.loadCached("badco", cores, policy, pop.Size(), 0); ok {
-			return table
+			return table, nil
+		}
+		models, err := l.Models(ctx)
+		if err != nil {
+			return nil, err
 		}
 		l.badcoSweeps.Add(1)
-		models := l.Models()
 		ws := make([]multicore.Workload, pop.Size())
 		for i, w := range pop.Workloads {
 			ws[i] = l.toMulticore(w)
 		}
-		results, err := multicore.SweepApproximate(ws, models, policy, 0)
+		results, err := multicore.SweepApproximate(ctx, ws, models, policy, 0)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: BADCO sweep (%d cores, %s): %w", cores, policy, err)
 		}
 		table := make([][]float64, len(results))
 		for i, r := range results {
 			table[i] = r.IPC
 		}
 		l.saveCached("badco", cores, policy, table, 0)
-		return table
+		return table, nil
 	})
 }
 
@@ -282,25 +334,26 @@ func (l *Lab) BadcoIPC(cores int, policy cache.PolicyName) [][]float64 {
 // for 2 cores (the paper simulates all 253 workloads with Zesto),
 // otherwise a DetailedCount random subset (paper: 250 for 4 and 8 cores).
 func (l *Lab) DetSample(cores int) []int {
-	return l.detSample.do(cores, func() []int {
+	idx, _ := l.detSample.do(context.Background(), cores, func() ([]int, error) {
 		n := l.Population(cores).Size()
 		if cores <= 2 || n <= l.cfg.DetailedCount+3 {
 			idx := make([]int, n)
 			for i := range idx {
 				idx[i] = i
 			}
-			return idx
+			return idx, nil
 		}
 		rng := rand.New(rand.NewSource(l.cfg.Seed + 100 + int64(cores)))
-		return rng.Perm(n)[:l.cfg.DetailedCount]
+		return rng.Perm(n)[:l.cfg.DetailedCount], nil
 	})
+	return idx
 }
 
 // DetailedIPC returns the per-workload per-core IPC table over the
 // DetSample workloads for (cores, policy), simulated with the detailed
 // model. Row i corresponds to DetSample(cores)[i].
-func (l *Lab) DetailedIPC(cores int, policy cache.PolicyName) [][]float64 {
-	return l.detIPC.do(ipcKey{cores, policy}, func() [][]float64 {
+func (l *Lab) DetailedIPC(ctx context.Context, cores int, policy cache.PolicyName) ([][]float64, error) {
+	return l.detIPC.do(ctx, ipcKey{cores, policy}, func() ([][]float64, error) {
 		pop := l.Population(cores)
 		sample := l.DetSample(cores)
 		// Detailed keys always name the population the sample was drawn
@@ -311,24 +364,27 @@ func (l *Lab) DetailedIPC(cores int, policy cache.PolicyName) [][]float64 {
 		// by versions that never read them back — permanently unloadable.
 		universe := pop.Size()
 		if table, ok := l.loadCached("detailed", cores, policy, len(sample), universe); ok {
-			return table
+			return table, nil
+		}
+		traces, err := l.Traces(ctx)
+		if err != nil {
+			return nil, err
 		}
 		l.detSweeps.Add(1)
-		traces := l.Traces()
 		ws := make([]multicore.Workload, len(sample))
 		for i, wi := range sample {
 			ws[i] = l.toMulticore(pop.Workloads[wi])
 		}
-		results, err := multicore.SweepDetailed(ws, traces, policy, 0)
+		results, err := multicore.SweepDetailed(ctx, ws, traces, policy, 0)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: detailed sweep (%d cores, %s): %w", cores, policy, err)
 		}
 		table := make([][]float64, len(results))
 		for i, r := range results {
 			table[i] = r.IPC
 		}
 		l.saveCached("detailed", cores, policy, table, universe)
-		return table
+		return table, nil
 	})
 }
 
@@ -369,23 +425,30 @@ func (l *Lab) saveCached(sim string, cores int, policy cache.PolicyName, table [
 // RefIPC returns the per-benchmark single-thread reference IPC on the
 // cores-sized machine (benchmark alone, LRU uncore, BADCO), used by the
 // speedup metrics WSU and HSU.
-func (l *Lab) RefIPC(cores int) []float64 {
-	return l.refIPC.do(cores, func() []float64 {
-		models := l.Models()
+func (l *Lab) RefIPC(ctx context.Context, cores int) ([]float64, error) {
+	return l.refIPC.do(ctx, cores, func() ([]float64, error) {
+		models, err := l.Models(ctx)
+		if err != nil {
+			return nil, err
+		}
 		names := l.Names()
 		// Alone on the same uncore configuration as the K-core machine:
 		// the uncore is built for `cores` but only core 0 is populated.
 		// The runs are independent, so they draw on the shared
 		// simulation budget like the sweeps do.
 		out := make([]float64, len(names))
-		multicore.RunBounded(len(names), func(i int) {
-			r, err := aloneOn(cores, multicore.Workload{names[i]}, models)
+		errs := make([]error, len(names))
+		if err := multicore.RunBounded(ctx, len(names), func(i int) {
+			out[i], errs[i] = aloneOn(cores, multicore.Workload{names[i]}, models)
+		}); err != nil {
+			return nil, err
+		}
+		for _, err := range errs {
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
-			out[i] = r
-		})
-		return out
+		}
+		return out, nil
 	})
 }
 
@@ -411,9 +474,12 @@ func aloneOn(cores int, w multicore.Workload, models map[string]*badco.Model) (f
 
 // RefTable expands per-benchmark reference IPCs into a per-workload
 // per-core table aligned with the population.
-func (l *Lab) RefTable(cores int) [][]float64 {
+func (l *Lab) RefTable(ctx context.Context, cores int) ([][]float64, error) {
 	pop := l.Population(cores)
-	ref := l.RefIPC(cores)
+	ref, err := l.RefIPC(ctx, cores)
+	if err != nil {
+		return nil, err
+	}
 	table := make([][]float64, pop.Size())
 	for i, w := range pop.Workloads {
 		row := make([]float64, len(w))
@@ -422,7 +488,7 @@ func (l *Lab) RefTable(cores int) [][]float64 {
 		}
 		table[i] = row
 	}
-	return table
+	return table, nil
 }
 
 // refRows picks the reference rows for a subset of population indices.
@@ -437,44 +503,76 @@ func refRows(ref [][]float64, idx []int) [][]float64 {
 // Diffs returns the per-workload differences d(w) between policies X and
 // Y under the metric, over the BADCO population table (the CLT-domain
 // values driving the confidence machinery).
-func (l *Lab) Diffs(cores int, m metrics.Metric, x, y cache.PolicyName) []float64 {
-	ref := l.RefTable(cores)
-	tX := m.Throughputs(l.BadcoIPC(cores, x), ref)
-	tY := m.Throughputs(l.BadcoIPC(cores, y), ref)
-	return m.Diffs(tX, tY)
+func (l *Lab) Diffs(ctx context.Context, cores int, m metrics.Metric, x, y cache.PolicyName) ([]float64, error) {
+	ref, err := l.RefTable(ctx, cores)
+	if err != nil {
+		return nil, err
+	}
+	ipcX, err := l.BadcoIPC(ctx, cores, x)
+	if err != nil {
+		return nil, err
+	}
+	ipcY, err := l.BadcoIPC(ctx, cores, y)
+	if err != nil {
+		return nil, err
+	}
+	return m.Diffs(m.Throughputs(ipcX, ref), m.Throughputs(ipcY, ref)), nil
 }
 
 // DetailedDiffs is Diffs over the detailed-simulator sample.
-func (l *Lab) DetailedDiffs(cores int, m metrics.Metric, x, y cache.PolicyName) []float64 {
-	ref := refRows(l.RefTable(cores), l.DetSample(cores))
-	tX := m.Throughputs(l.DetailedIPC(cores, x), ref)
-	tY := m.Throughputs(l.DetailedIPC(cores, y), ref)
-	return m.Diffs(tX, tY)
+func (l *Lab) DetailedDiffs(ctx context.Context, cores int, m metrics.Metric, x, y cache.PolicyName) ([]float64, error) {
+	refAll, err := l.RefTable(ctx, cores)
+	if err != nil {
+		return nil, err
+	}
+	ref := refRows(refAll, l.DetSample(cores))
+	ipcX, err := l.DetailedIPC(ctx, cores, x)
+	if err != nil {
+		return nil, err
+	}
+	ipcY, err := l.DetailedIPC(ctx, cores, y)
+	if err != nil {
+		return nil, err
+	}
+	return m.Diffs(m.Throughputs(ipcX, ref), m.Throughputs(ipcY, ref)), nil
 }
 
 // BadcoDiffsAt is Diffs restricted to a subset of population indices
 // (e.g. the detailed sample, for Fig. 4's middle bars).
-func (l *Lab) BadcoDiffsAt(cores int, m metrics.Metric, x, y cache.PolicyName, idx []int) []float64 {
-	all := l.Diffs(cores, m, x, y)
+func (l *Lab) BadcoDiffsAt(ctx context.Context, cores int, m metrics.Metric, x, y cache.PolicyName, idx []int) ([]float64, error) {
+	all, err := l.Diffs(ctx, cores, m, x, y)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(idx))
 	for i, j := range idx {
 		out[i] = all[j]
 	}
-	return out
+	return out, nil
 }
 
 // MPKI returns per-benchmark LLC misses per kilo-instruction, measured
 // with the detailed simulator running each benchmark alone on the 1-core
 // LRU configuration (the Table IV measurement).
-func (l *Lab) MPKI() []float64 {
-	l.mpkiOnce.Do(func() {
-		traces := l.Traces()
+func (l *Lab) MPKI(ctx context.Context) ([]float64, error) {
+	return l.mpki.get(ctx, func() ([]float64, error) {
+		traces, err := l.Traces(ctx)
+		if err != nil {
+			return nil, err
+		}
 		names := l.Names()
 		out := make([]float64, len(names))
-		multicore.RunBounded(len(names), func(i int) {
-			out[i] = measureMPKI(traces[names[i]])
-		})
-		l.mpki = out
+		errs := make([]error, len(names))
+		if err := multicore.RunBounded(ctx, len(names), func(i int) {
+			out[i], errs[i] = measureMPKI(traces[names[i]])
+		}); err != nil {
+			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
 	})
-	return l.mpki
 }

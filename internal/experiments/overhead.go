@@ -1,11 +1,24 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"mcbench/internal/cache"
 )
+
+func init() {
+	Register(Spec{
+		Name:     "overhead",
+		Synopsis: "Section VII-A simulation-overhead example",
+		Group:    GroupPaper,
+		Requests: func(l *Lab, p Params) []Request { return l.OverheadRequests(p.cores()) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.overheadTable(ctx, p.cores())
+		},
+	})
+}
 
 // OverheadResult is the Section VII-A worked example computed from this
 // reproduction's own measurements: the detailed-simulation cost of
@@ -40,16 +53,23 @@ type OverheadLine struct {
 
 // Overhead reproduces the Section VII-A example using measured speeds and
 // measured confidence curves. cores should be 4 to match the paper.
-func (l *Lab) Overhead(cores int) OverheadResult {
+func (l *Lab) Overhead(ctx context.Context, cores int) (OverheadResult, error) {
 	// Measured speeds (MIPS) from the Table III machinery.
 	var det, badco float64
-	for _, r := range l.TableIII(2) {
+	rows, err := l.TableIII(ctx, 2)
+	if err != nil {
+		return OverheadResult{}, err
+	}
+	for _, r := range rows {
 		if r.Cores == cores {
 			det, badco = r.DetMIPS, r.BadcoMIPS
 		}
 	}
 
-	points := l.Fig6(cores)
+	points, err := l.Fig6(ctx, cores)
+	if err != nil {
+		return OverheadResult{}, err
+	}
 	best := func(method string) (conf map[int]float64) {
 		conf = map[int]float64{}
 		for _, p := range points {
@@ -113,7 +133,7 @@ func (l *Lab) Overhead(cores int) OverheadResult {
 	// two policies.
 	res.ModelBuildHours = 22 * 2 * (quota / (det * 1e6)) / 3600
 	res.BadcoSweepHours = 2 * float64(l.Population(cores).Size()) * badcoHoursPer
-	return res
+	return res, nil
 }
 
 // OverheadRequests declares the overhead example's inputs: the Table III
@@ -122,9 +142,12 @@ func (l *Lab) OverheadRequests(cores int) []Request {
 	return append(l.TableIIIRequests(), l.Fig6Requests(cores)...)
 }
 
-// OverheadTable renders the Section VII-A example.
-func (l *Lab) OverheadTable(cores int) *Table {
-	r := l.Overhead(cores)
+// overheadTable renders the Section VII-A example.
+func (l *Lab) overheadTable(ctx context.Context, cores int) (*Table, error) {
+	r, err := l.Overhead(ctx, cores)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Section VII-A: simulation overhead example (DIP vs LRU, IPCT, %d cores)", cores),
 		Columns: []string{"approach", "confidence", "workloads", "detailed cpu-h", "prep cpu-h"},
@@ -145,5 +168,5 @@ func (l *Lab) OverheadTable(cores int) *Table {
 	}
 	t.AddRow("workload-strata", f2(r.StrataConfidence), fmt.Sprint(r.StrataWorkloads),
 		f4(r.StrataDetHours), f4(r.ModelBuildHours+r.BadcoSweepHours))
-	return t
+	return t, nil
 }

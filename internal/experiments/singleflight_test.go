@@ -35,7 +35,7 @@ func TestBadcoIPCSingleFlight(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start // maximise overlap: all callers ask at once
-			tables[i] = l.BadcoIPC(2, cache.LRU)
+			tables[i] = must(l.BadcoIPC(tctx, 2, cache.LRU))
 		}(i)
 	}
 	close(start)
@@ -65,7 +65,7 @@ func TestDetailedIPCSingleFlight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			l.DetailedIPC(2, cache.FIFO)
+			must(l.DetailedIPC(tctx, 2, cache.FIFO))
 		}()
 	}
 	close(start)
@@ -90,20 +90,20 @@ func TestWarmDeduplicatesPlan(t *testing.T) {
 		{Sim: SimRef, Cores: 2},
 		{Sim: SimRef, Cores: 2, Policy: cache.LRU}, // same as above once normalized
 	}
-	if n := l.Warm(plan, 2); n != 3 {
+	if n := must(l.Warm(tctx, plan, 2)); n != 3 {
 		t.Fatalf("Warm fulfilled %d unique requests, want 3", n)
 	}
 	if got := l.badcoSweeps.Load(); got != 2 {
 		t.Fatalf("%d sweeps after Warm, want 2 (LRU, FIFO)", got)
 	}
-	warmed := l.BadcoIPC(2, cache.LRU)
-	if l.Warm(plan, 0) != 3 {
+	warmed := must(l.BadcoIPC(tctx, 2, cache.LRU))
+	if must(l.Warm(tctx, plan, 0)) != 3 {
 		t.Fatal("re-warming changed the plan size")
 	}
 	if got := l.badcoSweeps.Load(); got != 2 {
 		t.Fatalf("re-warming re-ran sweeps: %d", got)
 	}
-	if again := l.BadcoIPC(2, cache.LRU); &again[0] != &warmed[0] {
+	if again := must(l.BadcoIPC(tctx, 2, cache.LRU)); &again[0] != &warmed[0] {
 		t.Fatal("table rebuilt after warm")
 	}
 }
@@ -129,7 +129,7 @@ func TestRequestNormalize(t *testing.T) {
 // of the full paper campaign names every product family.
 func TestCampaignPlanCoversExperiments(t *testing.T) {
 	l := tinyLab()
-	plan := l.CampaignPlan([]string{"all"}, 4)
+	plan := l.CampaignPlan([]string{"all"}, Params{Cores: 4})
 	kinds := map[Simulator]bool{}
 	for _, r := range plan {
 		kinds[r.Sim] = true
@@ -143,7 +143,7 @@ func TestCampaignPlanCoversExperiments(t *testing.T) {
 		t.Fatal("empty campaign plan")
 	}
 	// Unknown names contribute nothing rather than failing the warm-up.
-	if p := l.CampaignPlan([]string{"nonsense"}, 4); len(p) != 0 {
+	if p := l.CampaignPlan([]string{"nonsense"}, Params{Cores: 4}); len(p) != 0 {
 		t.Errorf("unknown experiment produced %d requests", len(p))
 	}
 }

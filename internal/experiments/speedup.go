@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -19,6 +20,18 @@ import (
 // estimates the throughput ratio T_Y / T_X (a magnitude question), for
 // each sampling method.
 
+func init() {
+	Register(Spec{
+		Name:     "speedup",
+		Synopsis: "accuracy of sample speedup estimates (paper's open problem)",
+		Group:    GroupExtension,
+		Requests: func(l *Lab, p Params) []Request { return l.SpeedupRequests(p.cores()) },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.speedupAccuracyTable(ctx, p.cores())
+		},
+	})
+}
+
 // SpeedupAccuracyPoint is one (method, sample size) accuracy measurement.
 type SpeedupAccuracyPoint struct {
 	Method     string
@@ -36,7 +49,7 @@ type SpeedupAccuracyPoint struct {
 // differences, as in Figure 6 — which is exactly what makes this an open
 // problem: strata optimised for the *sign* of D are not necessarily
 // optimal for the *magnitude* of the ratio.
-func (l *Lab) SpeedupAccuracy(cores int, m metrics.Metric, x, y cache.PolicyName, sizes []int, trials int) []SpeedupAccuracyPoint {
+func (l *Lab) SpeedupAccuracy(ctx context.Context, cores int, m metrics.Metric, x, y cache.PolicyName, sizes []int, trials int) ([]SpeedupAccuracyPoint, error) {
 	if len(sizes) == 0 {
 		sizes = []int{10, 30, 100}
 	}
@@ -44,9 +57,24 @@ func (l *Lab) SpeedupAccuracy(cores int, m metrics.Metric, x, y cache.PolicyName
 		trials = l.cfg.Fig6Trials
 	}
 	pop := l.Population(cores)
-	ref := l.RefTable(cores)
-	tX := m.Throughputs(l.BadcoIPC(cores, x), ref)
-	tY := m.Throughputs(l.BadcoIPC(cores, y), ref)
+	ref, err := l.RefTable(ctx, cores)
+	if err != nil {
+		return nil, err
+	}
+	ipcX, err := l.BadcoIPC(ctx, cores, x)
+	if err != nil {
+		return nil, err
+	}
+	ipcY, err := l.BadcoIPC(ctx, cores, y)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := l.Classes(ctx)
+	if err != nil {
+		return nil, err
+	}
+	tX := m.Throughputs(ipcX, ref)
+	tY := m.Throughputs(ipcY, ref)
 	d := m.Diffs(tX, tY)
 
 	popSpeedup := m.Sample(tY) / m.Sample(tX)
@@ -56,7 +84,7 @@ func (l *Lab) SpeedupAccuracy(cores int, m metrics.Metric, x, y cache.PolicyName
 		samplers = append(samplers, sampling.NewBalancedRandom(pop))
 	}
 	samplers = append(samplers,
-		sampling.NewBenchmarkStrata(pop, l.Classes(), sampling.NumClasses),
+		sampling.NewBenchmarkStrata(pop, classes, sampling.NumClasses),
 		sampling.NewWorkloadStrata(d, sampling.DefaultWorkloadStrataConfig()),
 	)
 
@@ -87,7 +115,7 @@ func (l *Lab) SpeedupAccuracy(cores int, m metrics.Metric, x, y cache.PolicyName
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 func mean(xs []float64) float64 {
@@ -105,8 +133,8 @@ func percentile95(xs []float64) float64 {
 	return cp[idx]
 }
 
-// SpeedupRequests declares the tables SpeedupAccuracyTable reads: the
-// BADCO tables of its two pairs, the reference IPCs (WSU) and the MPKI
+// SpeedupRequests declares the tables SpeedupAccuracy reads: the BADCO
+// tables of its two pairs, the reference IPCs (WSU) and the MPKI
 // classification behind benchmark stratification.
 func (l *Lab) SpeedupRequests(cores int) []Request {
 	pols := []cache.PolicyName{cache.DIP, cache.DRRIP, cache.LRU, cache.FIFO}
@@ -115,9 +143,9 @@ func (l *Lab) SpeedupRequests(cores int) []Request {
 		Request{Sim: SimMPKI})
 }
 
-// SpeedupAccuracyTable renders the extension for the near-tie pair (DRRIP
+// speedupAccuracyTable renders the extension for the near-tie pair (DRRIP
 // vs DIP) and a decisive pair (DRRIP vs LRU) under the WSU metric.
-func (l *Lab) SpeedupAccuracyTable(cores int) *Table {
+func (l *Lab) speedupAccuracyTable(ctx context.Context, cores int) (*Table, error) {
 	t := &Table{
 		Title:   fmt.Sprintf("Extension (paper Sec. VIII open problem): speedup-estimate accuracy (WSU, %d cores)", cores),
 		Columns: []string{"pair (X,Y)", "method", "W", "mean |err| %", "p95 |err| %"},
@@ -130,11 +158,14 @@ func (l *Lab) SpeedupAccuracyTable(cores int) *Table {
 		{cache.DIP, cache.DRRIP},
 		{cache.LRU, cache.FIFO},
 	} {
-		pts := l.SpeedupAccuracy(cores, metrics.WSU, pair[0], pair[1], []int{10, 30, 100}, 0)
+		pts, err := l.SpeedupAccuracy(ctx, cores, metrics.WSU, pair[0], pair[1], []int{10, 30, 100}, 0)
+		if err != nil {
+			return nil, err
+		}
 		for _, p := range pts {
 			t.AddRow(fmt.Sprintf("%s,%s", pair[0], pair[1]), p.Method,
 				fmt.Sprint(p.SampleSize), f2(p.MeanAbsErr*100), f2(p.P95AbsErr*100))
 		}
 	}
-	return t
+	return t, nil
 }

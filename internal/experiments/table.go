@@ -97,18 +97,18 @@ func newUncore(cfg uncore.Config) (*uncore.Uncore, error) { return uncore.New(cf
 // cold misses — which dominate at our reduced trace scale — are excluded.
 // Counting fills rather than only demand misses keeps prefetch-friendly
 // streams (libquantum-style) classified by their true memory traffic.
-func measureMPKI(tr *trace.Trace) float64 {
+func measureMPKI(tr *trace.Trace) (float64, error) {
 	unc, err := uncore.New(uncore.ConfigFor(1, cache.LRU))
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	core, err := cpu.New(0, cpu.DefaultConfig(), tr, unc)
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	core.Run(tr.Len()) // warm-up iteration
 	unc.ResetStats()
 	core.Run(tr.Len())
 	s := unc.Stats()
-	return float64(s.DemandMisses+s.PrefetchIssued) * 1000 / float64(tr.Len())
+	return float64(s.DemandMisses+s.PrefetchIssued) * 1000 / float64(tr.Len()), nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,18 @@ import (
 	"mcbench/internal/cache"
 	"mcbench/internal/multicore"
 )
+
+func init() {
+	Register(Spec{
+		Name:     "table3",
+		Synopsis: "simulation speed (MIPS) and BADCO speedup",
+		Group:    GroupPaper,
+		Requests: func(l *Lab, p Params) []Request { return l.TableIIIRequests() },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.tableIIITable(ctx, 3)
+		},
+	})
+}
 
 // TableIIIRow reports simulation speed for one core count.
 type TableIIIRow struct {
@@ -22,12 +35,18 @@ type TableIIIRow struct {
 // are drawn from the detailed sample of each core count (a fixed small
 // number, timed sequentially so the measurement is not confounded by the
 // sweep parallelism).
-func (l *Lab) TableIII(workloadsPerPoint int) []TableIIIRow {
+func (l *Lab) TableIII(ctx context.Context, workloadsPerPoint int) ([]TableIIIRow, error) {
 	if workloadsPerPoint <= 0 {
 		workloadsPerPoint = 3
 	}
-	traces := l.Traces()
-	models := l.Models()
+	traces, err := l.Traces(ctx)
+	if err != nil {
+		return nil, err
+	}
+	models, err := l.Models(ctx)
+	if err != nil {
+		return nil, err
+	}
 	var rows []TableIIIRow
 	for _, cores := range []int{1, 2, 4, 8} {
 		var ws []multicore.Workload
@@ -54,16 +73,16 @@ func (l *Lab) TableIII(workloadsPerPoint int) []TableIIIRow {
 
 		start := time.Now()
 		for _, w := range ws {
-			if _, err := multicore.Detailed(w, traces, cache.LRU, quota); err != nil {
-				panic(err)
+			if _, err := multicore.Detailed(ctx, w, traces, cache.LRU, quota); err != nil {
+				return nil, err
 			}
 		}
 		detDur := time.Since(start)
 
 		start = time.Now()
 		for _, w := range ws {
-			if _, err := multicore.Approximate(w, models, cache.LRU, quota); err != nil {
-				panic(err)
+			if _, err := multicore.Approximate(ctx, w, models, cache.LRU, quota); err != nil {
+				return nil, err
 			}
 		}
 		badcoDur := time.Since(start)
@@ -77,7 +96,7 @@ func (l *Lab) TableIII(workloadsPerPoint int) []TableIIIRow {
 			Speedup:   bad / det,
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // TableIIIRequests declares Table III's prerequisites: it times
@@ -88,8 +107,8 @@ func (l *Lab) TableIIIRequests() []Request {
 	return []Request{{Sim: SimModels}}
 }
 
-// TableIIITable renders Table III.
-func (l *Lab) TableIIITable(workloadsPerPoint int) *Table {
+// tableIIITable renders Table III.
+func (l *Lab) tableIIITable(ctx context.Context, workloadsPerPoint int) (*Table, error) {
 	t := &Table{
 		Title:   "Table III: simulation speed (MIPS) and BADCO speedup",
 		Columns: []string{"cores", "MIPS detailed", "MIPS BADCO", "speedup"},
@@ -98,20 +117,27 @@ func (l *Lab) TableIIITable(workloadsPerPoint int) *Table {
 			"absolute MIPS differ (different host and simulators); the shape to check is BADCO >> detailed",
 		},
 	}
-	for _, r := range l.TableIII(workloadsPerPoint) {
+	rows, err := l.TableIII(ctx, workloadsPerPoint)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		t.AddRow(fmt.Sprint(r.Cores), f3(r.DetMIPS), f3(r.BadcoMIPS), f2(r.Speedup))
 	}
-	return t
+	return t, nil
 }
 
 // ModelBuildCost measures the one-off cost of building a BADCO model for
 // one benchmark (two detailed calibration runs), used by the Section
 // VII-A overhead example.
-func (l *Lab) ModelBuildCost(name string) time.Duration {
-	traces := l.Traces()
+func (l *Lab) ModelBuildCost(ctx context.Context, name string) (time.Duration, error) {
+	traces, err := l.Traces(ctx)
+	if err != nil {
+		return 0, err
+	}
 	start := time.Now()
 	if _, err := badco.Build(traces[name], badco.DefaultBuildConfig()); err != nil {
-		panic(err)
+		return 0, err
 	}
-	return time.Since(start)
+	return time.Since(start), nil
 }

@@ -1,10 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 
 	"mcbench/internal/sampling"
 )
+
+func init() {
+	Register(Spec{
+		Name:     "table4",
+		Synopsis: "benchmark MPKI classification",
+		Group:    GroupPaper,
+		Requests: func(l *Lab, p Params) []Request { return l.TableIVRequests() },
+		Run: func(ctx context.Context, l *Lab, p Params) (*Table, error) {
+			return l.TableIV(ctx)
+		},
+	})
+}
 
 // paperClasses is Table IV of the paper: the memory-intensity class of
 // each benchmark.
@@ -24,8 +37,12 @@ func PaperClass(name string) sampling.Class { return paperClasses[name] }
 
 // Classes returns the measured class of every benchmark (indexed like
 // Names()), the classification actually used by benchmark stratification.
-func (l *Lab) Classes() []int {
-	return sampling.ScaledThresholds().ClassifyAll(l.MPKI())
+func (l *Lab) Classes(ctx context.Context) ([]int, error) {
+	mpki, err := l.MPKI(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return sampling.ScaledThresholds().ClassifyAll(mpki), nil
 }
 
 // TableIVRequests declares Table IV's one expensive product: the MPKI
@@ -36,9 +53,12 @@ func (l *Lab) TableIVRequests() []Request {
 
 // TableIV reproduces Table IV: the classification of the 22 benchmarks by
 // measured LLC MPKI (Low < 1, Medium < 5, High >= 5).
-func (l *Lab) TableIV() *Table {
+func (l *Lab) TableIV(ctx context.Context) (*Table, error) {
 	names := l.Names()
-	mpki := l.MPKI()
+	mpki, err := l.MPKI(ctx)
+	if err != nil {
+		return nil, err
+	}
 	th := sampling.ScaledThresholds()
 
 	type row struct {
@@ -76,5 +96,5 @@ func (l *Lab) TableIV() *Table {
 		f2(float64(matches)*100/float64(len(rows)))+"% of benchmarks in the paper's class",
 		"paper: Low={povray gromacs milc calculix namd dealII perlbench gobmk h264ref hmmer sjeng}, "+
 			"Medium={bzip2 gcc astar zeusmp cactusADM}, High={libquantum omnetpp leslie3d bwaves mcf soplex}")
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package multicore
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -40,11 +41,11 @@ func TestGoldenDetailedMatchesReference(t *testing.T) {
 		{"mcf", "povray"},
 		{"mcf", "soplex", "gcc", "libquantum"},
 	} {
-		batched, err := Detailed(w, trs, cache.LRU, 0)
+		batched, err := Detailed(context.Background(), w, trs, cache.LRU, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		reference, err := detailedWith(w, trs, cache.LRU, 0, runInterleavedReference)
+		reference, err := detailedWith(context.Background(), w, trs, cache.LRU, 0, runInterleavedReference)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,11 +59,11 @@ func TestGoldenApproximateMatchesReference(t *testing.T) {
 		{"mcf", "povray"},
 		{"mcf", "soplex", "gcc", "libquantum"},
 	} {
-		batched, err := Approximate(w, mods, cache.LRU, 0)
+		batched, err := Approximate(context.Background(), w, mods, cache.LRU, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		reference, err := approximateWith(w, mods, cache.LRU, 0, runInterleavedReference)
+		reference, err := approximateWith(context.Background(), w, mods, cache.LRU, 0, runInterleavedReference)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,11 +78,11 @@ func TestGoldenAcrossPolicies(t *testing.T) {
 	trs := traces(t)
 	for _, pol := range []cache.PolicyName{cache.DRRIP, cache.Random} {
 		w := Workload{"soplex", "hmmer"}
-		batched, err := Detailed(w, trs, pol, 7500)
+		batched, err := Detailed(context.Background(), w, trs, pol, 7500)
 		if err != nil {
 			t.Fatal(err)
 		}
-		reference, err := detailedWith(w, trs, pol, 7500, runInterleavedReference)
+		reference, err := detailedWith(context.Background(), w, trs, pol, 7500, runInterleavedReference)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,11 +94,11 @@ func TestGoldenAcrossPolicies(t *testing.T) {
 // the reference schedule.
 func TestGoldenSingleCore(t *testing.T) {
 	trs := traces(t)
-	batched, err := Detailed(Workload{"hmmer"}, trs, cache.LRU, 5000)
+	batched, err := Detailed(context.Background(), Workload{"hmmer"}, trs, cache.LRU, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reference, err := detailedWith(Workload{"hmmer"}, trs, cache.LRU, 5000, runInterleavedReference)
+	reference, err := detailedWith(context.Background(), Workload{"hmmer"}, trs, cache.LRU, 5000, runInterleavedReference)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package multicore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -69,11 +70,24 @@ type stepper interface {
 }
 
 // driver advances a set of cores until each has committed quota µops and
-// returns the cycle at which each crossed it.
-type driver func(cores []stepper, quota uint64) []uint64
+// returns the cycle at which each crossed it. A driver returns early with
+// ctx.Err() when the context is cancelled mid-simulation.
+type driver func(ctx context.Context, cores []stepper, quota uint64) ([]uint64, error)
 
 // never is a clock/quota bound that no simulation reaches.
 const never = ^uint64(0)
+
+// cancelCheckMask throttles context polling in the batch loop: the
+// cancellation check (a non-blocking channel receive) runs once every
+// cancelCheckMask+1 batches, keeping it off the per-batch fast path
+// while still bounding the reaction latency to microseconds.
+const cancelCheckMask = 1023
+
+// soloChunkCycles is the clock-batch size of single-core simulations:
+// with no other core to bound a batch, the driver runs the core in
+// fixed-size clock windows so cancellation stays responsive. StepUntil
+// is resumable, so chunking does not change results.
+const soloChunkCycles = 1 << 18
 
 // runInterleaved advances the cores on the smallest-local-clock-first
 // discipline until every core has committed at least quota instructions,
@@ -89,15 +103,26 @@ const never = ^uint64(0)
 // instead of per simulated µop. Between batches a single pass over the
 // cached clocks carries the pick and the runner-up through a 2-element
 // tournament, instead of a full rescan per µop.
-func runInterleaved(cores []stepper, quota uint64) []uint64 {
+func runInterleaved(ctx context.Context, cores []stepper, quota uint64) ([]uint64, error) {
 	n := len(cores)
+	done := ctx.Done()
 	quotaCycle := make([]uint64, n)
 	if n == 1 {
-		// A single core is always the pick: run straight to the quota.
+		// A single core is always the pick: run to the quota in clock
+		// chunks so cancellation can interrupt a long solo run.
 		c := cores[0]
-		c.StepUntil(never, quota)
+		for c.Committed() < quota {
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
+			c.StepUntil(c.Now()+soloChunkCycles, quota)
+		}
 		quotaCycle[0] = c.Now()
-		return quotaCycle
+		return quotaCycle, nil
 	}
 	reached := make([]bool, n)
 	remaining := n
@@ -105,7 +130,14 @@ func runInterleaved(cores []stepper, quota uint64) []uint64 {
 	for i, c := range cores {
 		clocks[i] = c.Now()
 	}
-	for remaining > 0 {
+	for batch := 0; remaining > 0; batch++ {
+		if done != nil && batch&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		// One pass, ties to the lower index: m is the core the per-step
 		// driver would pick, o the runner-up it would pick next.
 		m, o := 0, -1
@@ -140,15 +172,15 @@ func runInterleaved(cores []stepper, quota uint64) []uint64 {
 		}
 		clocks[m] = c.Now()
 	}
-	return quotaCycle
+	return quotaCycle, nil
 }
 
 // runInterleavedReference is the original per-step driver: pick the core
 // with the smallest local clock, step it one µop, repeat. It is retained
 // as the executable specification of the schedule; the golden
 // determinism test asserts the batched driver reproduces its results
-// bit-identically.
-func runInterleavedReference(cores []stepper, quota uint64) []uint64 {
+// bit-identically. It ignores the context (it only runs in tests).
+func runInterleavedReference(_ context.Context, cores []stepper, quota uint64) ([]uint64, error) {
 	n := len(cores)
 	quotaCycle := make([]uint64, n)
 	reached := make([]bool, n)
@@ -171,20 +203,21 @@ func runInterleavedReference(cores []stepper, quota uint64) []uint64 {
 			remaining--
 		}
 	}
-	return quotaCycle
+	return quotaCycle, nil
 }
 
 // Detailed simulates the workload with the detailed core model under the
 // given LLC policy. quota is the per-thread instruction count (commonly
-// the trace length). Traces are looked up by benchmark name.
-func Detailed(w Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64) (Result, error) {
-	return detailedWith(w, traces, policy, quota, runInterleaved)
+// the trace length). Traces are looked up by benchmark name. A cancelled
+// context aborts the simulation and returns ctx.Err().
+func Detailed(ctx context.Context, w Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64) (Result, error) {
+	return detailedWith(ctx, w, traces, policy, quota, runInterleaved)
 }
 
 // detailedWith is Detailed with an explicit driver, so the golden test
 // can run the reference per-step driver through the identical
 // construction path.
-func detailedWith(w Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64, drive driver) (Result, error) {
+func detailedWith(ctx context.Context, w Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64, drive driver) (Result, error) {
 	if len(w) == 0 {
 		return Result{}, fmt.Errorf("multicore: empty workload")
 	}
@@ -207,7 +240,10 @@ func detailedWith(w Workload, traces map[string]*trace.Trace, policy cache.Polic
 		}
 		cores[i] = core
 	}
-	cycles := drive(cores, quota)
+	cycles, err := drive(ctx, cores, quota)
+	if err != nil {
+		return Result{}, err
+	}
 	return assemble(w, policy, cycles, quota), nil
 }
 
@@ -219,14 +255,15 @@ type badcoStepper struct{ *badco.Machine }
 
 // Approximate runs the workload with BADCO machines sharing a real
 // uncore. models maps benchmark name to its behavioural model; quota must
-// be a multiple of the model trace length (0 means one trace length).
-func Approximate(w Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64) (Result, error) {
-	return approximateWith(w, models, policy, quota, runInterleaved)
+// be a multiple of the model trace length (0 means one trace length). A
+// cancelled context aborts the simulation and returns ctx.Err().
+func Approximate(ctx context.Context, w Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64) (Result, error) {
+	return approximateWith(ctx, w, models, policy, quota, runInterleaved)
 }
 
 // approximateWith is Approximate with an explicit driver (see
 // detailedWith).
-func approximateWith(w Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64, drive driver) (Result, error) {
+func approximateWith(ctx context.Context, w Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64, drive driver) (Result, error) {
 	if len(w) == 0 {
 		return Result{}, fmt.Errorf("multicore: empty workload")
 	}
@@ -249,7 +286,10 @@ func approximateWith(w Workload, models map[string]*badco.Model, policy cache.Po
 		}
 		cores[i] = badcoStepper{ma}
 	}
-	cycles := drive(cores, quota)
+	cycles, err := drive(ctx, cores, quota)
+	if err != nil {
+		return Result{}, err
+	}
 	return assemble(w, policy, cycles, quota), nil
 }
 
@@ -277,13 +317,17 @@ type SweepResult struct {
 
 // SweepApproximate simulates many workloads with BADCO in parallel across
 // CPU cores (each workload simulation is independent and deterministic).
-// The returned slice is indexed like workloads.
-func SweepApproximate(workloads []Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64) ([]Result, error) {
+// The returned slice is indexed like workloads. Cancelling the context
+// stops dispatching new workloads, interrupts the running ones, and
+// returns ctx.Err().
+func SweepApproximate(ctx context.Context, workloads []Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64) ([]Result, error) {
 	results := make([]Result, len(workloads))
 	errs := make([]error, len(workloads))
-	RunBounded(len(workloads), func(i int) {
-		results[i], errs[i] = Approximate(workloads[i], models, policy, quota)
-	})
+	if err := RunBounded(ctx, len(workloads), func(i int) {
+		results[i], errs[i] = Approximate(ctx, workloads[i], models, policy, quota)
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -294,12 +338,14 @@ func SweepApproximate(workloads []Workload, models map[string]*badco.Model, poli
 
 // SweepDetailed simulates many workloads with the detailed model in
 // parallel across CPU cores.
-func SweepDetailed(workloads []Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64) ([]Result, error) {
+func SweepDetailed(ctx context.Context, workloads []Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64) ([]Result, error) {
 	results := make([]Result, len(workloads))
 	errs := make([]error, len(workloads))
-	RunBounded(len(workloads), func(i int) {
-		results[i], errs[i] = Detailed(workloads[i], traces, policy, quota)
-	})
+	if err := RunBounded(ctx, len(workloads), func(i int) {
+		results[i], errs[i] = Detailed(ctx, workloads[i], traces, policy, quota)
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -329,10 +375,37 @@ var simSem = make(chan struct{}, maxParallel())
 // run — a sweep over thousands of workloads never piles up idle
 // goroutines waiting for a slot. fn must not call RunBounded itself
 // (slot-holders waiting on slots would deadlock).
-func RunBounded(n int, fn func(int)) {
+//
+// Cancelling the context stops dispatching new indices; RunBounded then
+// waits for the already-running fn calls (which should observe the same
+// context) before returning ctx.Err(). It never leaks goroutines.
+func RunBounded(ctx context.Context, n int, fn func(int)) error {
 	var wg sync.WaitGroup
+	done := ctx.Done()
+	var err error
 	for i := 0; i < n; i++ {
-		simSem <- struct{}{}
+		if done == nil {
+			simSem <- struct{}{}
+		} else {
+			// Check cancellation before contending for a slot: a select
+			// with both cases ready picks randomly, and a cancelled
+			// campaign must dispatch nothing further.
+			select {
+			case <-done:
+				err = ctx.Err()
+			default:
+			}
+			if err == nil {
+				select {
+				case <-done:
+					err = ctx.Err()
+				case simSem <- struct{}{}:
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -341,21 +414,30 @@ func RunBounded(n int, fn func(int)) {
 		}(i)
 	}
 	wg.Wait()
+	// Only cancellation observed during dispatch fails the call: if every
+	// index was dispatched and ran, the work is complete regardless of a
+	// cancellation that raced the finish (an interrupted fn surfaces its
+	// own ctx error through the caller's per-index results). Discarding a
+	// fully computed sweep here would force an interrupted-then-resumed
+	// campaign to redo work it already finished.
+	return err
 }
 
 // BuildModels constructs BADCO models for every benchmark in the suite,
 // in parallel. It is the "one person-month of model building" step of the
 // paper, automated.
-func BuildModels(traces map[string]*trace.Trace, cfg badco.BuildConfig) (map[string]*badco.Model, error) {
+func BuildModels(ctx context.Context, traces map[string]*trace.Trace, cfg badco.BuildConfig) (map[string]*badco.Model, error) {
 	names := make([]string, 0, len(traces))
 	for name := range traces {
 		names = append(names, name)
 	}
 	built := make([]*badco.Model, len(names))
 	errs := make([]error, len(names))
-	RunBounded(len(names), func(i int) {
+	if err := RunBounded(ctx, len(names), func(i int) {
 		built[i], errs[i] = badco.Build(traces[names[i]], cfg)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	models := make(map[string]*badco.Model, len(names))
 	for i, name := range names {
 		if errs[i] != nil {

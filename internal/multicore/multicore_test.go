@@ -1,6 +1,7 @@
 package multicore
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -34,7 +35,7 @@ func models(t *testing.T) map[string]*badco.Model {
 		for _, n := range []string{"mcf", "povray", "gcc", "libquantum", "hmmer", "soplex", "astar", "bzip2"} {
 			sub[n] = trs[n]
 		}
-		m, err := BuildModels(sub, badco.DefaultBuildConfig())
+		m, err := BuildModels(context.Background(), sub, badco.DefaultBuildConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,11 +46,11 @@ func models(t *testing.T) map[string]*badco.Model {
 
 func TestDetailedSingleVsPair(t *testing.T) {
 	trs := traces(t)
-	solo, err := Detailed(Workload{"mcf"}, trs, cache.LRU, 0)
+	solo, err := Detailed(context.Background(), Workload{"mcf"}, trs, cache.LRU, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pair, err := Detailed(Workload{"mcf", "soplex"}, trs, cache.LRU, 0)
+	pair, err := Detailed(context.Background(), Workload{"mcf", "soplex"}, trs, cache.LRU, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,24 +66,24 @@ func TestDetailedSingleVsPair(t *testing.T) {
 
 func TestDetailedErrors(t *testing.T) {
 	trs := traces(t)
-	if _, err := Detailed(Workload{}, trs, cache.LRU, 0); err == nil {
+	if _, err := Detailed(context.Background(), Workload{}, trs, cache.LRU, 0); err == nil {
 		t.Error("empty workload accepted")
 	}
-	if _, err := Detailed(Workload{"nosuch"}, trs, cache.LRU, 0); err == nil {
+	if _, err := Detailed(context.Background(), Workload{"nosuch"}, trs, cache.LRU, 0); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if _, err := Detailed(Workload{"mcf"}, trs, "NOPOL", 0); err == nil {
+	if _, err := Detailed(context.Background(), Workload{"mcf"}, trs, "NOPOL", 0); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
 
 func TestDetailedDeterminism(t *testing.T) {
 	trs := traces(t)
-	a, err := Detailed(Workload{"gcc", "mcf"}, trs, cache.DIP, 0)
+	a, err := Detailed(context.Background(), Workload{"gcc", "mcf"}, trs, cache.DIP, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Detailed(Workload{"gcc", "mcf"}, trs, cache.DIP, 0)
+	b, err := Detailed(context.Background(), Workload{"gcc", "mcf"}, trs, cache.DIP, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestDetailedDeterminism(t *testing.T) {
 
 func TestDuplicateBenchmarksGetDistinctPages(t *testing.T) {
 	trs := traces(t)
-	r, err := Detailed(Workload{"bzip2", "bzip2"}, trs, cache.LRU, 0)
+	r, err := Detailed(context.Background(), Workload{"bzip2", "bzip2"}, trs, cache.LRU, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +114,11 @@ func TestApproximateMatchesDetailedRanking(t *testing.T) {
 	trs := traces(t)
 	mods := models(t)
 	w := Workload{"mcf", "povray"}
-	det, err := Detailed(w, trs, cache.LRU, 0)
+	det, err := Detailed(context.Background(), w, trs, cache.LRU, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	app, err := Approximate(w, mods, cache.LRU, 0)
+	app, err := Approximate(context.Background(), w, mods, cache.LRU, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,10 +138,10 @@ func TestApproximateMatchesDetailedRanking(t *testing.T) {
 
 func TestApproximateErrors(t *testing.T) {
 	mods := models(t)
-	if _, err := Approximate(Workload{}, mods, cache.LRU, 0); err == nil {
+	if _, err := Approximate(context.Background(), Workload{}, mods, cache.LRU, 0); err == nil {
 		t.Error("empty workload accepted")
 	}
-	if _, err := Approximate(Workload{"nosuch"}, mods, cache.LRU, 0); err == nil {
+	if _, err := Approximate(context.Background(), Workload{"nosuch"}, mods, cache.LRU, 0); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -153,7 +154,7 @@ func TestSweepApproximate(t *testing.T) {
 		{"libquantum", "hmmer"},
 		{"soplex", "astar"},
 	}
-	rs, err := SweepApproximate(ws, mods, cache.DRRIP, 0)
+	rs, err := SweepApproximate(context.Background(), ws, mods, cache.DRRIP, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestSweepApproximate(t *testing.T) {
 		}
 	}
 	// Sweep must be deterministic despite parallelism.
-	rs2, err := SweepApproximate(ws, mods, cache.DRRIP, 0)
+	rs2, err := SweepApproximate(context.Background(), ws, mods, cache.DRRIP, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestSweepApproximate(t *testing.T) {
 func TestSweepDetailed(t *testing.T) {
 	trs := traces(t)
 	ws := []Workload{{"hmmer", "povray"}, {"mcf", "mcf"}}
-	rs, err := SweepDetailed(ws, trs, cache.FIFO, 0)
+	rs, err := SweepDetailed(context.Background(), ws, trs, cache.FIFO, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestPolicyAffectsThroughput(t *testing.T) {
 	w := Workload{"soplex", "bzip2"}
 	var ipcs []float64
 	for _, pol := range cache.PaperPolicies() {
-		r, err := Approximate(w, mods, pol, 0)
+		r, err := Approximate(context.Background(), w, mods, pol, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,14 +249,14 @@ func TestResultCPI(t *testing.T) {
 
 func TestQuotaHonored(t *testing.T) {
 	trs := traces(t)
-	r, err := Detailed(Workload{"hmmer"}, trs, cache.LRU, 5000)
+	r, err := Detailed(context.Background(), Workload{"hmmer"}, trs, cache.LRU, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Instructions != 5000 {
 		t.Errorf("quota %d, want 5000", r.Instructions)
 	}
-	full, _ := Detailed(Workload{"hmmer"}, trs, cache.LRU, 0)
+	full, _ := Detailed(context.Background(), Workload{"hmmer"}, trs, cache.LRU, 0)
 	if r.Cycles[0] >= full.Cycles[0] {
 		t.Errorf("5000-op quota took %d cycles, full trace %d", r.Cycles[0], full.Cycles[0])
 	}
@@ -265,7 +266,7 @@ func TestRunBoundedLimitsConcurrency(t *testing.T) {
 	const n = 200
 	bound := int64(maxParallel())
 	var live, peak, calls atomic.Int64
-	RunBounded(n, func(i int) {
+	RunBounded(context.Background(), n, func(i int) {
 		calls.Add(1)
 		cur := live.Add(1)
 		for {
@@ -287,7 +288,7 @@ func TestRunBoundedLimitsConcurrency(t *testing.T) {
 
 func TestRunBoundedEmpty(t *testing.T) {
 	ran := false
-	RunBounded(0, func(int) { ran = true })
+	RunBounded(context.Background(), 0, func(int) { ran = true })
 	if ran {
 		t.Error("fn invoked for n=0")
 	}

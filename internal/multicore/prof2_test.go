@@ -1,6 +1,7 @@
 package multicore
 
 import (
+	"context"
 	"testing"
 
 	"mcbench/internal/badco"
@@ -10,13 +11,13 @@ import (
 
 func BenchmarkProfileApprox(b *testing.B) {
 	trs := trace.GenerateSuite(testLen)
-	m, err := BuildModels(map[string]*trace.Trace{"mcf": trs["mcf"], "soplex": trs["soplex"], "gcc": trs["gcc"], "libquantum": trs["libquantum"]}, badco.DefaultBuildConfig())
+	m, err := BuildModels(context.Background(), map[string]*trace.Trace{"mcf": trs["mcf"], "soplex": trs["soplex"], "gcc": trs["gcc"], "libquantum": trs["libquantum"]}, badco.DefaultBuildConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
 	w := Workload{"mcf", "soplex", "gcc", "libquantum"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Approximate(w, m, cache.LRU, 0)
+		Approximate(context.Background(), w, m, cache.LRU, 0)
 	}
 }

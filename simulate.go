@@ -1,0 +1,271 @@
+package mcbench
+
+import (
+	"context"
+	"fmt"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/cache"
+	"mcbench/internal/multicore"
+	"mcbench/internal/trace"
+)
+
+// Engine selects the simulator behind Simulate and Sweep.
+type Engine int
+
+const (
+	// Detailed is the cycle-level out-of-order core model (the Zesto
+	// role in the paper): accurate, slow.
+	Detailed Engine = iota
+	// BADCO is the behavioural approximate core model: each benchmark
+	// is reduced to a model calibrated by two detailed runs, then
+	// simulated an order of magnitude faster.
+	BADCO
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case Detailed:
+		return "detailed"
+	case BADCO:
+		return "badco"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// Policy names an LLC replacement policy. The constants below cover the
+// paper's case study (LRU, RND, FIFO, DIP, DRRIP) and the extension
+// policies (SRRIP, PLRU, SHiP).
+type Policy = cache.PolicyName
+
+// The available replacement policies.
+const (
+	LRU   = cache.LRU
+	RND   = cache.Random
+	FIFO  = cache.FIFO
+	DIP   = cache.DIP
+	DRRIP = cache.DRRIP
+	SRRIP = cache.SRRIP
+	PLRU  = cache.PLRU
+	SHiP  = cache.SHIP
+)
+
+// Policies returns the paper's five case-study policies in paper order.
+func Policies() []Policy { return cache.PaperPolicies() }
+
+// Result is the outcome of simulating one multiprogrammed workload.
+type Result struct {
+	// Workload is the benchmark co-schedule, one name per core.
+	Workload []string
+	Policy   Policy
+	Engine   Engine
+	// IPC per core, measured on the first Instructions µops of each
+	// thread (the paper's methodology).
+	IPC []float64
+	// Cycles per core at which the quota was reached.
+	Cycles []uint64
+	// Instructions is the per-thread quota.
+	Instructions uint64
+}
+
+// options collects the functional options of Simulate and Sweep.
+type options struct {
+	policy   Policy
+	engine   Engine
+	quota    uint64
+	traceLen int
+	cores    int
+	fixedLen bool // WithTraceLen given (Lab.Simulate rejects it)
+}
+
+// Option configures Simulate and Sweep.
+type Option func(*options)
+
+// WithPolicy selects the LLC replacement policy (default LRU).
+func WithPolicy(p Policy) Option { return func(o *options) { o.policy = p } }
+
+// WithSimulator selects the simulation engine (default Detailed).
+func WithSimulator(e Engine) Option { return func(o *options) { o.engine = e } }
+
+// WithQuota sets the per-thread instruction quota (default: one trace
+// length per thread).
+func WithQuota(q uint64) Option { return func(o *options) { o.quota = q } }
+
+// WithTraceLen sets the per-benchmark trace length in µops (default
+// mcbench.DefaultTraceLen). Shorter traces simulate faster at lower
+// fidelity.
+func WithTraceLen(n int) Option {
+	return func(o *options) {
+		o.traceLen = n
+		o.fixedLen = true
+	}
+}
+
+// WithCores pins the machine's core count. A single-benchmark workload
+// is replicated onto all n cores (a homogeneous workload, e.g. mcf x 4);
+// a multi-benchmark workload must already have exactly n threads.
+func WithCores(n int) Option { return func(o *options) { o.cores = n } }
+
+// DefaultTraceLen is the default per-benchmark trace length.
+const DefaultTraceLen = trace.DefaultTraceLen
+
+func buildOptions(opts []Option) options {
+	o := options{policy: LRU, engine: Detailed, traceLen: DefaultTraceLen}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// resolveWorkload applies WithCores to the named workload.
+func resolveWorkload(workload []string, cores int) ([]string, error) {
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("mcbench: empty workload")
+	}
+	if cores <= 0 || cores == len(workload) {
+		return workload, nil
+	}
+	if len(workload) == 1 {
+		w := make([]string, cores)
+		for i := range w {
+			w[i] = workload[0]
+		}
+		return w, nil
+	}
+	return nil, fmt.Errorf("mcbench: workload has %d threads but WithCores(%d) was given", len(workload), cores)
+}
+
+// validate checks the options against the workload and returns the
+// resolved thread list.
+func (o options) validate(workload []string) ([]string, error) {
+	if o.traceLen <= 0 {
+		return nil, fmt.Errorf("mcbench: non-positive trace length %d", o.traceLen)
+	}
+	if _, err := cache.NewPolicy(o.policy, 0); err != nil {
+		return nil, err
+	}
+	if o.engine != Detailed && o.engine != BADCO {
+		return nil, fmt.Errorf("mcbench: unknown engine %v", o.engine)
+	}
+	return resolveWorkload(workload, o.cores)
+}
+
+// tracesFor generates traces for the distinct benchmarks of the given
+// workloads via the non-panicking generator.
+func tracesFor(workloads [][]string, n int) (map[string]*trace.Trace, error) {
+	out := map[string]*trace.Trace{}
+	for _, w := range workloads {
+		for _, name := range w {
+			if _, done := out[name]; done {
+				continue
+			}
+			p, ok := trace.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("mcbench: unknown benchmark %q (see Benchmarks())", name)
+			}
+			t, err := trace.Generate(p, n)
+			if err != nil {
+				return nil, err
+			}
+			out[name] = t
+		}
+	}
+	return out, nil
+}
+
+// convert maps a multicore result into the public Result.
+func convert(r multicore.Result, engine Engine) *Result {
+	return &Result{
+		Workload:     append([]string(nil), r.Workload...),
+		Policy:       r.Policy,
+		Engine:       engine,
+		IPC:          r.IPC,
+		Cycles:       r.Cycles,
+		Instructions: r.Instructions,
+	}
+}
+
+// Simulate runs one multiprogrammed workload — one benchmark name per
+// core — under the configured policy and engine, and returns the
+// per-thread IPCs. The context cancels the simulation promptly:
+//
+//	r, err := mcbench.Simulate(ctx, []string{"mcf", "povray"},
+//	    mcbench.WithPolicy(mcbench.DRRIP),
+//	    mcbench.WithSimulator(mcbench.BADCO),
+//	    mcbench.WithTraceLen(20000))
+func Simulate(ctx context.Context, workload []string, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	w, err := o.validate(workload)
+	if err != nil {
+		return nil, err
+	}
+	traces, err := tracesFor([][]string{w}, o.traceLen)
+	if err != nil {
+		return nil, err
+	}
+	switch o.engine {
+	case BADCO:
+		models, err := multicore.BuildModels(ctx, traces, badco.DefaultBuildConfig())
+		if err != nil {
+			return nil, err
+		}
+		r, err := multicore.Approximate(ctx, multicore.Workload(w), models, o.policy, o.quota)
+		if err != nil {
+			return nil, err
+		}
+		return convert(r, BADCO), nil
+	default:
+		r, err := multicore.Detailed(ctx, multicore.Workload(w), traces, o.policy, o.quota)
+		if err != nil {
+			return nil, err
+		}
+		return convert(r, Detailed), nil
+	}
+}
+
+// Sweep simulates many workloads under one configuration, in parallel
+// across the process-wide simulation budget. Traces (and BADCO models)
+// are built once and shared. The returned slice is indexed like
+// workloads.
+func Sweep(ctx context.Context, workloads [][]string, opts ...Option) ([]*Result, error) {
+	o := buildOptions(opts)
+	ws := make([]multicore.Workload, len(workloads))
+	for i, w := range workloads {
+		resolved, err := o.validate(w)
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = multicore.Workload(resolved)
+	}
+	all := make([][]string, len(ws))
+	for i, w := range ws {
+		all[i] = []string(w)
+	}
+	traces, err := tracesFor(all, o.traceLen)
+	if err != nil {
+		return nil, err
+	}
+	var results []multicore.Result
+	switch o.engine {
+	case BADCO:
+		models, err := multicore.BuildModels(ctx, traces, badco.DefaultBuildConfig())
+		if err != nil {
+			return nil, err
+		}
+		results, err = multicore.SweepApproximate(ctx, ws, models, o.policy, o.quota)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		results, err = multicore.SweepDetailed(ctx, ws, traces, o.policy, o.quota)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Result, len(results))
+	for i, r := range results {
+		out[i] = convert(r, o.engine)
+	}
+	return out, nil
+}

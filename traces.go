@@ -1,0 +1,37 @@
+package mcbench
+
+import (
+	"fmt"
+
+	"mcbench/internal/trace"
+)
+
+// Trace is an immutable µop sequence for one benchmark of the synthetic
+// suite (the SPEC CPU2006 stand-ins).
+type Trace = trace.Trace
+
+// Benchmarks returns the 22 benchmark names of the suite, in suite
+// order.
+func Benchmarks() []string { return trace.SuiteNames() }
+
+// isSuiteBenchmark reports whether name is in the suite.
+func isSuiteBenchmark(name string) bool {
+	_, ok := trace.ByName(name)
+	return ok
+}
+
+// GenerateTrace builds a deterministic n-µop trace for the named suite
+// benchmark.
+func GenerateTrace(name string, n int) (*Trace, error) {
+	p, ok := trace.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("mcbench: unknown benchmark %q (see Benchmarks())", name)
+	}
+	return trace.Generate(p, n)
+}
+
+// GenerateSuite builds n-µop traces for every suite benchmark, keyed by
+// name.
+func GenerateSuite(n int) (map[string]*Trace, error) {
+	return trace.NewSuite(n)
+}

@@ -273,3 +273,80 @@ func TestAPISurfaceGolden(t *testing.T) {
 		t.Errorf("public API surface changed; review the diff and regenerate with -update-api\n(go doc -all . is %d bytes, golden %d bytes)", len(out), len(want))
 	}
 }
+
+func TestSuiteRegistryShares(t *testing.T) {
+	a, err := mcbench.Suite("scaled:16:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equivalent specs resolve to the same shared instance.
+	b, err := mcbench.Suite("scaled:16:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("equal specs returned distinct sources")
+	}
+	if got := len(a.Names()); got != 16 {
+		t.Fatalf("scaled:16 has %d names", got)
+	}
+	found := false
+	for _, n := range mcbench.Suites() {
+		found = found || n == "scaled:16:3"
+	}
+	if !found {
+		t.Errorf("Suites() = %v missing scaled:16:3", mcbench.Suites())
+	}
+	if _, err := mcbench.Suite("scaled:9999"); err == nil {
+		t.Error("out-of-range scaled spec accepted")
+	}
+}
+
+func TestSimulateWithSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	src, err := mcbench.Suite("scaled:12:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := src.Names()
+	r, err := mcbench.Simulate(apiCtx, []string{names[0], names[2]},
+		mcbench.WithSuite(src), mcbench.WithTraceLen(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.IPC) != 2 || r.Instructions != 4000 {
+		t.Fatalf("shape %v quota %d", r.IPC, r.Instructions)
+	}
+	// Suite benchmarks are not visible through a scaled source.
+	if _, err := mcbench.Simulate(apiCtx, []string{"mcf"},
+		mcbench.WithSuite(src), mcbench.WithTraceLen(4000)); err == nil {
+		t.Error("suite benchmark accepted by a scaled source")
+	}
+}
+
+func TestLabOverScaledSource(t *testing.T) {
+	cfg := tinyConfig()
+	src, err := mcbench.Suite("scaled:12:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Source = src
+	cfg.PopLimit = 30
+	l := mcbench.NewLab(cfg)
+	if got := len(l.Benchmarks()); got != 12 {
+		t.Fatalf("%d benchmarks", got)
+	}
+	if l.Suite() != src {
+		t.Error("Lab.Suite() is not the configured source")
+	}
+	if got := l.Population(2).Size(); got != 30 {
+		t.Fatalf("population %d, want PopLimit 30", got)
+	}
+	// A lab's source is fixed by its config; WithSuite is rejected.
+	if _, err := l.Simulate(apiCtx, []string{l.Benchmarks()[0]},
+		mcbench.WithSuite(src)); err == nil {
+		t.Error("Lab.Simulate accepted WithSuite")
+	}
+}

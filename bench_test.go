@@ -118,10 +118,14 @@ func BenchmarkGuideline(b *testing.B)              { benchExperiment(b, "guideli
 // Micro-benchmarks of the simulators themselves (the substance behind
 // Table III): per-simulated-µop cost of each simulator.
 
-func benchTracesAndModels(b *testing.B) (map[string]*trace.Trace, map[string]*badco.Model) {
+func benchTracesAndModels(b *testing.B) (multicore.TraceMap, map[string]*badco.Model) {
 	b.Helper()
-	traces := trace.GenerateSuite(20000)
-	models, err := multicore.BuildModels(bctx, traces, badco.DefaultBuildConfig())
+	traces := multicore.TraceMap(trace.GenerateSuite(20000))
+	names := make([]string, 0, len(traces))
+	for n := range traces {
+		names = append(names, n)
+	}
+	models, err := multicore.BuildModels(bctx, traces, names, badco.DefaultBuildConfig())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	mcbench [-quick] [-cores N] <experiment>...
+//	mcbench [-quick] [-cores N] [-suite SPEC] <experiment>...
 //	mcbench list
+//	mcbench benches
 //	mcbench sim <policy> <bench,bench,...>
 //
 // Experiments are dispatched through the registry in
@@ -14,6 +15,11 @@
 // reduced campaign (smaller traces, subsampled populations, fewer
 // Monte-Carlo trials) that finishes in a few minutes; the default
 // campaign matches the paper's scale and may take much longer.
+//
+// -suite selects the benchmark source the campaign studies: "suite"
+// (the paper's fixed 22 benchmarks), "scaled:B[:seed]" (B ∈ [12, 512]
+// procedurally derived benchmarks), or "dir:PATH" (stored .mcbt
+// traces). `mcbench benches` lists the active source's benchmarks.
 //
 // A SIGINT/SIGTERM cancels the campaign gracefully: in-flight population
 // sweeps stop promptly, and every table completed before the interrupt
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"mcbench/internal/badco"
+	"mcbench/internal/bench"
 	"mcbench/internal/cache"
 	"mcbench/internal/experiments"
 	"mcbench/internal/multicore"
@@ -50,6 +57,7 @@ func main() {
 // startProfiles always run (os.Exit would skip deferred stops).
 func realMain() int {
 	quick := flag.Bool("quick", false, "reduced campaign (fast, lower resolution)")
+	suiteSpec := flag.String("suite", "suite", "benchmark source: suite | scaled:B[:seed] | dir:PATH")
 	cores := flag.Int("cores", 4, "core count for the single-core-count experiments (fig4/fig5/fig6/overhead/extensions)")
 	cacheDir := flag.String("cache", "", "directory for persisting population sweeps across runs")
 	plotFlag := flag.Bool("plot", false, "render figures as text charts in addition to tables")
@@ -86,12 +94,21 @@ func realMain() int {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.CacheDir = *cacheDir
+	src, err := bench.Parse(*suiteSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		return 2
+	}
+	cfg.Source = src
 	lab := experiments.NewLab(cfg)
 	params := experiments.Params{Cores: *cores}
 
 	switch args[0] {
 	case "list":
 		listExperiments(os.Stdout)
+		return 0
+	case "benches":
+		listBenches(os.Stdout, src)
 		return 0
 	case "sim":
 		if err := simulate(ctx, cfg, args[1:]); err != nil {
@@ -109,7 +126,7 @@ func realMain() int {
 		}
 		if _, ok := experiments.Lookup(name); !ok {
 			msg := fmt.Sprintf("mcbench: unknown experiment %q", name)
-			if s := experiments.Suggest(name, "all", "list", "sim"); s != "" {
+			if s := experiments.Suggest(name, "all", "list", "sim", "benches"); s != "" {
 				msg += fmt.Sprintf(" (did you mean %q?)", s)
 			}
 			fmt.Fprintln(os.Stderr, msg)
@@ -196,6 +213,7 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 
 // simulate runs one named workload under one policy with both simulators
 // and prints the per-thread IPCs: mcbench sim DRRIP mcf,povray
+// Benchmark names resolve through the -suite source.
 func simulate(ctx context.Context, cfg experiments.Config, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: mcbench sim <policy> <bench,bench,...>")
@@ -204,26 +222,20 @@ func simulate(ctx context.Context, cfg experiments.Config, args []string) error 
 	if _, err := cache.NewPolicy(policy, 0); err != nil {
 		return err
 	}
+	src := cfg.Source
 	names := strings.Split(args[1], ",")
-	traces := map[string]*trace.Trace{}
-	for _, n := range names {
-		p, ok := trace.ByName(n)
-		if !ok {
-			return fmt.Errorf("unknown benchmark %q (see internal/trace Suite)", n)
-		}
-		tr, err := trace.Generate(p, cfg.TraceLen)
-		if err != nil {
-			return err
-		}
-		traces[n] = tr
+	distinct, err := bench.CheckNames(src, [][]string{names})
+	if err != nil {
+		return fmt.Errorf("%w (run `mcbench benches`)", err)
 	}
 	w := multicore.Workload(names)
+	prov := bench.At(src, cfg.TraceLen)
 
-	det, err := multicore.Detailed(ctx, w, traces, policy, 0)
+	det, err := multicore.Detailed(ctx, w, prov, policy, 0)
 	if err != nil {
 		return err
 	}
-	models, err := multicore.BuildModels(ctx, traces, badco.DefaultBuildConfig())
+	models, err := multicore.BuildModels(ctx, prov, distinct, badco.DefaultBuildConfig())
 	if err != nil {
 		return err
 	}
@@ -239,6 +251,33 @@ func simulate(ctx context.Context, cfg experiments.Config, args []string) error 
 	return nil
 }
 
+// listBenches prints the active source's benchmark catalogue.
+func listBenches(w io.Writer, src bench.Source) {
+	names := src.Names()
+	fmt.Fprintf(w, "benchmarks of source %s (%d):\n", src.Name(), len(names))
+	type paramsSource interface {
+		Params(string) (trace.Params, bool)
+	}
+	ps, hasParams := src.(paramsSource)
+	for i, n := range names {
+		line := fmt.Sprintf("  %3d  %-12s", i, n)
+		if hasParams {
+			if p, ok := ps.Params(n); ok {
+				pats := ""
+				for j, spec := range p.Patterns {
+					if j > 0 {
+						pats += "+"
+					}
+					pats += spec.Kind.String()
+				}
+				line += fmt.Sprintf("  load %.2f  store %.2f  branch %.2f  fp %.2f  %s",
+					p.LoadFrac, p.StoreFrac, p.BranchFrac, p.FPFrac, pats)
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
 // listExperiments prints the registry catalogue, grouped.
 func listExperiments(w io.Writer) {
 	fmt.Fprintln(w, "experiments (paper):")
@@ -248,6 +287,7 @@ func listExperiments(w io.Writer) {
 	fmt.Fprintln(w, "\ncommands:")
 	printEntry(w, "all", "every paper experiment above, in order")
 	printEntry(w, "sim", "simulate one workload: mcbench sim <policy> <bench,bench,...>")
+	printEntry(w, "benches", "list the active -suite source's benchmarks")
 	printEntry(w, "list", "this catalogue")
 }
 
@@ -266,7 +306,7 @@ func printEntry(w io.Writer, name, synopsis string) {
 // usage is generated from the registry, so a newly registered experiment
 // shows up without touching the CLI.
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: mcbench [-quick] [-cores N] <experiment>...
+	fmt.Fprint(os.Stderr, `usage: mcbench [-quick] [-cores N] [-suite SPEC] <experiment>...
 
 experiments:
 `)
@@ -275,9 +315,11 @@ experiments:
 	fmt.Fprint(os.Stderr, "\nextensions (beyond the paper):\n")
 	printGroup(os.Stderr, experiments.GroupExtension)
 	printEntry(os.Stderr, "sim", "simulate one workload: mcbench sim <policy> <bench,bench,...>")
+	printEntry(os.Stderr, "benches", "list the active -suite source's benchmarks")
 	fmt.Fprint(os.Stderr, `
 commands: list enumerates the catalogue with one line per experiment
-flags: -plot renders figures as text charts in addition to tables
+flags: -suite selects the benchmark source (suite | scaled:B[:seed] | dir:PATH)
+       -plot renders figures as text charts in addition to tables
        -cpuprofile/-memprofile write pprof profiles for performance work
 `)
 }

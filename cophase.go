@@ -19,7 +19,9 @@ type CophaseConfig = cophase.Config
 type CophaseResult = cophase.Result
 
 // NewCophase builds a co-phase simulator for the named workload over the
-// given traces (from GenerateTrace/GenerateSuite).
+// given traces — materialised from any benchmark source via
+// Source.Trace, or from the fixed-suite helpers GenerateTrace and
+// GenerateSuite.
 func NewCophase(workload []string, traces map[string]*Trace, cfg CophaseConfig) (*Cophase, error) {
 	return cophase.New(workload, traces, cfg)
 }

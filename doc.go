@@ -17,9 +17,31 @@
 // Sweep does the same for many workloads at once, sharing traces and
 // models and parallelising across the process-wide simulation budget.
 //
+// # Benchmark sources
+//
+// Workload names resolve through a Source — a named, lazily-memoized
+// provider of benchmark traces — rather than a hard-wired list. The
+// fixed 22-benchmark suite is just the default source; scaled synthetic
+// populations ("scaled:B[:seed]", B up to 512) and directories of
+// recorded traces ("dir:PATH") plug in through the same interface:
+//
+//	src, _ := mcbench.Suite("scaled:64:7")
+//	r, err := mcbench.Simulate(ctx, []string{"high-005", "low-000"},
+//	    mcbench.WithSuite(src))
+//
+// Sources build each trace on first use and release it on demand, so
+// the one-shot consumers (BADCO model building, the alone-run
+// measurements) keep only the in-flight working set resident instead of
+// all B traces; detailed population sweeps retain the benchmarks they
+// actually touch for the lab's lifetime.
+// Suite(spec) returns process-shared instances (the Suites() registry),
+// so repeated calls never regenerate traces a source already holds, and
+// Config.Source points a whole Lab campaign at any source.
+//
 // A Lab owns a whole experiment campaign: memoized population sweeps,
 // reference IPCs and MPKI measurements behind a single-flight guard,
-// optionally persisted across processes via Config.CacheDir. Every
+// optionally persisted across processes via Config.CacheDir (keyed by
+// source identity, among the other campaign parameters). Every
 // registered experiment — the paper's figures and tables plus the
 // extensions; see Experiments() — runs through it:
 //
@@ -41,6 +63,9 @@
 //
 //   - internal/trace — a 22-benchmark synthetic suite standing in for SPEC
 //     CPU2006, with EIO-style binary serialisation;
+//   - internal/bench — the benchmark-source layer: the fixed suite,
+//     scaled procedural populations (B ∈ [12, 512]) and directory-backed
+//     recorded traces behind one lazily-memoizing interface;
 //   - internal/cache, internal/mem, internal/uncore — the shared memory
 //     hierarchy with the five LLC replacement policies of the case study
 //     (LRU, RND, FIFO, DIP, DRRIP) plus SRRIP, PLRU and SHiP for ablations;

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mcbench/internal/trace"
+)
+
+// writeSuiteDir stores the first few suite benchmarks as .mcbt files and
+// returns the directory and the names written.
+func writeSuiteDir(t *testing.T, n, count int) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	names := trace.SuiteNames()[:count]
+	for _, name := range names {
+		p, _ := trace.ByName(name)
+		tr, err := trace.Generate(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.SaveFile(filepath.Join(dir, name+TraceExt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, names
+}
+
+// TestDirSourceRoundTrip writes suite traces through the trace/io codec
+// and reads them back through a DirSource: the loaded µop streams must
+// be identical to the generated ones (the write → load → identical
+// Results guarantee rests on this, plus the determinism of the
+// simulators pinned elsewhere).
+func TestDirSourceRoundTrip(t *testing.T) {
+	const n = 3000
+	dir, names := writeSuiteDir(t, n, 4)
+	src, err := NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Dir() != dir {
+		t.Errorf("Dir() = %q", src.Dir())
+	}
+	wantNames := append([]string(nil), names...)
+	gotNames := src.Names()
+	if len(gotNames) != len(wantNames) {
+		t.Fatalf("names %v, want %v", gotNames, wantNames)
+	}
+	for _, name := range wantNames {
+		found := false
+		for _, g := range gotNames {
+			found = found || g == name
+		}
+		if !found {
+			t.Fatalf("names %v missing %s", gotNames, name)
+		}
+	}
+	for _, name := range names {
+		p, _ := trace.ByName(name)
+		want, err := trace.Generate(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := src.Trace(bctx, name, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != name || !reflect.DeepEqual(got.Ops, want.Ops) {
+			t.Fatalf("%s: loaded trace differs from generated", name)
+		}
+	}
+	if got := Resident(src); got != len(names) {
+		t.Errorf("resident %d, want %d", got, len(names))
+	}
+	for _, name := range names {
+		src.Release(name)
+	}
+	if got := Resident(src); got != 0 {
+		t.Errorf("resident %d after release", got)
+	}
+}
+
+func TestDirSourceLengths(t *testing.T) {
+	const n = 2000
+	dir, names := writeSuiteDir(t, n, 1)
+	src, err := NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := names[0]
+	full, err := src.Trace(bctx, name, 0)
+	if err != nil || full.Len() != n {
+		t.Fatalf("full load: %v, len %d", err, full.Len())
+	}
+	exact, err := src.Trace(bctx, name, n)
+	if err != nil || exact != full {
+		t.Fatalf("exact-length load: %v, shared=%v", err, exact == full)
+	}
+	prefix, err := src.Trace(bctx, name, 500)
+	if err != nil || prefix.Len() != 500 {
+		t.Fatalf("prefix: %v, len %d", err, prefix.Len())
+	}
+	if !reflect.DeepEqual(prefix.Ops, full.Ops[:500]) {
+		t.Error("prefix view diverges from the stored µops")
+	}
+	if _, err := src.Trace(bctx, name, n+1); err == nil {
+		t.Error("over-long request accepted")
+	}
+	// One stored trace backs all the views.
+	if got := Resident(src); got != 1 {
+		t.Errorf("resident %d, want 1", got)
+	}
+}
+
+func TestDirSourceRejectsMismatchedName(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := trace.ByName("mcf")
+	tr, err := trace.Generate(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stored under a different benchmark name than the trace carries.
+	if err := tr.SaveFile(filepath.Join(dir, "impostor"+TraceExt)); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Trace(bctx, "impostor", 0); err == nil {
+		t.Fatal("mismatched embedded name accepted")
+	}
+}
+
+func TestDirSourceEmptyDir(t *testing.T) {
+	if _, err := NewDir(t.TempDir()); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DefaultScaledSeed seeds scaled sources whose spec omits the seed.
+const DefaultScaledSeed = 1
+
+// Parse builds a source from a spec string, the syntax of the CLI's
+// -suite flag and the public suite registry:
+//
+//	suite            the fixed 22-benchmark suite
+//	scaled:B         B synthetic benchmarks (12..512), seed 1
+//	scaled:B:SEED    the same with an explicit seed
+//	dir:PATH         stored .mcbt traces under PATH
+//
+// The empty spec means "suite".
+func Parse(spec string) (Source, error) {
+	switch {
+	case spec == "" || spec == "suite":
+		return NewSuite(), nil
+	case strings.HasPrefix(spec, "scaled:"):
+		rest := strings.TrimPrefix(spec, "scaled:")
+		bs, seedStr, hasSeed := strings.Cut(rest, ":")
+		b, err := strconv.Atoi(bs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: bad scaled population %q in %q", bs, spec)
+		}
+		seed := int64(DefaultScaledSeed)
+		if hasSeed {
+			seed, err = strconv.ParseInt(seedStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: bad scaled seed %q in %q", seedStr, spec)
+			}
+		}
+		return NewScaled(b, seed)
+	case strings.HasPrefix(spec, "dir:"):
+		return NewDir(strings.TrimPrefix(spec, "dir:"))
+	default:
+		return nil, fmt.Errorf("bench: unknown source %q (want \"suite\", \"scaled:B[:seed]\" or \"dir:PATH\")", spec)
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mcbench/internal/trace"
+)
+
+func TestScaledBounds(t *testing.T) {
+	for _, b := range []int{MinScaled, 22, 64, MaxScaled} {
+		src, err := NewScaled(b, 7)
+		if err != nil {
+			t.Fatalf("NewScaled(%d): %v", b, err)
+		}
+		if got := len(src.Names()); got != b {
+			t.Fatalf("NewScaled(%d) has %d names", b, got)
+		}
+		if src.B() != b || src.Seed() != 7 {
+			t.Errorf("accessors B=%d seed=%d", src.B(), src.Seed())
+		}
+		if want := fmt.Sprintf("scaled:%d:7", b); src.Name() != want {
+			t.Errorf("name %q, want %q", src.Name(), want)
+		}
+	}
+	for _, b := range []int{0, MinScaled - 1, MaxScaled + 1} {
+		if _, err := NewScaled(b, 1); err == nil {
+			t.Errorf("NewScaled(%d) accepted", b)
+		}
+	}
+}
+
+func TestScaledNamesSelfDescribing(t *testing.T) {
+	src, err := NewScaled(MaxScaled, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := src.Names()
+	counts := map[string]int{}
+	for i, n := range names {
+		class, idx, ok := strings.Cut(n, "-")
+		if !ok || len(idx) < 3 {
+			t.Fatalf("name %q not <class>-<index>", n)
+		}
+		if want := fmt.Sprintf("%03d", i); idx != want {
+			t.Fatalf("name %q at position %d, want index %s", n, i, want)
+		}
+		counts[class]++
+	}
+	// The issue's canonical examples land in the right classes.
+	if names[17] != "low-017" {
+		t.Errorf("names[17] = %q, want low-017", names[17])
+	}
+	if names[203] != "high-203" {
+		t.Errorf("names[203] = %q, want high-203", names[203])
+	}
+	// Class proportions track the suite's 11/5/6 split over any B.
+	total := float64(len(names))
+	for class, want := range map[string]float64{"low": 11.0 / 22, "med": 5.0 / 22, "high": 6.0 / 22} {
+		got := float64(counts[class]) / total
+		if got < want-0.05 || got > want+0.05 {
+			t.Errorf("class %s fraction %.3f, want ~%.3f", class, got, want)
+		}
+	}
+}
+
+func TestScaledDeterministicAndPrefixStable(t *testing.T) {
+	a, _ := NewScaled(64, 9)
+	b, _ := NewScaled(64, 9)
+	c, _ := NewScaled(128, 9)
+	d, _ := NewScaled(64, 10)
+	if !reflect.DeepEqual(a.Names(), b.Names()) {
+		t.Fatal("same (B, seed) disagrees on names")
+	}
+	if !reflect.DeepEqual(a.Names(), c.Names()[:64]) {
+		t.Fatal("scaled:64 is not a prefix of scaled:128 at one seed")
+	}
+	name := a.Names()[17]
+	ta, err := a.Trace(bctx, name, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.Trace(bctx, name, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := c.Trace(bctx, name, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ta.Ops, tb.Ops) || !reflect.DeepEqual(ta.Ops, tc.Ops) {
+		t.Fatal("same benchmark differs across equal-seed sources")
+	}
+	td, err := d.Trace(bctx, name, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ta.Ops, td.Ops) {
+		t.Fatal("different seeds produced an identical trace")
+	}
+}
+
+// TestScaledFootprintsMatchClasses pins the structural property behind
+// the Table-IV classes without simulating: a low benchmark's whole
+// touched footprint fits the 256 kB 1-core LLC, a medium one's dominant
+// hot set exceeds it moderately, and a high one touches several times
+// the LLC per iteration.
+func TestScaledFootprintsMatchClasses(t *testing.T) {
+	const llc = 256 * 1024
+	src, err := NewScaled(MaxScaled, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range src.Names() {
+		p, ok := src.Params(name)
+		if !ok {
+			t.Fatalf("no params for %s", name)
+		}
+		touched := p.CodeBytes
+		dominant := trace.PatternSpec{Weight: -1}
+		hasStream := false
+		for _, ps := range p.Patterns {
+			touched += ps.Bytes
+			if ps.Weight > dominant.Weight {
+				dominant = ps
+			}
+			if ps.Kind == trace.Stream {
+				hasStream = true
+			}
+		}
+		class, _, _ := strings.Cut(name, "-")
+		switch class {
+		case "low":
+			if touched > llc {
+				t.Errorf("%s (#%d): touched %d B exceeds the LLC", name, i, touched)
+			}
+		case "med":
+			if dominant.Kind != trace.HotSet || dominant.Bytes < llc/2 || dominant.Bytes > 2*llc {
+				t.Errorf("%s (#%d): dominant %v/%d B not a medium hot set", name, i, dominant.Kind, dominant.Bytes)
+			}
+		case "high":
+			if !hasStream && touched < llc {
+				t.Errorf("%s (#%d): touched %d B too small for high intensity", name, i, touched)
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package bench provides benchmark sources: named, seeded, lazily
+// memoized providers of benchmark traces. A Source decouples every
+// consumer — the multicore sweeps, the experiment Lab, the public API,
+// the CLI — from the hard-wired 22-benchmark suite: the paper studies
+// populations of C(B+K-1, K) workload combinations, and a source is the
+// knob that grows B (ScaledSource), swaps in recorded traces
+// (DirSource) or keeps the paper's fixed suite (SuiteSource).
+//
+// Traces are built on first use and memoized until released, so a
+// source's peak memory tracks the in-flight working set rather than the
+// whole benchmark population: a consumer that releases each trace after
+// its last use (e.g. BADCO model building) keeps O(parallelism) traces
+// resident instead of O(B).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mcbench/internal/trace"
+)
+
+// Source is a named, lazily-memoized provider of benchmark traces.
+// Implementations are safe for concurrent use.
+type Source interface {
+	// Name identifies the source ("suite", "scaled:64:7", "dir:PATH").
+	// Consumers key memoized products and persistent caches by it, so
+	// two sources producing different traces must never share a name.
+	Name() string
+
+	// Names returns the benchmark names in the source's canonical order.
+	// It never builds a trace.
+	Names() []string
+
+	// Trace returns the n-µop trace of the named benchmark, building
+	// (or loading) it on first use and memoizing it until released.
+	// Concurrent callers for the same benchmark share one build. The
+	// returned trace is immutable and remains valid after Release.
+	Trace(ctx context.Context, name string, n int) (*trace.Trace, error)
+
+	// Release drops the memoized trace for the named benchmark, freeing
+	// its memory once no caller references it. A later Trace call
+	// rebuilds it deterministically. Releasing an unknown or unbuilt
+	// benchmark is a no-op.
+	Release(name string)
+}
+
+// Resident reports how many benchmark traces the source currently holds
+// memoized (including in-flight builds), or -1 when the source does not
+// expose residency. Tests use it to pin the working-set guarantee.
+func Resident(s Source) int {
+	if r, ok := s.(interface{ Resident() int }); ok {
+		return r.Resident()
+	}
+	return -1
+}
+
+// builder materialises one benchmark's trace at a given length.
+type builder func(ctx context.Context, name string, n int) (*trace.Trace, error)
+
+// entry is one memoized (or in-flight) trace build.
+type entry struct {
+	n    int
+	done chan struct{}
+	tr   *trace.Trace
+	err  error
+}
+
+// memo gives a source single-flight, release-droppable memoization: one
+// entry per benchmark name, concurrent callers share the build, errors
+// are never memoized, and Release drops the entry so the next caller
+// rebuilds. A benchmark requested at a different length than its
+// memoized entry replaces the entry (sources serve one length per
+// benchmark at a time; mixed-length use thrashes but stays correct).
+type memo struct {
+	build builder
+
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// newMemo returns a memo over the given builder.
+func newMemo(build builder) *memo {
+	return &memo{build: build, entries: map[string]*entry{}}
+}
+
+func (m *memo) lock()   { m.mu.Lock() }
+func (m *memo) unlock() { m.mu.Unlock() }
+
+// trace returns the memoized trace for (name, n), building at most once.
+func (m *memo) trace(ctx context.Context, name string, n int) (*trace.Trace, error) {
+	for {
+		m.lock()
+		e := m.entries[name]
+		switch {
+		case e == nil:
+			e = &entry{n: n, done: make(chan struct{})}
+			m.entries[name] = e
+			m.unlock()
+			e.tr, e.err = m.build(ctx, name, n)
+			if e.err != nil {
+				// Never memoize a failure (most commonly a cancelled
+				// context): drop the entry so the next caller retries.
+				m.lock()
+				if m.entries[name] == e {
+					delete(m.entries, name)
+				}
+				m.unlock()
+			}
+			close(e.done)
+			return e.tr, e.err
+
+		case e.n == n:
+			m.unlock()
+			select {
+			case <-e.done:
+				if e.err != nil {
+					// The building caller failed (and dropped the
+					// entry); retry with our own context.
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
+					continue
+				}
+				return e.tr, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+
+		default:
+			// Length mismatch: wait out the incumbent, replace it.
+			m.unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			m.lock()
+			if m.entries[name] == e {
+				delete(m.entries, name)
+			}
+			m.unlock()
+		}
+	}
+}
+
+// release drops the memoized entry for name. An in-flight build is left
+// alone (it is in use by definition); its caller still receives the
+// trace, and the entry becomes releasable once built.
+func (m *memo) release(name string) {
+	m.lock()
+	if e := m.entries[name]; e != nil {
+		select {
+		case <-e.done:
+			delete(m.entries, name)
+		default:
+		}
+	}
+	m.unlock()
+}
+
+// Resident returns the number of memoized (or in-flight) traces.
+func (m *memo) Resident() int {
+	m.lock()
+	n := len(m.entries)
+	m.unlock()
+	return n
+}
+
+// paramsSource is a source backed by a fixed set of trace generator
+// parameters (the suite, or a scaled synthetic population).
+type paramsSource struct {
+	name   string
+	names  []string
+	params map[string]trace.Params
+	m      *memo
+}
+
+func newParamsSource(name string, ps []trace.Params) *paramsSource {
+	s := &paramsSource{
+		name:   name,
+		names:  make([]string, len(ps)),
+		params: make(map[string]trace.Params, len(ps)),
+	}
+	for i, p := range ps {
+		s.names[i] = p.Name
+		s.params[p.Name] = p
+	}
+	s.m = newMemo(func(ctx context.Context, bench string, n int) (*trace.Trace, error) {
+		p, ok := s.params[bench]
+		if !ok {
+			return nil, fmt.Errorf("bench: %s: unknown benchmark %q", s.name, bench)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return trace.Generate(p, n)
+	})
+	return s
+}
+
+func (s *paramsSource) Name() string { return s.name }
+
+func (s *paramsSource) Names() []string { return append([]string(nil), s.names...) }
+
+func (s *paramsSource) Trace(ctx context.Context, name string, n int) (*trace.Trace, error) {
+	return s.m.trace(ctx, name, n)
+}
+
+func (s *paramsSource) Release(name string) { s.m.release(name) }
+
+// Resident returns the number of memoized (or in-flight) traces.
+func (s *paramsSource) Resident() int { return s.m.Resident() }
+
+// Params returns the generator parameters of the named benchmark, for
+// introspection (the CLI's benches listing); ok is false for unknown
+// names.
+func (s *paramsSource) Params(name string) (trace.Params, bool) {
+	p, ok := s.params[name]
+	return p, ok
+}
+
+// Provider binds a Source to one trace length. It satisfies the
+// trace-resolution interface of internal/multicore, which resolves
+// benchmarks by name alone.
+type Provider struct {
+	src Source
+	n   int
+}
+
+// At binds the source to a trace length of n µops.
+func At(src Source, n int) Provider { return Provider{src: src, n: n} }
+
+// Trace resolves the named benchmark at the provider's bound length.
+func (p Provider) Trace(ctx context.Context, name string) (*trace.Trace, error) {
+	return p.src.Trace(ctx, name, p.n)
+}
+
+// Release forwards to the underlying source.
+func (p Provider) Release(name string) { p.src.Release(name) }
+
+// Names lists the underlying source's benchmarks.
+func (p Provider) Names() []string { return p.src.Names() }
+
+// Source returns the underlying source.
+func (p Provider) Source() Source { return p.src }
+
+// Len returns the bound trace length in µops.
+func (p Provider) Len() int { return p.n }
+
+// CheckNames validates every workload name against the source before
+// any simulation starts, and returns the distinct names in first-use
+// order — the model-build list of a BADCO sweep. It is the one shared
+// validation path of the public API and the CLI.
+func CheckNames(src Source, workloads [][]string) ([]string, error) {
+	valid := map[string]bool{}
+	for _, n := range src.Names() {
+		valid[n] = true
+	}
+	seen := map[string]bool{}
+	var distinct []string
+	for _, w := range workloads {
+		for _, name := range w {
+			if !valid[name] {
+				return nil, fmt.Errorf("bench: %s: unknown benchmark %q", src.Name(), name)
+			}
+			if !seen[name] {
+				seen[name] = true
+				distinct = append(distinct, name)
+			}
+		}
+	}
+	return distinct, nil
+}

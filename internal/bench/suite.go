@@ -1,0 +1,19 @@
+package bench
+
+import "mcbench/internal/trace"
+
+// SuiteSource is the paper's fixed 22-benchmark synthetic suite exposed
+// as a Source. Its traces are bit-identical to trace.NewSuite /
+// trace.Generate output for the same length — the equivalence is pinned
+// by a golden test in internal/multicore — so migrating a consumer from
+// the eager suite map onto a SuiteSource cannot change results.
+type SuiteSource struct {
+	*paramsSource
+}
+
+// NewSuite returns a source over the fixed suite. Each call returns an
+// independent source with its own memo; share one instance to share
+// generated traces.
+func NewSuite() *SuiteSource {
+	return &SuiteSource{newParamsSource("suite", trace.Suite())}
+}

@@ -111,7 +111,7 @@ func TestCophaseTracksDetailedSimulation(t *testing.T) {
 	w := multicore.Workload{"cachey", "streamy"}
 	quota := uint64(12000)
 
-	ref, err := multicore.Detailed(context.Background(), w, traces, cache.LRU, quota)
+	ref, err := multicore.Detailed(context.Background(), w, multicore.TraceMap(traces), cache.LRU, quota)
 	if err != nil {
 		t.Fatal(err)
 	}

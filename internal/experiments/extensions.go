@@ -75,14 +75,18 @@ func init() {
 // benchmark, indexed like Names().
 func (l *Lab) Profiles(ctx context.Context) ([]*profile.Profile, error) {
 	return l.profiles.get(ctx, func() ([]*profile.Profile, error) {
-		traces, err := l.Traces(ctx)
-		if err != nil {
-			return nil, err
-		}
 		names := l.Names()
+		prov := l.Provider()
 		out := make([]*profile.Profile, len(names))
 		for i, n := range names {
-			p, err := profile.Compute(traces[n])
+			// One benchmark at a time: resolve, profile, release. The
+			// profiles are tiny; the traces need not stay resident.
+			tr, err := prov.Trace(ctx, n)
+			if err != nil {
+				return nil, err
+			}
+			p, err := profile.Compute(tr)
+			prov.Release(n)
 			if err != nil {
 				return nil, err
 			}
@@ -141,7 +145,7 @@ func (l *Lab) ExtMethods(ctx context.Context, cores int) ([]ExtMethodsPoint, err
 		return nil, err
 	}
 
-	full := uint64(pop.Size()) == popSizeFor(cores)
+	full := l.isFullPopulation(pop.Size(), cores)
 	samplers := []struct {
 		s      sampling.Sampler
 		trials int
@@ -243,19 +247,28 @@ type CophaseRow struct {
 // CophaseValidation runs the co-phase matrix method on a handful of
 // 2-core workloads and compares it against direct detailed simulation.
 func (l *Lab) CophaseValidation(ctx context.Context) ([]CophaseRow, error) {
-	traces, err := l.Traces(ctx)
-	if err != nil {
-		return nil, err
-	}
 	names := l.Names()
+	prov := l.Provider()
 	quota := uint64(l.cfg.TraceLen)
 	// Mixed-intensity pairs exercise the interesting co-phase coupling.
+	// Indices are taken modulo the source size, so smaller-than-suite
+	// sources still validate (the suite keeps the exact paper pairs).
 	pairs := [][2]int{{0, 21}, {5, 16}, {11, 18}, {2, 2}}
 
 	var rows []CophaseRow
 	for _, pr := range pairs {
-		w := multicore.Workload{names[pr[0]], names[pr[1]]}
-		ref, err := multicore.Detailed(ctx, w, traces, cache.LRU, quota)
+		w := multicore.Workload{names[pr[0]%len(names)], names[pr[1]%len(names)]}
+		// The co-phase machinery takes an explicit map; materialise just
+		// this pair's traces through the source.
+		traces := map[string]*trace.Trace{}
+		for _, n := range w {
+			tr, err := prov.Trace(ctx, n)
+			if err != nil {
+				return nil, err
+			}
+			traces[n] = tr
+		}
+		ref, err := multicore.Detailed(ctx, w, multicore.TraceMap(traces), cache.LRU, quota)
 		if err != nil {
 			return nil, err
 		}

@@ -8,7 +8,6 @@ import (
 	"mcbench/internal/cache"
 	"mcbench/internal/metrics"
 	"mcbench/internal/sampling"
-	"mcbench/internal/workload"
 )
 
 func init() {
@@ -60,7 +59,7 @@ func (l *Lab) Fig6(ctx context.Context, cores int) ([]Fig6Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	full := uint64(pop.Size()) == popSizeFor(cores)
+	full := l.isFullPopulation(pop.Size(), cores)
 
 	var out []Fig6Point
 	for pi, pair := range Fig6Pairs() {
@@ -104,11 +103,6 @@ func (l *Lab) Fig6Requests(cores int) []Request {
 	return append(plan,
 		Request{Sim: SimRef, Cores: cores},
 		Request{Sim: SimMPKI})
-}
-
-// popSizeFor returns the full multiset population size for 22 benchmarks.
-func popSizeFor(cores int) uint64 {
-	return workload.PopulationSize(22, cores)
 }
 
 // fig6Table renders Figure 6 with one row per (pair, sample size) and one

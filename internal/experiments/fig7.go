@@ -83,7 +83,7 @@ func (l *Lab) Fig7(ctx context.Context, coreCounts []int) ([]Fig7Point, error) {
 		subPop := workload.FromWorkloads(pop.B, pop.K, ws)
 
 		samplers := []sampling.Sampler{sampling.NewSimpleRandom(len(dDet))}
-		if uint64(len(sample)) == popSizeFor(cores) {
+		if l.isFullPopulation(len(sample), cores) {
 			samplers = append(samplers, sampling.NewBalancedRandom(subPop))
 		}
 		samplers = append(samplers,

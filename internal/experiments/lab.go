@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"mcbench/internal/badco"
+	"mcbench/internal/bench"
 	"mcbench/internal/cache"
 	"mcbench/internal/metrics"
 	"mcbench/internal/multicore"
@@ -51,6 +52,26 @@ type Config struct {
 	Fig7Trials    int   // samples per point in Fig. 7 (paper: 100)
 	Seed          int64 // master seed; all randomness derives from it
 
+	// Source selects the benchmark population the lab studies. nil means
+	// the paper's fixed 22-benchmark suite. All memoized products and
+	// persisted tables are keyed by the source's identity, so labs over
+	// different sources never share (or clobber) each other's state.
+	Source bench.Source
+
+	// PopLimit, when positive, caps every workload population at a
+	// uniform sample of that size regardless of core count. It is the
+	// knob for big scaled sources, whose full enumerations are
+	// astronomically large; the core-count-specific Pop8Size/Pop4Limit
+	// take precedence where they apply.
+	PopLimit int
+
+	// PopScaleBs are the benchmark-population sizes B the
+	// population-scaling experiment sweeps (each via a scaled:B source
+	// derived from Seed); PopScaleSample is the workload sample size per
+	// B.
+	PopScaleBs     []int
+	PopScaleSample int
+
 	// CacheDir, when non-empty, persists IPC tables (the expensive
 	// population sweeps) across runs via the results package.
 	CacheDir string
@@ -59,13 +80,15 @@ type Config struct {
 // DefaultConfig reproduces the paper's experimental scale.
 func DefaultConfig() Config {
 	return Config{
-		TraceLen:      trace.DefaultTraceLen,
-		Pop8Size:      10000,
-		DetailedCount: 250,
-		Fig3Trials:    1000,
-		Fig6Trials:    10000,
-		Fig7Trials:    100,
-		Seed:          20130421, // ISPASS 2013 in Austin
+		TraceLen:       trace.DefaultTraceLen,
+		Pop8Size:       10000,
+		DetailedCount:  250,
+		Fig3Trials:     1000,
+		Fig6Trials:     10000,
+		Fig7Trials:     100,
+		PopScaleBs:     []int{16, 32, 64, 128},
+		PopScaleSample: 400,
+		Seed:           20130421, // ISPASS 2013 in Austin
 	}
 }
 
@@ -74,14 +97,16 @@ func DefaultConfig() Config {
 // results are preserved; only their resolution drops.
 func QuickConfig() Config {
 	return Config{
-		TraceLen:      20000,
-		Pop8Size:      400,
-		Pop4Limit:     800,
-		DetailedCount: 40,
-		Fig3Trials:    300,
-		Fig6Trials:    400,
-		Fig7Trials:    60,
-		Seed:          20130421,
+		TraceLen:       20000,
+		Pop8Size:       400,
+		Pop4Limit:      800,
+		DetailedCount:  40,
+		Fig3Trials:     300,
+		Fig6Trials:     400,
+		Fig7Trials:     60,
+		PopScaleBs:     []int{12, 18},
+		PopScaleSample: 120,
+		Seed:           20130421,
 	}
 }
 
@@ -192,11 +217,11 @@ func (z *lazy[V]) get(ctx context.Context, compute func() (V, error)) (V, error)
 // profiles — is context-aware and memoized with single-flight semantics.
 type Lab struct {
 	cfg Config
+	src bench.Source // the benchmark population under study
 
 	namesOnce sync.Once
-	names     []string // benchmark order (suite order)
+	names     []string // benchmark order (source order)
 
-	traces   lazy[map[string]*trace.Trace]
 	models   lazy[map[string]*badco.Model]
 	mpki     lazy[[]float64]          // per benchmark: alone LLC misses per kilo-op
 	profiles lazy[[]*profile.Profile] // per benchmark: microarch-independent profile
@@ -217,37 +242,56 @@ type Lab struct {
 	detSweeps   atomic.Int64
 }
 
-// NewLab creates a Lab with the given configuration.
+// NewLab creates a Lab with the given configuration. A nil Config.Source
+// means the paper's fixed suite.
 func NewLab(cfg Config) *Lab {
-	return &Lab{cfg: cfg}
+	src := cfg.Source
+	if src == nil {
+		src = bench.NewSuite()
+		cfg.Source = src
+	}
+	return &Lab{cfg: cfg, src: src}
 }
 
 // Config returns the lab's configuration.
 func (l *Lab) Config() Config { return l.cfg }
 
-// Names returns the benchmark names in index order. It never simulates
-// (the order is the suite definition order), so it is infallible.
+// Source returns the benchmark source the lab studies.
+func (l *Lab) Source() bench.Source { return l.src }
+
+// Provider returns the lab's source bound to its configured trace
+// length — the handle everything that needs a raw trace resolves
+// through. Traces build lazily on first use; consumers whose use of a
+// trace is one-shot (model building, the alone measurements) release it
+// afterwards so resident memory tracks the in-flight working set.
+func (l *Lab) Provider() bench.Provider { return bench.At(l.src, l.cfg.TraceLen) }
+
+// sourceKey is the identity the lab's persisted products are keyed by.
+// The default suite maps to the empty string so cache files written
+// before sources existed stay loadable.
+func (l *Lab) sourceKey() string {
+	if name := l.src.Name(); name != "suite" {
+		return name
+	}
+	return ""
+}
+
+// Names returns the benchmark names in index order. It never builds a
+// trace (the order is the source definition order), so it is infallible.
 func (l *Lab) Names() []string {
-	l.namesOnce.Do(func() { l.names = trace.SuiteNames() })
+	l.namesOnce.Do(func() { l.names = l.src.Names() })
 	return l.names
 }
 
-// Traces returns the benchmark traces, generating them on first use.
-func (l *Lab) Traces(ctx context.Context) (map[string]*trace.Trace, error) {
-	return l.traces.get(ctx, func() (map[string]*trace.Trace, error) {
-		return trace.NewSuite(l.cfg.TraceLen)
-	})
-}
-
 // Models returns the BADCO models, building them on first use (two
-// detailed calibration runs per benchmark, in parallel).
+// detailed calibration runs per benchmark, in parallel). Each
+// benchmark's trace is resolved lazily just before its calibration runs
+// and released right after its model is built, so peak trace memory is
+// O(parallelism · TraceLen) instead of O(B · TraceLen) — the property
+// that makes paper-scale populations (B up to 512) fit a small host.
 func (l *Lab) Models(ctx context.Context) (map[string]*badco.Model, error) {
 	return l.models.get(ctx, func() (map[string]*badco.Model, error) {
-		traces, err := l.Traces(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return multicore.BuildModels(ctx, traces, badco.DefaultBuildConfig())
+		return multicore.BuildModels(ctx, l.Provider(), l.Names(), badco.DefaultBuildConfig())
 	})
 }
 
@@ -265,25 +309,57 @@ func (l *Lab) resultStore() *results.Store {
 	return l.store
 }
 
+// maxEnumerate bounds the population size Population will materialise
+// as a full enumeration when no explicit limit is configured; anything
+// larger falls back to a fallbackPopulation-sized uniform sample. The
+// bound comfortably covers the paper's geometries (12650 workloads at
+// 4 cores over the suite) while keeping a large scaled source from
+// enumerating billions of workloads into memory.
+const (
+	maxEnumerate       = 100_000
+	fallbackPopulation = 10_000
+)
+
 // Population returns the workload population for the given core count:
-// the full enumeration for 2 and 4 cores (optionally subsampled per
-// Pop4Limit) and a Pop8Size uniform sample for 8 cores. Populations are
-// pure combinatorics — no simulation — so this is infallible.
+// the full enumeration where it is tractable (2 and 4 cores over the
+// paper's suite) and a uniform sample where it is not — per Pop8Size for
+// 8 cores, Pop4Limit for 4, and PopLimit for any count (the scaled-source
+// knob); with no limit configured, populations beyond maxEnumerate are
+// sampled at fallbackPopulation rather than enumerated. Sampling draws
+// from the full C(B+K-1, K) multiset population, whose size may saturate
+// uint64 for large sources; populations are pure combinatorics — no
+// simulation — so this is infallible.
 func (l *Lab) Population(cores int) *workload.Population {
 	pop, _ := l.pops.do(context.Background(), cores, func() (*workload.Population, error) {
-		const b = 22
+		b := len(l.Names())
+		total, exact := workload.PopulationSize(b, cores)
+		limit := 0
 		switch {
 		case cores == 8:
-			rng := rand.New(rand.NewSource(l.cfg.Seed + 8))
-			return workload.SampleUniform(rng, b, 8, l.cfg.Pop8Size), nil
-		case cores == 4 && l.cfg.Pop4Limit > 0 && l.cfg.Pop4Limit < 12650:
-			rng := rand.New(rand.NewSource(l.cfg.Seed + 4))
-			return workload.SampleUniform(rng, b, 4, l.cfg.Pop4Limit), nil
-		default:
-			return workload.Enumerate(b, cores), nil
+			limit = l.cfg.Pop8Size
+		case cores == 4 && l.cfg.Pop4Limit > 0:
+			limit = l.cfg.Pop4Limit
 		}
+		if limit == 0 {
+			limit = l.cfg.PopLimit
+		}
+		if limit == 0 && (!exact || total > maxEnumerate) {
+			limit = fallbackPopulation
+		}
+		if limit > 0 && (!exact || uint64(limit) < total) {
+			rng := rand.New(rand.NewSource(l.cfg.Seed + int64(cores)))
+			return workload.SampleUniform(rng, b, cores, limit), nil
+		}
+		return workload.Enumerate(b, cores), nil
 	})
 	return pop
+}
+
+// isFullPopulation reports whether n workloads cover the whole multiset
+// population of the lab's source at the given core count.
+func (l *Lab) isFullPopulation(n, cores int) bool {
+	size, exact := workload.PopulationSize(len(l.Names()), cores)
+	return exact && uint64(n) == size
 }
 
 // toMulticore converts a workload of benchmark indices into names.
@@ -366,16 +442,14 @@ func (l *Lab) DetailedIPC(ctx context.Context, cores int, policy cache.PolicyNam
 		if table, ok := l.loadCached("detailed", cores, policy, len(sample), universe); ok {
 			return table, nil
 		}
-		traces, err := l.Traces(ctx)
-		if err != nil {
-			return nil, err
-		}
 		l.detSweeps.Add(1)
 		ws := make([]multicore.Workload, len(sample))
 		for i, wi := range sample {
 			ws[i] = l.toMulticore(pop.Workloads[wi])
 		}
-		results, err := multicore.SweepDetailed(ctx, ws, traces, policy, 0)
+		// The sweep resolves traces lazily through the source: only
+		// benchmarks that actually appear in the sample are ever built.
+		results, err := multicore.SweepDetailed(ctx, ws, l.Provider(), policy, 0)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: detailed sweep (%d cores, %s): %w", cores, policy, err)
 		}
@@ -399,7 +473,7 @@ func (l *Lab) loadCached(sim string, cores int, policy cache.PolicyName, populat
 	t, ok, err := store.Load(results.IPCTable{
 		Simulator: sim, Cores: cores, Policy: string(policy),
 		TraceLen: l.cfg.TraceLen, Population: population, Seed: l.cfg.Seed,
-		Universe: universe,
+		Universe: universe, Source: l.sourceKey(),
 	})
 	if err != nil || !ok {
 		return nil, false
@@ -417,8 +491,8 @@ func (l *Lab) saveCached(sim string, cores int, policy cache.PolicyName, table [
 	_ = store.Save(&results.IPCTable{
 		Simulator: sim, Cores: cores, Policy: string(policy),
 		TraceLen: l.cfg.TraceLen, Population: len(table), Seed: l.cfg.Seed,
-		Universe: universe,
-		IPC:      table,
+		Universe: universe, Source: l.sourceKey(),
+		IPC: table,
 	})
 }
 
@@ -556,15 +630,18 @@ func (l *Lab) BadcoDiffsAt(ctx context.Context, cores int, m metrics.Metric, x, 
 // LRU configuration (the Table IV measurement).
 func (l *Lab) MPKI(ctx context.Context) ([]float64, error) {
 	return l.mpki.get(ctx, func() ([]float64, error) {
-		traces, err := l.Traces(ctx)
-		if err != nil {
-			return nil, err
-		}
 		names := l.Names()
+		prov := l.Provider()
 		out := make([]float64, len(names))
 		errs := make([]error, len(names))
 		if err := multicore.RunBounded(ctx, len(names), func(i int) {
-			out[i], errs[i] = measureMPKI(traces[names[i]])
+			tr, err := prov.Trace(ctx, names[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer prov.Release(names[i])
+			out[i], errs[i] = measureMPKI(tr)
 		}); err != nil {
 			return nil, err
 		}

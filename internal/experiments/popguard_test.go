@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"mcbench/internal/bench"
+)
+
+// TestPopulationFallbackGuard pins the enumeration guard: with no
+// explicit population limit configured, a lab over a large scaled
+// source samples fallbackPopulation workloads instead of materialising
+// an intractable full enumeration (C(513,2) ≈ 131k at 2 cores, billions
+// at 4). Pure combinatorics — no simulation — so it runs un-gated.
+func TestPopulationFallbackGuard(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Pop4Limit = 0
+	cfg.PopLimit = 0
+	src, err := bench.NewScaled(512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Source = src
+	l := NewLab(cfg)
+	for _, cores := range []int{2, 3} {
+		if got := l.Population(cores).Size(); got != fallbackPopulation {
+			t.Fatalf("scaled:512 %d-core population %d, want fallback %d", cores, got, fallbackPopulation)
+		}
+	}
+	// An explicit PopLimit still wins over the fallback.
+	cfg.PopLimit = 77
+	if got := NewLab(cfg).Population(2).Size(); got != 77 {
+		t.Fatalf("PopLimit ignored: population %d, want 77", got)
+	}
+	// Tractable populations still enumerate exactly as before.
+	suiteCfg := QuickConfig()
+	if got := NewLab(suiteCfg).Population(2).Size(); got != 253 {
+		t.Fatalf("suite 2-core population %d, want 253", got)
+	}
+}

@@ -239,6 +239,6 @@ func ExtensionExperiments() []string {
 	return []string{
 		"ablation-strata", "ablation-classes", "ablation-metrics",
 		"speedup", "guideline", "methods", "cophase", "predictors",
-		"normality", "profiles", "policies",
+		"normality", "profiles", "policies", "population-scaling",
 	}
 }

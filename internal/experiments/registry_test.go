@@ -7,7 +7,7 @@ import (
 // TestRegistryCatalogueComplete pins the registry against the curated
 // run-order lists: every curated name is registered with the right
 // group, every registered name is curated (nothing hides from `mcbench
-// list`), and the catalogue has the full 22 experiments.
+// list`), and the catalogue has the full 23 experiments.
 func TestRegistryCatalogueComplete(t *testing.T) {
 	curated := map[string]Group{}
 	for _, n := range AllExperiments() {

@@ -80,7 +80,7 @@ func (l *Lab) SpeedupAccuracy(ctx context.Context, cores int, m metrics.Metric, 
 	popSpeedup := m.Sample(tY) / m.Sample(tX)
 
 	samplers := []sampling.Sampler{sampling.NewSimpleRandom(len(d))}
-	if uint64(pop.Size()) == popSizeFor(cores) {
+	if l.isFullPopulation(pop.Size(), cores) {
 		samplers = append(samplers, sampling.NewBalancedRandom(pop))
 	}
 	samplers = append(samplers,

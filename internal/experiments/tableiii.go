@@ -39,10 +39,7 @@ func (l *Lab) TableIII(ctx context.Context, workloadsPerPoint int) ([]TableIIIRo
 	if workloadsPerPoint <= 0 {
 		workloadsPerPoint = 3
 	}
-	traces, err := l.Traces(ctx)
-	if err != nil {
-		return nil, err
-	}
+	prov := l.Provider()
 	models, err := l.Models(ctx)
 	if err != nil {
 		return nil, err
@@ -51,12 +48,10 @@ func (l *Lab) TableIII(ctx context.Context, workloadsPerPoint int) ([]TableIIIRo
 	for _, cores := range []int{1, 2, 4, 8} {
 		var ws []multicore.Workload
 		if cores == 1 {
-			// Single-benchmark "workloads": a spread of intensities.
-			for _, n := range []string{"mcf", "gcc", "povray", "libquantum", "hmmer", "soplex"} {
+			// Single-benchmark "workloads": a spread of intensities
+			// (positions spread across the source for non-suite labs).
+			for _, n := range l.spreadNames(workloadsPerPoint) {
 				ws = append(ws, multicore.Workload{n})
-				if len(ws) == workloadsPerPoint {
-					break
-				}
 			}
 		} else {
 			pop := l.Population(cores)
@@ -71,9 +66,19 @@ func (l *Lab) TableIII(ctx context.Context, workloadsPerPoint int) ([]TableIIIRo
 		quota := uint64(l.cfg.TraceLen)
 		instructions := float64(quota) * float64(cores) * float64(len(ws))
 
+		// Resolve every trace before starting the clock, so lazy source
+		// builds never pollute the MIPS measurement.
+		for _, w := range ws {
+			for _, n := range w {
+				if _, err := prov.Trace(ctx, n); err != nil {
+					return nil, err
+				}
+			}
+		}
+
 		start := time.Now()
 		for _, w := range ws {
-			if _, err := multicore.Detailed(ctx, w, traces, cache.LRU, quota); err != nil {
+			if _, err := multicore.Detailed(ctx, w, prov, cache.LRU, quota); err != nil {
 				return nil, err
 			}
 		}
@@ -131,13 +136,34 @@ func (l *Lab) tableIIITable(ctx context.Context, workloadsPerPoint int) (*Table,
 // one benchmark (two detailed calibration runs), used by the Section
 // VII-A overhead example.
 func (l *Lab) ModelBuildCost(ctx context.Context, name string) (time.Duration, error) {
-	traces, err := l.Traces(ctx)
+	// Resolve the trace before starting the clock: the measured cost is
+	// the two calibration runs, not lazy trace generation.
+	prov := l.Provider()
+	tr, err := prov.Trace(ctx, name)
 	if err != nil {
 		return 0, err
 	}
+	defer prov.Release(name)
 	start := time.Now()
-	if _, err := badco.Build(traces[name], badco.DefaultBuildConfig()); err != nil {
+	if _, err := badco.Build(tr, badco.DefaultBuildConfig()); err != nil {
 		return 0, err
 	}
 	return time.Since(start), nil
+}
+
+// spreadNames picks up to k benchmarks spread evenly across the source
+// order, giving a mix of intensity classes for the timing workloads on
+// any source size. The picks are centred in their strides (positions
+// (2i+1)·B/2k), so even small k reaches into every contiguous class
+// band rather than clustering at the front of the order.
+func (l *Lab) spreadNames(k int) []string {
+	names := l.Names()
+	if k > len(names) {
+		k = len(names)
+	}
+	out := make([]string, k)
+	for i := range out {
+		out[i] = names[(2*i+1)*len(names)/(2*k)]
+	}
+	return out
 }

@@ -23,6 +23,38 @@ import (
 	"mcbench/internal/uncore"
 )
 
+// TraceSource resolves benchmark names to traces at the simulation
+// boundary. It is satisfied by bench.Provider (a bench.Source bound to a
+// trace length) and by TraceMap; implementations must be safe for
+// concurrent use. The drivers below resolve whole workloads up front and
+// then run on bare *trace.Trace values, so the allocation-free kernel
+// hot paths never see the indirection.
+type TraceSource interface {
+	// Trace returns the named benchmark's trace, building or loading it
+	// on first use.
+	Trace(ctx context.Context, name string) (*trace.Trace, error)
+	// Release hints that the caller is done with the named benchmark's
+	// trace; a memoizing source drops it to bound resident memory.
+	Release(name string)
+}
+
+// TraceMap adapts an eagerly-built trace map to the TraceSource
+// boundary, for callers that already hold all their traces (tests, the
+// co-phase machinery). Release is a no-op.
+type TraceMap map[string]*trace.Trace
+
+// Trace looks the benchmark up in the map.
+func (m TraceMap) Trace(_ context.Context, name string) (*trace.Trace, error) {
+	tr, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("multicore: no trace for benchmark %q", name)
+	}
+	return tr, nil
+}
+
+// Release is a no-op: the map owns its traces.
+func (m TraceMap) Release(string) {}
+
 // Workload names the benchmarks co-scheduled on the K cores; duplicates
 // are allowed (the same benchmark may run on several cores).
 type Workload []string
@@ -208,16 +240,18 @@ func runInterleavedReference(_ context.Context, cores []stepper, quota uint64) (
 
 // Detailed simulates the workload with the detailed core model under the
 // given LLC policy. quota is the per-thread instruction count (commonly
-// the trace length). Traces are looked up by benchmark name. A cancelled
-// context aborts the simulation and returns ctx.Err().
-func Detailed(ctx context.Context, w Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64) (Result, error) {
+// the trace length). Traces are resolved through the source at this
+// boundary — lazily built on first use — and are not released here: the
+// caller owns the retention policy. A cancelled context aborts the
+// simulation and returns ctx.Err().
+func Detailed(ctx context.Context, w Workload, traces TraceSource, policy cache.PolicyName, quota uint64) (Result, error) {
 	return detailedWith(ctx, w, traces, policy, quota, runInterleaved)
 }
 
 // detailedWith is Detailed with an explicit driver, so the golden test
 // can run the reference per-step driver through the identical
 // construction path.
-func detailedWith(ctx context.Context, w Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64, drive driver) (Result, error) {
+func detailedWith(ctx context.Context, w Workload, traces TraceSource, policy cache.PolicyName, quota uint64, drive driver) (Result, error) {
 	if len(w) == 0 {
 		return Result{}, fmt.Errorf("multicore: empty workload")
 	}
@@ -227,9 +261,9 @@ func detailedWith(ctx context.Context, w Workload, traces map[string]*trace.Trac
 	}
 	cores := make([]stepper, len(w))
 	for i, name := range w {
-		tr, ok := traces[name]
-		if !ok {
-			return Result{}, fmt.Errorf("multicore: no trace for benchmark %q", name)
+		tr, err := traces.Trace(ctx, name)
+		if err != nil {
+			return Result{}, err
 		}
 		if quota == 0 {
 			quota = uint64(tr.Len())
@@ -337,8 +371,11 @@ func SweepApproximate(ctx context.Context, workloads []Workload, models map[stri
 }
 
 // SweepDetailed simulates many workloads with the detailed model in
-// parallel across CPU cores.
-func SweepDetailed(ctx context.Context, workloads []Workload, traces map[string]*trace.Trace, policy cache.PolicyName, quota uint64) ([]Result, error) {
+// parallel across CPU cores. Traces resolve lazily through the source
+// (concurrent workloads sharing a benchmark share one build) and stay
+// resident for the caller to release: a sweep touches each distinct
+// benchmark many times, so releasing per workload would thrash.
+func SweepDetailed(ctx context.Context, workloads []Workload, traces TraceSource, policy cache.PolicyName, quota uint64) ([]Result, error) {
 	results := make([]Result, len(workloads))
 	errs := make([]error, len(workloads))
 	if err := RunBounded(ctx, len(workloads), func(i int) {
@@ -423,18 +460,25 @@ func RunBounded(ctx context.Context, n int, fn func(int)) error {
 	return err
 }
 
-// BuildModels constructs BADCO models for every benchmark in the suite,
-// in parallel. It is the "one person-month of model building" step of the
-// paper, automated.
-func BuildModels(ctx context.Context, traces map[string]*trace.Trace, cfg badco.BuildConfig) (map[string]*badco.Model, error) {
-	names := make([]string, 0, len(traces))
-	for name := range traces {
-		names = append(names, name)
-	}
+// BuildModels constructs BADCO models for the named benchmarks, in
+// parallel. It is the "one person-month of model building" step of the
+// paper, automated. Each benchmark's trace is resolved through the
+// source just before its two calibration runs and released right after
+// its model is built, so peak trace memory tracks the in-flight build
+// parallelism — O(GOMAXPROCS) traces — instead of the whole benchmark
+// population (the models themselves are orders of magnitude smaller
+// than the traces they summarise).
+func BuildModels(ctx context.Context, traces TraceSource, names []string, cfg badco.BuildConfig) (map[string]*badco.Model, error) {
 	built := make([]*badco.Model, len(names))
 	errs := make([]error, len(names))
 	if err := RunBounded(ctx, len(names), func(i int) {
-		built[i], errs[i] = badco.Build(traces[names[i]], cfg)
+		tr, err := traces.Trace(ctx, names[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		defer traces.Release(names[i])
+		built[i], errs[i] = badco.Build(tr, cfg)
 	}); err != nil {
 		return nil, err
 	}

@@ -15,11 +15,11 @@ import (
 const testLen = 20000
 
 var (
-	testTraces map[string]*trace.Trace
+	testTraces TraceMap
 	testModels map[string]*badco.Model
 )
 
-func traces(t *testing.T) map[string]*trace.Trace {
+func traces(t *testing.T) TraceMap {
 	t.Helper()
 	if testTraces == nil {
 		testTraces = trace.GenerateSuite(testLen)
@@ -31,11 +31,8 @@ func models(t *testing.T) map[string]*badco.Model {
 	t.Helper()
 	if testModels == nil {
 		trs := traces(t)
-		sub := map[string]*trace.Trace{}
-		for _, n := range []string{"mcf", "povray", "gcc", "libquantum", "hmmer", "soplex", "astar", "bzip2"} {
-			sub[n] = trs[n]
-		}
-		m, err := BuildModels(context.Background(), sub, badco.DefaultBuildConfig())
+		names := []string{"mcf", "povray", "gcc", "libquantum", "hmmer", "soplex", "astar", "bzip2"}
+		m, err := BuildModels(context.Background(), trs, names, badco.DefaultBuildConfig())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,8 +10,8 @@ import (
 )
 
 func BenchmarkProfileApprox(b *testing.B) {
-	trs := trace.GenerateSuite(testLen)
-	m, err := BuildModels(context.Background(), map[string]*trace.Trace{"mcf": trs["mcf"], "soplex": trs["soplex"], "gcc": trs["gcc"], "libquantum": trs["libquantum"]}, badco.DefaultBuildConfig())
+	trs := TraceMap(trace.GenerateSuite(testLen))
+	m, err := BuildModels(context.Background(), trs, []string{"mcf", "soplex", "gcc", "libquantum"}, badco.DefaultBuildConfig())
 	if err != nil {
 		b.Fatal(err)
 	}

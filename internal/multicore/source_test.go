@@ -1,0 +1,198 @@
+package multicore
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/bench"
+	"mcbench/internal/cache"
+	"mcbench/internal/trace"
+)
+
+// equivWorkloads is a small mixed-intensity workload set exercising 1-,
+// 2- and 4-core construction paths.
+func equivWorkloads() []Workload {
+	return []Workload{
+		{"mcf"},
+		{"mcf", "povray"},
+		{"gcc", "libquantum"},
+		{"mcf", "gcc", "povray", "soplex"},
+	}
+}
+
+// TestSuiteSourceBitIdenticalToLegacySuite pins the tentpole refactor's
+// zero-drift guarantee: resolving traces through a SuiteSource produces
+// byte-identical sweep Results — detailed and BADCO alike — to the
+// legacy eagerly-built trace.NewSuite map.
+func TestSuiteSourceBitIdenticalToLegacySuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	const n = 8000
+	ctx := context.Background()
+	legacy, err := trace.NewSuite(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacySrc := TraceMap(legacy)
+	prov := bench.At(bench.NewSuite(), n)
+	ws := equivWorkloads()
+
+	for _, pol := range []cache.PolicyName{cache.LRU, cache.DRRIP} {
+		want, err := SweepDetailed(ctx, ws, legacySrc, pol, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SweepDetailed(ctx, ws, prov, pol, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("detailed sweep under %s diverges between SuiteSource and trace.NewSuite", pol)
+		}
+	}
+
+	names := []string{"mcf", "povray", "gcc", "libquantum", "soplex"}
+	wantModels, err := BuildModels(ctx, legacySrc, names, badco.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotModels, err := BuildModels(ctx, prov, names, badco.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotModels, wantModels) {
+		t.Fatal("BADCO models diverge between SuiteSource and trace.NewSuite")
+	}
+	for _, pol := range []cache.PolicyName{cache.LRU, cache.DRRIP} {
+		want, err := SweepApproximate(ctx, ws, wantModels, pol, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SweepApproximate(ctx, ws, gotModels, pol, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("BADCO sweep under %s diverges between SuiteSource and trace.NewSuite", pol)
+		}
+	}
+}
+
+// TestDirSourceIdenticalResults closes the round trip: write the suite
+// traces to disk through the trace/io codec, load them back through a
+// DirSource, and check the sweep Results are identical to the in-memory
+// suite's.
+func TestDirSourceIdenticalResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	const n = 8000
+	ctx := context.Background()
+	dir := t.TempDir()
+	names := []string{"mcf", "povray", "gcc", "soplex"}
+	mem := TraceMap{}
+	for _, name := range names {
+		p, _ := trace.ByName(name)
+		tr, err := trace.Generate(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem[name] = tr
+		if err := tr.SaveFile(filepath.Join(dir, name+bench.TraceExt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := bench.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := bench.At(src, n)
+	ws := []Workload{{"mcf", "povray"}, {"gcc", "soplex"}, {"mcf", "gcc", "povray", "soplex"}}
+	want, err := SweepDetailed(ctx, ws, mem, cache.LRU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SweepDetailed(ctx, ws, prov, cache.LRU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("DirSource sweep diverges from in-memory traces")
+	}
+}
+
+// countingSource wraps a bench source and tracks the high-water mark of
+// outstanding (acquired but unreleased) traces.
+type countingSource struct {
+	bench.Provider
+	mu       sync.Mutex
+	live     map[string]bool
+	maxLive  int
+	maxResid int
+}
+
+func newCountingSource(p bench.Provider) *countingSource {
+	return &countingSource{Provider: p, live: map[string]bool{}}
+}
+
+func (c *countingSource) Trace(ctx context.Context, name string) (*trace.Trace, error) {
+	tr, err := c.Provider.Trace(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.live[name] = true
+	if len(c.live) > c.maxLive {
+		c.maxLive = len(c.live)
+	}
+	if r := bench.Resident(c.Provider.Source()); r > c.maxResid {
+		c.maxResid = r
+	}
+	c.mu.Unlock()
+	return tr, nil
+}
+
+func (c *countingSource) Release(name string) {
+	c.mu.Lock()
+	delete(c.live, name)
+	c.mu.Unlock()
+	c.Provider.Release(name)
+}
+
+// TestBuildModelsWorkingSet pins the memory contract of the lazy source
+// layer: building BADCO models for a large scaled population keeps no
+// more traces resident than the in-flight working set (the bounded build
+// parallelism), never the whole population.
+func TestBuildModelsWorkingSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	src, err := bench.NewScaled(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := newCountingSource(bench.At(src, 2000))
+	models, err := BuildModels(context.Background(), cs, src.Names(), badco.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 16 {
+		t.Fatalf("%d models, want 16", len(models))
+	}
+	bound := runtime.GOMAXPROCS(0)
+	if cs.maxLive > bound {
+		t.Errorf("outstanding traces peaked at %d, above the parallelism bound %d", cs.maxLive, bound)
+	}
+	if cs.maxResid > bound {
+		t.Errorf("source residency peaked at %d, above the parallelism bound %d", cs.maxResid, bound)
+	}
+	if got := bench.Resident(src); got != 0 {
+		t.Errorf("%d traces still resident after BuildModels", got)
+	}
+}

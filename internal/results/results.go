@@ -8,6 +8,7 @@ package results
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,18 +29,46 @@ type IPCTable struct {
 	// Without it, two configurations whose populations differ but whose
 	// sample sizes coincide would collide on one key and serve each
 	// other stale tables.
-	Universe int         `json:"universe,omitempty"`
-	IPC      [][]float64 `json:"ipc"`
+	Universe int `json:"universe,omitempty"`
+	// Source identifies the benchmark source the table was swept over
+	// ("scaled:64:7", "dir:..."). Empty means the default fixed suite,
+	// keeping tables persisted before sources existed loadable.
+	Source string      `json:"source,omitempty"`
+	IPC    [][]float64 `json:"ipc"`
 }
 
-// Key returns the table's filename-safe identity.
+// Key returns the table's filename-safe identity. Non-default sources
+// append their sanitized name plus a short hash of the raw name:
+// sanitization is lossy ("dir:a/b" and "dir:a_b" collapse), and
+// without the hash two such sources would alternately clobber each
+// other's cache file.
 func (t *IPCTable) Key() string {
 	key := fmt.Sprintf("%s-c%d-%s-l%d-p%d-s%d",
 		t.Simulator, t.Cores, t.Policy, t.TraceLen, t.Population, t.Seed)
 	if t.Universe > 0 {
 		key += fmt.Sprintf("-u%d", t.Universe)
 	}
+	if t.Source != "" {
+		h := fnv.New32a()
+		h.Write([]byte(t.Source))
+		key += fmt.Sprintf("-%s-%08x", sanitize(t.Source), h.Sum32())
+	}
 	return key
+}
+
+// sanitize maps a source name onto the filename-safe alphabet (source
+// specs carry ':' and, for dir sources, path separators).
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
 }
 
 // Validate reports structural problems.
@@ -174,10 +203,21 @@ func (s *Store) Load(proto IPCTable) (*IPCTable, bool, error) {
 	if err := t.Validate(); err != nil {
 		return nil, false, err
 	}
-	if t.Key() != proto.Key() {
+	if !t.sameIdentity(&proto) {
 		return nil, false, fmt.Errorf("results: %s holds mismatching table %s", proto.Key(), t.Key())
 	}
 	return &t, true, nil
+}
+
+// sameIdentity compares the raw identity fields, not the filename-safe
+// key: sanitize collapses distinct source names ("dir:a/b" and
+// "dir:a_b") onto one file name, and the raw comparison is what keeps
+// such a collision from silently serving the other source's table.
+func (t *IPCTable) sameIdentity(o *IPCTable) bool {
+	return t.Simulator == o.Simulator && t.Cores == o.Cores &&
+		t.Policy == o.Policy && t.TraceLen == o.TraceLen &&
+		t.Population == o.Population && t.Seed == o.Seed &&
+		t.Universe == o.Universe && t.Source == o.Source
 }
 
 // Keys lists the stored table keys, sorted.

@@ -13,43 +13,47 @@ import (
 	"strings"
 )
 
+// Saturated is the value PopulationSize reports for populations whose
+// exact size does not fit in a uint64.
+const Saturated = ^uint64(0)
+
 // PopulationSize returns C(B+K-1, K), the number of distinct workloads of
-// K benchmarks drawn with repetition from B. It panics on overflow (far
-// beyond any practical configuration here).
-func PopulationSize(b, k int) uint64 {
+// K benchmarks drawn with repetition from B. ok is false when the exact
+// count overflows uint64, in which case the returned value saturates at
+// Saturated. Large benchmark sources (a ScaledSource near B=512 combined
+// with large K) reach this territory, so callers must treat the count as
+// potentially saturated rather than exact.
+func PopulationSize(b, k int) (size uint64, ok bool) {
 	if b <= 0 || k <= 0 {
-		return 0
+		return 0, true
 	}
 	return binomial(uint64(b+k-1), uint64(k))
 }
 
-// binomial computes C(n, k) in uint64, panicking on overflow.
-func binomial(n, k uint64) uint64 {
+// binomial computes C(n, k) in uint64 exactly, saturating (ok=false)
+// when the result does not fit.
+func binomial(n, k uint64) (uint64, bool) {
 	if k > n {
-		return 0
+		return 0, true
 	}
 	if k > n-k {
 		k = n - k
 	}
 	var c uint64 = 1
 	for i := uint64(0); i < k; i++ {
-		// c = c * (n-i) / (i+1), keeping exact integer arithmetic.
+		// c = c * (n-i) / (i+1) in 128-bit intermediate arithmetic. The
+		// running value is always an exact binomial coefficient, so the
+		// division is exact; only the final quotient can overflow.
 		num := n - i
 		den := i + 1
-		// Divide by gcd-style simplification through the running value.
-		if c%den == 0 {
-			c = c / den * num
-		} else if num%den == 0 {
-			c = c * (num / den)
-		} else {
-			hi, lo := bits.Mul64(c, num)
-			if hi != 0 {
-				panic("workload: binomial overflow")
-			}
-			c = lo / den
+		hi, lo := bits.Mul64(c, num)
+		if hi >= den {
+			// The quotient needs more than 64 bits: saturate.
+			return Saturated, false
 		}
+		c, _ = bits.Div64(hi, lo, den)
 	}
-	return c
+	return c, true
 }
 
 // Workload is a multiset of benchmark indices in [0, B), kept sorted.
@@ -110,8 +114,8 @@ func Enumerate(b, k int) *Population {
 // cases where enumeration is impractical. Duplicated draws are rejected,
 // so n must be at most the population size.
 func SampleUniform(rng *rand.Rand, b, k, n int) *Population {
-	total := PopulationSize(b, k)
-	if uint64(n) > total {
+	total, ok := PopulationSize(b, k)
+	if ok && uint64(n) > total {
 		panic(fmt.Sprintf("workload: sample %d exceeds population %d", n, total))
 	}
 	seen := make(map[string]bool, n)
@@ -165,11 +169,44 @@ func (p *Population) IndexOf(w Workload) int {
 }
 
 // Random draws one workload uniformly from the full multiset population
-// (every multiset equally likely), by unranking a uniform rank.
+// (every multiset equally likely). Populations whose size fits an int63
+// draw by unranking a uniform rank (the historical path, preserving
+// seeded draw sequences); larger — including saturated — populations
+// use a rank-free combination sampler, so no geometry panics.
 func Random(rng *rand.Rand, b, k int) Workload {
-	total := PopulationSize(b, k)
+	total, ok := PopulationSize(b, k)
+	if !ok || total >= 1<<63 {
+		return randomMultiset(rng, b, k)
+	}
 	rank := uint64(rng.Int63n(int64(total)))
 	return Unrank(rank, b, k)
+}
+
+// randomMultiset draws a uniform multiset of k values from [0, b) via
+// the stars-and-bars bijection: multisets of size k over b values
+// correspond one-to-one with k-combinations of [0, b+k-1), which
+// Floyd's algorithm samples uniformly without ever touching the
+// (possibly > 2^64) population size.
+func randomMultiset(rng *rand.Rand, b, k int) Workload {
+	n := b + k - 1
+	chosen := make(map[int]bool, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if chosen[t] {
+			t = j
+		}
+		chosen[t] = true
+	}
+	comb := make([]int, 0, k)
+	for v := range chosen {
+		comb = append(comb, v)
+	}
+	sort.Ints(comb)
+	w := make(Workload, k)
+	for i, c := range comb {
+		w[i] = c - i // undo the stars-and-bars offset; result stays sorted
+	}
+	return w
 }
 
 // Unrank returns the workload at the given lexicographic rank (matching
@@ -180,8 +217,9 @@ func Unrank(rank uint64, b, k int) Workload {
 	for pos := 0; pos < k; pos++ {
 		for v := min; v < b; v++ {
 			// Workloads starting (at this position) with v: multisets of
-			// size k-pos-1 from values >= v.
-			cnt := PopulationSize(b-v, k-pos-1)
+			// size k-pos-1 from values >= v. The counts are bounded by the
+			// caller-checked total, so they cannot saturate here.
+			cnt, _ := PopulationSize(b-v, k-pos-1)
 			if k-pos-1 == 0 {
 				cnt = 1
 			}
@@ -206,7 +244,7 @@ func Rank(w Workload, b int) uint64 {
 	k := len(w)
 	for pos, val := range w {
 		for v := min; v < val; v++ {
-			cnt := PopulationSize(b-v, k-pos-1)
+			cnt, _ := PopulationSize(b-v, k-pos-1)
 			if k-pos-1 == 0 {
 				cnt = 1
 			}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcbench/internal/bench"
 	"mcbench/internal/experiments"
 	"mcbench/internal/multicore"
 )
@@ -25,12 +26,16 @@ func QuickConfig() Config { return experiments.QuickConfig() }
 // and notes. Print it with Fprint or String.
 type Table = experiments.Table
 
-// Lab owns an experiment campaign's state: benchmark traces, BADCO
-// models, workload populations and the memoized population IPC tables
-// everything else derives from. A Lab is safe for concurrent use; every
-// expensive product is built once behind a single-flight guard, and all
-// methods honour context cancellation. With Config.CacheDir set, the
-// expensive sweeps persist across processes.
+// Lab owns an experiment campaign's state: a benchmark source
+// (Config.Source; the fixed suite by default), BADCO models, workload
+// populations and the memoized population IPC tables everything else
+// derives from. Traces resolve lazily through the source and one-shot
+// consumers release them, so resident memory tracks the in-flight
+// working set rather than the source size. A Lab is safe for concurrent
+// use; every expensive product is built once behind a single-flight
+// guard, and all methods honour context cancellation. With
+// Config.CacheDir set, the expensive sweeps persist across processes,
+// keyed by source identity among the other campaign parameters.
 type Lab struct {
 	lab *experiments.Lab
 }
@@ -118,15 +123,16 @@ func (l *Lab) Simulate(ctx context.Context, workload []string, opts ...Option) (
 	if o.fixedLen {
 		return nil, fmt.Errorf("mcbench: WithTraceLen applies to the package-level Simulate; a Lab's trace length is Config.TraceLen")
 	}
+	if o.suite != nil {
+		return nil, fmt.Errorf("mcbench: WithSuite applies to the package-level Simulate; a Lab's source is Config.Source")
+	}
 	o.traceLen = l.lab.Config().TraceLen
 	w, err := o.validate(workload)
 	if err != nil {
 		return nil, err
 	}
-	for _, name := range w {
-		if !isSuiteBenchmark(name) {
-			return nil, fmt.Errorf("mcbench: unknown benchmark %q (see Benchmarks())", name)
-		}
+	if _, err := bench.CheckNames(l.lab.Source(), [][]string{w}); err != nil {
+		return nil, err
 	}
 	switch o.engine {
 	case BADCO:
@@ -140,11 +146,7 @@ func (l *Lab) Simulate(ctx context.Context, workload []string, opts ...Option) (
 		}
 		return convert(r, BADCO), nil
 	default:
-		traces, err := l.lab.Traces(ctx)
-		if err != nil {
-			return nil, err
-		}
-		r, err := multicore.Detailed(ctx, multicore.Workload(w), traces, o.policy, o.quota)
+		r, err := multicore.Detailed(ctx, multicore.Workload(w), l.lab.Provider(), o.policy, o.quota)
 		if err != nil {
 			return nil, err
 		}
@@ -161,9 +163,18 @@ func (l *Lab) Diffs(ctx context.Context, cores int, m Metric, x, y Policy) ([]fl
 }
 
 // Population returns the lab's workload population for the given core
-// count (the full enumeration for 2 and 4 cores, a uniform sample for
-// 8, per the configuration).
+// count (the full enumeration where tractable, a uniform sample where
+// not, per the configuration).
 func (l *Lab) Population(cores int) *Population { return l.lab.Population(cores) }
+
+// Benchmarks returns the benchmark names of the lab's source, in source
+// order — the index order of Population workloads, Classes and
+// BenchFeatures. For the default configuration this is Benchmarks().
+func (l *Lab) Benchmarks() []string { return l.lab.Names() }
+
+// Suite returns the benchmark source the lab studies (Config.Source, or
+// the shared fixed suite when the configuration left it nil).
+func (l *Lab) Suite() Source { return l.lab.Source() }
 
 // Classes returns the measured memory-intensity class of every benchmark
 // (indexed like Benchmarks()), the classification behind benchmark

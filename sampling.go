@@ -14,16 +14,31 @@ import (
 type Population = workload.Population
 
 // EnumerateWorkloads builds the full population of cores-sized multisets
-// over the 22-benchmark suite — e.g. 253 workloads for 2 cores, 12650
-// for 4.
+// over the fixed 22-benchmark suite — e.g. 253 workloads for 2 cores,
+// 12650 for 4. For other benchmark sources use EnumerateWorkloadsOver
+// (or a Lab's Population, which also knows when to sample instead).
 func EnumerateWorkloads(cores int) *Population {
 	return workload.Enumerate(len(trace.SuiteNames()), cores)
 }
 
-// WorkloadNames expands a population into benchmark-name workloads,
-// ready for Sweep.
+// EnumerateWorkloadsOver builds the full population of cores-sized
+// multisets over the given source's benchmarks. Mind the combinatorics:
+// the population has C(B+cores-1, cores) members, which explodes for
+// large scaled sources.
+func EnumerateWorkloadsOver(src Source, cores int) *Population {
+	return workload.Enumerate(len(src.Names()), cores)
+}
+
+// WorkloadNames expands a population over the fixed suite into
+// benchmark-name workloads, ready for Sweep.
 func WorkloadNames(p *Population) [][]string {
-	names := trace.SuiteNames()
+	return WorkloadNamesOver(p, trace.SuiteNames())
+}
+
+// WorkloadNamesOver expands a population into named workloads using an
+// explicit benchmark name table (a Source's Names, index-aligned with
+// the population).
+func WorkloadNamesOver(p *Population, names []string) [][]string {
 	out := make([][]string, len(p.Workloads))
 	for i, w := range p.Workloads {
 		out[i] = w.Names(names)

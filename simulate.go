@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mcbench/internal/badco"
+	"mcbench/internal/bench"
 	"mcbench/internal/cache"
 	"mcbench/internal/multicore"
 	"mcbench/internal/trace"
@@ -76,6 +77,7 @@ type options struct {
 	quota    uint64
 	traceLen int
 	cores    int
+	suite    Source
 	fixedLen bool // WithTraceLen given (Lab.Simulate rejects it)
 }
 
@@ -107,6 +109,18 @@ func WithTraceLen(n int) Option {
 // a multi-benchmark workload must already have exactly n threads.
 func WithCores(n int) Option { return func(o *options) { o.cores = n } }
 
+// WithSuite selects the benchmark source workload names resolve
+// through (default: the shared fixed suite). Traces memoize inside the
+// source, so repeated calls against one source never regenerate a
+// trace it already holds:
+//
+//	src, _ := mcbench.Suite("scaled:64:7")
+//	r, err := mcbench.Simulate(ctx, []string{"high-005", "low-000"},
+//	    mcbench.WithSuite(src))
+//
+// A nil src means the default.
+func WithSuite(src Source) Option { return func(o *options) { o.suite = src } }
+
 // DefaultTraceLen is the default per-benchmark trace length.
 const DefaultTraceLen = trace.DefaultTraceLen
 
@@ -116,6 +130,14 @@ func buildOptions(opts []Option) options {
 		opt(&o)
 	}
 	return o
+}
+
+// source resolves the configured benchmark source.
+func (o options) source() Source {
+	if o.suite != nil {
+		return o.suite
+	}
+	return defaultSource()
 }
 
 // resolveWorkload applies WithCores to the named workload.
@@ -151,29 +173,6 @@ func (o options) validate(workload []string) ([]string, error) {
 	return resolveWorkload(workload, o.cores)
 }
 
-// tracesFor generates traces for the distinct benchmarks of the given
-// workloads via the non-panicking generator.
-func tracesFor(workloads [][]string, n int) (map[string]*trace.Trace, error) {
-	out := map[string]*trace.Trace{}
-	for _, w := range workloads {
-		for _, name := range w {
-			if _, done := out[name]; done {
-				continue
-			}
-			p, ok := trace.ByName(name)
-			if !ok {
-				return nil, fmt.Errorf("mcbench: unknown benchmark %q (see Benchmarks())", name)
-			}
-			t, err := trace.Generate(p, n)
-			if err != nil {
-				return nil, err
-			}
-			out[name] = t
-		}
-	}
-	return out, nil
-}
-
 // convert maps a multicore result into the public Result.
 func convert(r multicore.Result, engine Engine) *Result {
 	return &Result{
@@ -200,13 +199,15 @@ func Simulate(ctx context.Context, workload []string, opts ...Option) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	traces, err := tracesFor([][]string{w}, o.traceLen)
+	src := o.source()
+	names, err := bench.CheckNames(src, [][]string{w})
 	if err != nil {
 		return nil, err
 	}
+	prov := bench.At(src, o.traceLen)
 	switch o.engine {
 	case BADCO:
-		models, err := multicore.BuildModels(ctx, traces, badco.DefaultBuildConfig())
+		models, err := multicore.BuildModels(ctx, prov, names, badco.DefaultBuildConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +217,7 @@ func Simulate(ctx context.Context, workload []string, opts ...Option) (*Result, 
 		}
 		return convert(r, BADCO), nil
 	default:
-		r, err := multicore.Detailed(ctx, multicore.Workload(w), traces, o.policy, o.quota)
+		r, err := multicore.Detailed(ctx, multicore.Workload(w), prov, o.policy, o.quota)
 		if err != nil {
 			return nil, err
 		}
@@ -225,9 +226,9 @@ func Simulate(ctx context.Context, workload []string, opts ...Option) (*Result, 
 }
 
 // Sweep simulates many workloads under one configuration, in parallel
-// across the process-wide simulation budget. Traces (and BADCO models)
-// are built once and shared. The returned slice is indexed like
-// workloads.
+// across the process-wide simulation budget. Traces resolve lazily
+// through the (shared) source and BADCO models are built once per
+// distinct benchmark. The returned slice is indexed like workloads.
 func Sweep(ctx context.Context, workloads [][]string, opts ...Option) ([]*Result, error) {
 	o := buildOptions(opts)
 	ws := make([]multicore.Workload, len(workloads))
@@ -242,14 +243,16 @@ func Sweep(ctx context.Context, workloads [][]string, opts ...Option) ([]*Result
 	for i, w := range ws {
 		all[i] = []string(w)
 	}
-	traces, err := tracesFor(all, o.traceLen)
+	src := o.source()
+	names, err := bench.CheckNames(src, all)
 	if err != nil {
 		return nil, err
 	}
+	prov := bench.At(src, o.traceLen)
 	var results []multicore.Result
 	switch o.engine {
 	case BADCO:
-		models, err := multicore.BuildModels(ctx, traces, badco.DefaultBuildConfig())
+		models, err := multicore.BuildModels(ctx, prov, names, badco.DefaultBuildConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -258,7 +261,7 @@ func Sweep(ctx context.Context, workloads [][]string, opts ...Option) ([]*Result
 			return nil, err
 		}
 	default:
-		results, err = multicore.SweepDetailed(ctx, ws, traces, o.policy, o.quota)
+		results, err = multicore.SweepDetailed(ctx, ws, prov, o.policy, o.quota)
 		if err != nil {
 			return nil, err
 		}

@@ -222,8 +222,8 @@ func TestPopulationHelpers(t *testing.T) {
 // never internal/.
 func TestExamplesUsePublicAPIOnly(t *testing.T) {
 	mains, err := filepath.Glob(filepath.Join("examples", "*", "main.go"))
-	if err != nil || len(mains) < 6 {
-		t.Fatalf("found %d examples (err %v), want 6", len(mains), err)
+	if err != nil || len(mains) < 8 {
+		t.Fatalf("found %d examples (err %v), want 8", len(mains), err)
 	}
 	fset := token.NewFileSet()
 	for _, path := range mains {

@@ -1,0 +1,337 @@
+package mcbench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"mcbench/internal/serve"
+)
+
+// Client talks to an mcbench serve instance: submit experiment,
+// simulate and sweep jobs, follow their progress, fetch results, and
+// browse the server's catalogues and persistent cache.
+//
+//	c, err := mcbench.NewClient("http://127.0.0.1:8080")
+//	st, err := c.SubmitExperiment(ctx, "fig6", 4)
+//	res, err := c.Wait(ctx, st.ID)
+//	fmt.Print(res.Text)
+//
+// Identical in-flight submissions coalesce server-side: submitting a
+// job another client already has running returns the same job ID with
+// Deduped set, and both clients follow one computation.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient validates the base URL ("http://host:port") and returns a
+// client over http.DefaultClient semantics (no request timeout; pass
+// deadline contexts to the calls instead — Events long-polls are
+// expected to dwell).
+func NewClient(baseURL string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("mcbench: bad server URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("mcbench: server URL %q needs an http(s) scheme", baseURL)
+	}
+	return &Client{base: strings.TrimRight(u.String(), "/"), hc: &http.Client{}}, nil
+}
+
+// apiError is a non-2xx server response.
+type apiError struct {
+	status  int
+	message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("mcbench: server %d: %s", e.status, e.message)
+}
+
+// do performs one JSON exchange. A nil in means no body; a nil out
+// discards the response payload.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("mcbench: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("mcbench: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("mcbench: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("mcbench: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		var payload struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &payload) == nil && payload.Error != "" {
+			msg = payload.Error
+		}
+		return &apiError{status: resp.StatusCode, message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("mcbench: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// Health fetches /healthz: build identity, uptime, source, job stats.
+func (c *Client) Health(ctx context.Context) (*ServerHealth, error) {
+	var h ServerHealth
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// ServerExperiments fetches the server's registry catalogue.
+func (c *Client) ServerExperiments(ctx context.Context) ([]ServeExperimentInfo, error) {
+	var payload struct {
+		Experiments []ServeExperimentInfo `json:"experiments"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/experiments", nil, &payload); err != nil {
+		return nil, err
+	}
+	return payload.Experiments, nil
+}
+
+// Benches fetches the server's benchmark catalogue and source name.
+func (c *Client) Benches(ctx context.Context) (source string, benches []BenchInfo, err error) {
+	var payload struct {
+		Source     string      `json:"source"`
+		Benchmarks []BenchInfo `json:"benchmarks"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/benches", nil, &payload); err != nil {
+		return "", nil, err
+	}
+	return payload.Source, payload.Benchmarks, nil
+}
+
+// Cache lists the server's persistent result store, identities
+// preserved (empty when the server runs without a cache directory).
+func (c *Client) Cache(ctx context.Context) ([]CacheEntry, error) {
+	var payload struct {
+		Entries []CacheEntry `json:"entries"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/cache", nil, &payload); err != nil {
+		return nil, err
+	}
+	return payload.Entries, nil
+}
+
+// SubmitExperiment submits a registered experiment (cores 0 = the
+// experiment's paper default). The returned status carries the job ID;
+// Deduped is set when an identical in-flight job absorbed the
+// submission.
+func (c *Client) SubmitExperiment(ctx context.Context, name string, cores int) (*JobStatus, error) {
+	return c.submit(ctx, serve.SubmitRequest{
+		Kind:       serve.KindExperiment,
+		Experiment: &serve.ExperimentRequest{Name: name, Cores: cores},
+	})
+}
+
+// SubmitSimulate submits one ad-hoc workload. The options mirror
+// Simulate: WithPolicy, WithSimulator, WithQuota, WithCores.
+// WithTraceLen and WithSuite are rejected — the server's lab fixes both.
+func (c *Client) SubmitSimulate(ctx context.Context, workload []string, opts ...Option) (*JobStatus, error) {
+	o, err := serverOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.submit(ctx, serve.SubmitRequest{
+		Kind: serve.KindSimulate,
+		Simulate: &serve.SimulateRequest{
+			Workload: workload, Policy: string(o.policy), Engine: o.engine.String(),
+			Quota: o.quota, Cores: o.cores,
+		},
+	})
+}
+
+// SubmitSweep submits many ad-hoc workloads under one configuration.
+func (c *Client) SubmitSweep(ctx context.Context, workloads [][]string, opts ...Option) (*JobStatus, error) {
+	o, err := serverOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.submit(ctx, serve.SubmitRequest{
+		Kind: serve.KindSweep,
+		Sweep: &serve.SweepRequest{
+			Workloads: workloads, Policy: string(o.policy), Engine: o.engine.String(),
+			Quota: o.quota, Cores: o.cores,
+		},
+	})
+}
+
+// serverOptions resolves the public options into a server submission,
+// rejecting the ones a remote lab cannot honour.
+func serverOptions(opts []Option) (options, error) {
+	o := buildOptions(opts)
+	if o.fixedLen {
+		return o, fmt.Errorf("mcbench: WithTraceLen applies to local simulation; a server's trace length is its lab's Config.TraceLen")
+	}
+	if o.suite != nil {
+		return o, fmt.Errorf("mcbench: WithSuite applies to local simulation; a server's source is its lab's Config.Source")
+	}
+	return o, nil
+}
+
+func (c *Client) submit(ctx context.Context, req serve.SubmitRequest) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists every job the server knows, in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var payload struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/jobs", nil, &payload); err != nil {
+		return nil, err
+	}
+	return payload.Jobs, nil
+}
+
+// Cancel cancels a queued or running job. Cancelling a settled job is a
+// no-op; the returned status reports where it ended up.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/jobs/"+url.PathEscape(id)+"/cancel", struct{}{}, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Result fetches a done job's result. While the job is still queued or
+// running it returns (nil, false, nil); a failed or cancelled job is an
+// error carrying the server's reason.
+func (c *Client) Result(ctx context.Context, id string) (*JobResult, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+url.PathEscape(id)+"/result", nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("mcbench: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("mcbench: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, fmt.Errorf("mcbench: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		return nil, false, nil
+	case http.StatusOK:
+	default:
+		return nil, false, &apiError{status: resp.StatusCode, message: strings.TrimSpace(string(data))}
+	}
+	// A terminal non-done job answers 200 with its status wrapped.
+	var settled struct {
+		Status *JobStatus `json:"status"`
+	}
+	if json.Unmarshal(data, &settled) == nil && settled.Status != nil {
+		return nil, true, fmt.Errorf("mcbench: job %s %s: %s", id, settled.Status.State, settled.Status.Error)
+	}
+	var res JobResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, true, fmt.Errorf("mcbench: decoding result: %w", err)
+	}
+	return &res, true, nil
+}
+
+// Events long-polls the job's progress log from the cursor (0 = start),
+// invoking fn for each event in order, until the job settles, fn
+// returns false, or ctx dies. It returns the final state.
+func (c *Client) Events(ctx context.Context, id string, after int, fn func(JobEvent) bool) (JobState, error) {
+	for {
+		var page struct {
+			State  JobState   `json:"state"`
+			Events []JobEvent `json:"events"`
+		}
+		path := fmt.Sprintf("/jobs/%s/events?after=%d&wait=30s", url.PathEscape(id), after)
+		if err := c.do(ctx, http.MethodGet, path, nil, &page); err != nil {
+			return "", err
+		}
+		for _, ev := range page.Events {
+			after = ev.Seq
+			if fn != nil && !fn(ev) {
+				return page.State, nil
+			}
+		}
+		if page.State.Terminal() {
+			return page.State, nil
+		}
+	}
+}
+
+// waitPollFloor is the slowest Wait falls back to between status polls.
+const waitPollFloor = 500 * time.Millisecond
+
+// Wait follows the job until it settles and returns its result. A
+// failed or cancelled job is an error carrying the server's reason.
+func (c *Client) Wait(ctx context.Context, id string) (*JobResult, error) {
+	state, err := c.Events(ctx, id, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if state != JobDone {
+		st, serr := c.Job(ctx, id)
+		if serr != nil {
+			return nil, serr
+		}
+		return nil, fmt.Errorf("mcbench: job %s %s: %s", id, st.State, st.Error)
+	}
+	// Settled done: the result is already published (the server stores
+	// it before flipping the state), so one fetch suffices — with a
+	// small retry for proxies that reorder.
+	for {
+		res, done, err := c.Result(ctx, id)
+		if err != nil || done {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(waitPollFloor):
+		}
+	}
+}

@@ -9,6 +9,8 @@
 //	mcbench list
 //	mcbench benches
 //	mcbench sim <policy> <bench,bench,...>
+//	mcbench serve [-addr HOST:PORT] [-workers N] [-queue N]
+//	mcbench version
 //
 // Experiments are dispatched through the registry in
 // internal/experiments; `mcbench list` enumerates them. -quick runs a
@@ -24,28 +26,30 @@
 // A SIGINT/SIGTERM cancels the campaign gracefully: in-flight population
 // sweeps stop promptly, and every table completed before the interrupt
 // is already persisted when -cache is set, so the next run resumes where
-// this one stopped.
+// this one stopped. `mcbench serve` rides the same signal path: a signal
+// drains the server (running jobs are cancelled, completed sweeps are
+// already persisted) and exits 0.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"syscall"
 	"time"
 
 	"mcbench/internal/badco"
 	"mcbench/internal/bench"
+	"mcbench/internal/buildinfo"
 	"mcbench/internal/cache"
 	"mcbench/internal/experiments"
 	"mcbench/internal/multicore"
+	"mcbench/internal/serve"
+	"mcbench/internal/sigctx"
 	"mcbench/internal/trace"
 )
 
@@ -78,8 +82,10 @@ func realMain() int {
 	}
 
 	// SIGINT/SIGTERM cancel the campaign context; everything below —
-	// warming, sweeps, experiment runs — stops promptly when it fires.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// warming, sweeps, experiment runs, the server's lifetime — stops
+	// promptly when it fires. One signal path, one exit-code convention
+	// (sigctx), shared by batch mode and serve.
+	ctx, stop := sigctx.Notify(context.Background())
 	defer stop()
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
@@ -110,10 +116,15 @@ func realMain() int {
 	case "benches":
 		listBenches(os.Stdout, src)
 		return 0
+	case "version":
+		fmt.Println(buildinfo.Read())
+		return 0
+	case "serve":
+		return serveCmd(ctx, cfg, args[1:])
 	case "sim":
 		if err := simulate(ctx, cfg, args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "mcbench:", err)
-			return 1
+			return sigctx.ExitCode(err)
 		}
 		return 0
 	}
@@ -162,18 +173,56 @@ func realMain() int {
 	return 0
 }
 
-// campaignErr reports a campaign failure, distinguishing a cancelled
-// context (exit 130, the conventional SIGINT code) from real errors.
+// campaignErr reports a campaign failure under the shared exit-code
+// convention: a cancelled context (the signal path) is the conventional
+// 130, everything else a plain failure.
 func campaignErr(err error, cacheDir string) int {
-	if errors.Is(err, context.Canceled) {
+	code := sigctx.ExitCode(err)
+	if code == sigctx.ExitInterrupted {
 		fmt.Fprintln(os.Stderr, "mcbench: interrupted")
 		if cacheDir != "" {
 			fmt.Fprintln(os.Stderr, "mcbench: completed sweeps are persisted in", cacheDir, "— rerun to resume")
 		}
-		return 130
+		return code
 	}
 	fmt.Fprintln(os.Stderr, "mcbench:", err)
-	return 1
+	return code
+}
+
+// serveCmd runs the experiment service until the shared signal context
+// fires, then drains: a SIGTERM'd server exits 0 with every completed
+// sweep persisted (when -cache is set), and a restart serves them from
+// disk.
+func serveCmd(ctx context.Context, cfg experiments.Config, args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 2, "concurrently executing jobs")
+	queue := fs.Int("queue", 16, "bounded backlog of accepted jobs")
+	keep := fs.Int("keep", 256, "settled jobs retained for querying (oldest evicted beyond)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mcbench [-quick] [-suite SPEC] [-cache DIR] serve [-addr HOST:PORT] [-workers N] [-queue N]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mcbench serve: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	srv := serve.New(serve.Config{Lab: cfg, Workers: *workers, QueueDepth: *queue, KeepJobs: *keep})
+	onReady := func(bound string) {
+		fmt.Printf("mcbench serve: %s\n", buildinfo.Read())
+		fmt.Printf("mcbench serve: listening on http://%s (source %s, %d workers)\n",
+			bound, cfg.Source.Name(), *workers)
+	}
+	err := srv.ListenAndServe(ctx, *addr, onReady)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench serve:", err)
+		return sigctx.ExitCode(err)
+	}
+	fmt.Println("mcbench serve: drained cleanly")
+	return sigctx.ExitOK
 }
 
 // startProfiles starts CPU profiling and arranges a heap snapshot at
@@ -288,6 +337,8 @@ func listExperiments(w io.Writer) {
 	printEntry(w, "all", "every paper experiment above, in order")
 	printEntry(w, "sim", "simulate one workload: mcbench sim <policy> <bench,bench,...>")
 	printEntry(w, "benches", "list the active -suite source's benchmarks")
+	printEntry(w, "serve", "run the experiment service: mcbench serve [-addr HOST:PORT]")
+	printEntry(w, "version", "print the build identity")
 	printEntry(w, "list", "this catalogue")
 }
 
@@ -316,6 +367,8 @@ experiments:
 	printGroup(os.Stderr, experiments.GroupExtension)
 	printEntry(os.Stderr, "sim", "simulate one workload: mcbench sim <policy> <bench,bench,...>")
 	printEntry(os.Stderr, "benches", "list the active -suite source's benchmarks")
+	printEntry(os.Stderr, "serve", "run the experiment service: mcbench serve [-addr HOST:PORT]")
+	printEntry(os.Stderr, "version", "print the build identity")
 	fmt.Fprint(os.Stderr, `
 commands: list enumerates the catalogue with one line per experiment
 flags: -suite selects the benchmark source (suite | scaled:B[:seed] | dir:PATH)

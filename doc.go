@@ -49,6 +49,26 @@
 //	table, err := lab.Run(ctx, "fig6", 2)
 //	table.Fprint(os.Stdout)
 //
+// # Serving
+//
+// Serve exposes the same engine as a long-running HTTP JSON service —
+// a job queue over one shared Lab — and Client consumes it. Identical
+// in-flight submissions coalesce onto one job server-side, so M
+// clients asking for the same sweep cost one computation:
+//
+//	go mcbench.Serve(ctx, mcbench.DefaultConfig(), mcbench.ServeOptions{Addr: ":8080"})
+//	...
+//	c, err := mcbench.NewClient("http://127.0.0.1:8080")
+//	st, err := c.SubmitExperiment(ctx, "fig6", 4)
+//	res, err := c.Wait(ctx, st.ID)
+//	fmt.Print(res.Text)
+//
+// Jobs stream progress (Client.Events) as the campaign's tables land,
+// and cancelling the Serve context drains gracefully: completed sweeps
+// are already persisted via Config.CacheDir, and a restarted server
+// serves them from disk. The `mcbench serve` subcommand wraps Serve;
+// see the README's "Serving" section for the HTTP surface.
+//
 // All entry points take a context.Context; cancellation aborts in-flight
 // simulations promptly, and completed products stay memoized, so an
 // interrupted campaign resumes where it stopped. The analysis machinery
@@ -88,6 +108,8 @@
 //     workload clustering);
 //   - internal/experiments — drivers regenerating every table and figure,
 //     with text charts from internal/plot;
+//   - internal/serve — the experiment service: job queue, request dedup,
+//     progress streaming and the cache-browsing API behind Serve/Client;
 //   - cmd/mcbench, cmd/tracegen — the command-line front ends.
 //
 // The experiments package is a concurrent campaign runner: a Lab memoizes

@@ -1,0 +1,86 @@
+// Example serveclient hosts the experiment service in-process and
+// drives it with mcbench.Client: submit a registered experiment and an
+// ad-hoc simulation, stream job progress, read the results back, then
+// drain the server — the same flow an external client uses against a
+// long-running `mcbench serve` deployment.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mcbench"
+)
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// A quick, small campaign keeps the demo snappy.
+	cfg := mcbench.QuickConfig()
+	cfg.TraceLen = 4000
+
+	// Serve drains and returns nil when ctx is cancelled; in a real
+	// deployment ctx would come from the process's signal handler.
+	ready := make(chan string, 1)
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- mcbench.Serve(ctx, cfg, mcbench.ServeOptions{
+			Addr:    "127.0.0.1:0",
+			Workers: 2,
+			OnReady: func(addr string) { ready <- addr },
+		})
+	}()
+	addr := <-ready
+
+	client, err := mcbench.NewClient("http://" + addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	health, err := client.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server %s on %s, source %s\n", health.Build.Version, addr, health.Source)
+
+	// A registered experiment, streamed: product events land as the
+	// lab computes (or cache-loads) each table.
+	st, err := client.SubmitExperiment(ctx, "config", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (deduped=%v)\n", st.ID, st.Deduped)
+	if _, err := client.Events(ctx, st.ID, 0, func(ev mcbench.JobEvent) bool {
+		fmt.Printf("  [%s] %s %s\n", st.ID, ev.Type, ev.Msg)
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := client.Wait(ctx, st.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Text)
+
+	// An ad-hoc simulation through the same job queue.
+	sim, err := client.SubmitSimulate(ctx, []string{"mcf", "povray"},
+		mcbench.WithSimulator(mcbench.BADCO))
+	if err != nil {
+		log.Fatal(err)
+	}
+	simRes, err := client.Wait(ctx, sim.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, name := range simRes.Results[0].Workload {
+		fmt.Printf("%-8s IPC %.4f\n", name, simRes.Results[0].IPC[i])
+	}
+
+	// Drain: cancel the lifetime context and wait for the clean exit.
+	cancel()
+	if err := <-serveDone; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained")
+}

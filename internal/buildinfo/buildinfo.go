@@ -1,0 +1,81 @@
+// Package buildinfo reports what build of mcbench is running, from the
+// module metadata the Go toolchain embeds in every binary. It is the one
+// source the `mcbench version` subcommand and the server's /healthz
+// endpoint share, so a deployed server is identifiable without shipping
+// a hand-maintained version constant.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Module is the main module path ("mcbench").
+	Module string `json:"module"`
+	// Version is the module version, or "(devel)" for a local build.
+	Version string `json:"version"`
+	// Revision is the VCS revision the binary was built from, when the
+	// toolchain recorded one (empty otherwise). Dirty working trees are
+	// suffixed with "+dirty".
+	Revision string `json:"revision,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Platform is GOOS/GOARCH.
+	Platform string `json:"platform"`
+}
+
+// Read extracts the build identity via debug.ReadBuildInfo. It degrades
+// gracefully: binaries built without module support still report the
+// toolchain and platform.
+func Read() Info {
+	info := Info{
+		Module:    "mcbench",
+		Version:   "(devel)",
+		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	var revision string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(revision) > 12 {
+		revision = revision[:12]
+	}
+	if dirty && revision != "" {
+		revision += "+dirty"
+	}
+	info.Revision = revision
+	return info
+}
+
+// String renders the identity on one line:
+//
+//	mcbench (devel) go1.24.0 linux/amd64 [rev 0123abcd4567]
+func (i Info) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s %s %s", i.Module, i.Version, i.GoVersion, i.Platform)
+	if i.Revision != "" {
+		fmt.Fprintf(&sb, " rev %s", i.Revision)
+	}
+	return sb.String()
+}

@@ -1,0 +1,32 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestReadReportsToolchain(t *testing.T) {
+	i := Read()
+	if i.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", i.GoVersion, runtime.Version())
+	}
+	if i.Platform != runtime.GOOS+"/"+runtime.GOARCH {
+		t.Errorf("Platform = %q", i.Platform)
+	}
+	if i.Module == "" || i.Version == "" {
+		t.Errorf("empty module/version: %+v", i)
+	}
+}
+
+func TestStringOneLine(t *testing.T) {
+	s := Read().String()
+	if strings.Contains(s, "\n") {
+		t.Errorf("String() is not one line: %q", s)
+	}
+	for _, want := range []string{"mcbench", runtime.Version()} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

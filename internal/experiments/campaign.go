@@ -46,6 +46,11 @@ type Request struct {
 	Policy cache.PolicyName
 }
 
+// Normalized returns the request with the fields its simulator ignores
+// zeroed — the identity Warm dedups by and ProductEvents report. The
+// serve subsystem keys its event routing by it.
+func (r Request) Normalized() Request { return r.normalize() }
+
 // normalize zeroes the fields a request's simulator ignores, so that
 // equivalent requests deduplicate.
 func (r Request) normalize() Request {

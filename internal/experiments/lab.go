@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mcbench/internal/badco"
 	"mcbench/internal/bench"
@@ -75,6 +76,32 @@ type Config struct {
 	// CacheDir, when non-empty, persists IPC tables (the expensive
 	// population sweeps) across runs via the results package.
 	CacheDir string
+
+	// Observer, when non-nil, receives a ProductEvent whenever an
+	// expensive memoized product is computed (or loaded from the
+	// persistent cache): sweeps starting and finishing, models and
+	// reference measurements building. It is the progress feed the serve
+	// subsystem streams to clients. Memo hits emit nothing — the product
+	// was already observed when it was built. The callback runs on the
+	// computing goroutine and must not block.
+	Observer func(ProductEvent)
+}
+
+// ProductEvent reports the lifecycle of one expensive Lab product. Sim
+// matches the campaign Simulator names ("badco", "detailed", "ref",
+// "mpki", "models"); Cores and Policy are set where the product is keyed
+// by them. Phase is "start" when a computation begins and "done" when it
+// finishes (Err non-nil on failure); a product served from the
+// persistent cache emits a single "done" with Cached set.
+type ProductEvent struct {
+	Sim     string
+	Cores   int
+	Policy  string
+	Phase   string // "start" | "done"
+	Cached  bool
+	Rows    int // result rows (table rows, model count, vector length)
+	Err     error
+	Elapsed time.Duration // set on "done"
 }
 
 // DefaultConfig reproduces the paper's experimental scale.
@@ -242,6 +269,35 @@ type Lab struct {
 	detSweeps   atomic.Int64
 }
 
+// SweepCounts reports how many full population sweeps this lab actually
+// executed (persistent-cache hits excluded), per simulator. The serve
+// subsystem's dedup tests assert on it end to end: N coalesced
+// submissions must leave these at one.
+func (l *Lab) SweepCounts() (badco, detailed int64) {
+	return l.badcoSweeps.Load(), l.detSweeps.Load()
+}
+
+// observe forwards a product event to the configured Observer, if any.
+func (l *Lab) observe(ev ProductEvent) {
+	if l.cfg.Observer != nil {
+		l.cfg.Observer(ev)
+	}
+}
+
+// observeRun brackets a product computation with start/done events.
+func observeRun[V any](l *Lab, ev ProductEvent, rows func(V) int, compute func() (V, error)) (V, error) {
+	ev.Phase = "start"
+	l.observe(ev)
+	start := time.Now()
+	v, err := compute()
+	ev.Phase, ev.Err, ev.Elapsed = "done", err, time.Since(start)
+	if err == nil {
+		ev.Rows = rows(v)
+	}
+	l.observe(ev)
+	return v, err
+}
+
 // NewLab creates a Lab with the given configuration. A nil Config.Source
 // means the paper's fixed suite.
 func NewLab(cfg Config) *Lab {
@@ -291,7 +347,11 @@ func (l *Lab) Names() []string {
 // that makes paper-scale populations (B up to 512) fit a small host.
 func (l *Lab) Models(ctx context.Context) (map[string]*badco.Model, error) {
 	return l.models.get(ctx, func() (map[string]*badco.Model, error) {
-		return multicore.BuildModels(ctx, l.Provider(), l.Names(), badco.DefaultBuildConfig())
+		return observeRun(l, ProductEvent{Sim: "models"},
+			func(m map[string]*badco.Model) int { return len(m) },
+			func() (map[string]*badco.Model, error) {
+				return multicore.BuildModels(ctx, l.Provider(), l.Names(), badco.DefaultBuildConfig())
+			})
 	})
 }
 
@@ -381,27 +441,32 @@ func (l *Lab) BadcoIPC(ctx context.Context, cores int, policy cache.PolicyName) 
 	return l.badcoIPC.do(ctx, ipcKey{cores, policy}, func() ([][]float64, error) {
 		pop := l.Population(cores)
 		if table, ok := l.loadCached("badco", cores, policy, pop.Size(), 0); ok {
+			l.observe(ProductEvent{Sim: "badco", Cores: cores, Policy: string(policy),
+				Phase: "done", Cached: true, Rows: len(table)})
 			return table, nil
 		}
-		models, err := l.Models(ctx)
-		if err != nil {
-			return nil, err
-		}
-		l.badcoSweeps.Add(1)
-		ws := make([]multicore.Workload, pop.Size())
-		for i, w := range pop.Workloads {
-			ws[i] = l.toMulticore(w)
-		}
-		results, err := multicore.SweepApproximate(ctx, ws, models, policy, 0)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: BADCO sweep (%d cores, %s): %w", cores, policy, err)
-		}
-		table := make([][]float64, len(results))
-		for i, r := range results {
-			table[i] = r.IPC
-		}
-		l.saveCached("badco", cores, policy, table, 0)
-		return table, nil
+		ev := ProductEvent{Sim: "badco", Cores: cores, Policy: string(policy)}
+		return observeRun(l, ev, func(t [][]float64) int { return len(t) }, func() ([][]float64, error) {
+			models, err := l.Models(ctx)
+			if err != nil {
+				return nil, err
+			}
+			l.badcoSweeps.Add(1)
+			ws := make([]multicore.Workload, pop.Size())
+			for i, w := range pop.Workloads {
+				ws[i] = l.toMulticore(w)
+			}
+			results, err := multicore.SweepApproximate(ctx, ws, models, policy, 0)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: BADCO sweep (%d cores, %s): %w", cores, policy, err)
+			}
+			table := make([][]float64, len(results))
+			for i, r := range results {
+				table[i] = r.IPC
+			}
+			l.saveCached("badco", cores, policy, table, 0)
+			return table, nil
+		})
 	})
 }
 
@@ -440,25 +505,30 @@ func (l *Lab) DetailedIPC(ctx context.Context, cores int, policy cache.PolicyNam
 		// by versions that never read them back — permanently unloadable.
 		universe := pop.Size()
 		if table, ok := l.loadCached("detailed", cores, policy, len(sample), universe); ok {
+			l.observe(ProductEvent{Sim: "detailed", Cores: cores, Policy: string(policy),
+				Phase: "done", Cached: true, Rows: len(table)})
 			return table, nil
 		}
-		l.detSweeps.Add(1)
-		ws := make([]multicore.Workload, len(sample))
-		for i, wi := range sample {
-			ws[i] = l.toMulticore(pop.Workloads[wi])
-		}
-		// The sweep resolves traces lazily through the source: only
-		// benchmarks that actually appear in the sample are ever built.
-		results, err := multicore.SweepDetailed(ctx, ws, l.Provider(), policy, 0)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: detailed sweep (%d cores, %s): %w", cores, policy, err)
-		}
-		table := make([][]float64, len(results))
-		for i, r := range results {
-			table[i] = r.IPC
-		}
-		l.saveCached("detailed", cores, policy, table, universe)
-		return table, nil
+		ev := ProductEvent{Sim: "detailed", Cores: cores, Policy: string(policy)}
+		return observeRun(l, ev, func(t [][]float64) int { return len(t) }, func() ([][]float64, error) {
+			l.detSweeps.Add(1)
+			ws := make([]multicore.Workload, len(sample))
+			for i, wi := range sample {
+				ws[i] = l.toMulticore(pop.Workloads[wi])
+			}
+			// The sweep resolves traces lazily through the source: only
+			// benchmarks that actually appear in the sample are ever built.
+			results, err := multicore.SweepDetailed(ctx, ws, l.Provider(), policy, 0)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: detailed sweep (%d cores, %s): %w", cores, policy, err)
+			}
+			table := make([][]float64, len(results))
+			for i, r := range results {
+				table[i] = r.IPC
+			}
+			l.saveCached("detailed", cores, policy, table, universe)
+			return table, nil
+		})
 	})
 }
 
@@ -501,29 +571,36 @@ func (l *Lab) saveCached(sim string, cores int, policy cache.PolicyName, table [
 // speedup metrics WSU and HSU.
 func (l *Lab) RefIPC(ctx context.Context, cores int) ([]float64, error) {
 	return l.refIPC.do(ctx, cores, func() ([]float64, error) {
-		models, err := l.Models(ctx)
+		return observeRun(l, ProductEvent{Sim: "ref", Cores: cores},
+			func(v []float64) int { return len(v) },
+			func() ([]float64, error) { return l.refIPCCompute(ctx, cores) })
+	})
+}
+
+// refIPCCompute is the RefIPC computation behind its memo and observer.
+func (l *Lab) refIPCCompute(ctx context.Context, cores int) ([]float64, error) {
+	models, err := l.Models(ctx)
+	if err != nil {
+		return nil, err
+	}
+	names := l.Names()
+	// Alone on the same uncore configuration as the K-core machine:
+	// the uncore is built for `cores` but only core 0 is populated.
+	// The runs are independent, so they draw on the shared
+	// simulation budget like the sweeps do.
+	out := make([]float64, len(names))
+	errs := make([]error, len(names))
+	if err := multicore.RunBounded(ctx, len(names), func(i int) {
+		out[i], errs[i] = aloneOn(cores, multicore.Workload{names[i]}, models)
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		names := l.Names()
-		// Alone on the same uncore configuration as the K-core machine:
-		// the uncore is built for `cores` but only core 0 is populated.
-		// The runs are independent, so they draw on the shared
-		// simulation budget like the sweeps do.
-		out := make([]float64, len(names))
-		errs := make([]error, len(names))
-		if err := multicore.RunBounded(ctx, len(names), func(i int) {
-			out[i], errs[i] = aloneOn(cores, multicore.Workload{names[i]}, models)
-		}); err != nil {
-			return nil, err
-		}
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	})
+	}
+	return out, nil
 }
 
 // aloneOn runs one benchmark alone against a cores-sized LRU uncore with
@@ -630,26 +707,33 @@ func (l *Lab) BadcoDiffsAt(ctx context.Context, cores int, m metrics.Metric, x, 
 // LRU configuration (the Table IV measurement).
 func (l *Lab) MPKI(ctx context.Context) ([]float64, error) {
 	return l.mpki.get(ctx, func() ([]float64, error) {
-		names := l.Names()
-		prov := l.Provider()
-		out := make([]float64, len(names))
-		errs := make([]error, len(names))
-		if err := multicore.RunBounded(ctx, len(names), func(i int) {
-			tr, err := prov.Trace(ctx, names[i])
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			defer prov.Release(names[i])
-			out[i], errs[i] = measureMPKI(tr)
-		}); err != nil {
+		return observeRun(l, ProductEvent{Sim: "mpki"},
+			func(v []float64) int { return len(v) },
+			func() ([]float64, error) { return l.mpkiCompute(ctx) })
+	})
+}
+
+// mpkiCompute is the MPKI measurement behind its memo and observer.
+func (l *Lab) mpkiCompute(ctx context.Context) ([]float64, error) {
+	names := l.Names()
+	prov := l.Provider()
+	out := make([]float64, len(names))
+	errs := make([]error, len(names))
+	if err := multicore.RunBounded(ctx, len(names), func(i int) {
+		tr, err := prov.Trace(ctx, names[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		defer prov.Release(names[i])
+		out[i], errs[i] = measureMPKI(tr)
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	})
+	}
+	return out, nil
 }

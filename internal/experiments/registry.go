@@ -46,6 +46,20 @@ func (p Params) cores() int {
 	return 4
 }
 
+// ParamsFor maps a bare cores argument onto Params the way every
+// dispatcher (the public Lab, the serve subsystem) must: 0 means each
+// experiment's paper default, a positive count pins both the
+// single-count experiments and the core-count sweeps of fig2, fig3 and
+// fig7. Centralised so two entry points cannot drift and key the shared
+// memo/cache with different parameters.
+func ParamsFor(cores int) Params {
+	p := Params{Cores: cores}
+	if cores > 0 {
+		p.CoreCounts = []int{cores}
+	}
+	return p
+}
+
 // Experiment is one reproducible unit of the evaluation: a named
 // computation over a Lab that yields a printable Table. Requests
 // declares the expensive memoized Lab products the run will read, so a

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -101,6 +102,20 @@ func (t *IPCTable) Validate() error {
 // Store is a directory of JSON result files.
 type Store struct {
 	dir string
+
+	// listCache memoizes decoded List entries per file, keyed by
+	// (size, mtime): repeated listings of a big cache directory (the
+	// serve /cache endpoint) re-read only files that changed instead of
+	// every table on every call.
+	mu        sync.Mutex
+	listCache map[string]listCached
+}
+
+// listCached is one memoized List entry with the stat that validated it.
+type listCached struct {
+	size  int64
+	mod   time.Time
+	entry Entry
 }
 
 // staleTempAge is how old a staging file must be before Open reclaims
@@ -218,6 +233,110 @@ func (t *IPCTable) sameIdentity(o *IPCTable) bool {
 		t.Policy == o.Policy && t.TraceLen == o.TraceLen &&
 		t.Population == o.Population && t.Seed == o.Seed &&
 		t.Universe == o.Universe && t.Source == o.Source
+}
+
+// Entry describes one stored table for listings: the filename key plus
+// the raw identity fields, so a cache browser can report what a
+// directory actually holds. Keys() alone cannot — sanitize is lossy, so
+// a sanitized name cannot be mapped back to its source spec.
+type Entry struct {
+	// Key is the filename-safe identity (the stored file is Key+".json").
+	Key string `json:"key"`
+	// Table carries the identity fields of the stored table — simulator,
+	// cores, policy, trace length, population, seed, universe, source —
+	// with the IPC rows dropped (Population still records the row count).
+	Table IPCTable `json:"table"`
+	// Bytes and ModTime describe the file itself.
+	Bytes   int64     `json:"bytes"`
+	ModTime time.Time `json:"mod_time"`
+	// Corrupt marks a file that exists but does not decode (or whose
+	// content does not match its filename); its Table is zero. Listing
+	// surfaces it instead of hiding it so operators can clean up.
+	Corrupt bool `json:"corrupt,omitempty"`
+}
+
+// tableIdentity mirrors IPCTable's identity fields without the IPC
+// rows, so listing a store never materialises the (potentially
+// multi-megabyte) row arrays of every table it describes.
+type tableIdentity struct {
+	Simulator  string `json:"simulator"`
+	Cores      int    `json:"cores"`
+	Policy     string `json:"policy"`
+	TraceLen   int    `json:"trace_len"`
+	Population int    `json:"population"`
+	Seed       int64  `json:"seed"`
+	Universe   int    `json:"universe,omitempty"`
+	Source     string `json:"source,omitempty"`
+}
+
+// List returns one identity-preserving entry per stored table, sorted by
+// key. Unlike Keys, it reports the raw identity fields (spec, cores,
+// policy, source, ...), which is what the serve /cache endpoint and
+// list-style tooling show. Only the identity fields are decoded — the
+// IPC rows are skipped — an entry whose content does not match its
+// filename identity is marked Corrupt rather than served as something
+// it is not, and unchanged files (same size and mtime) are served from
+// a per-store memo instead of being re-read on every call.
+func (s *Store) List() ([]Entry, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fresh := make(map[string]listCached, len(entries))
+	var out []Entry
+	for _, de := range entries {
+		name := de.Name()
+		if filepath.Ext(name) != ".json" {
+			continue
+		}
+		e := Entry{Key: name[:len(name)-len(".json")]}
+		info, statErr := de.Info()
+		if statErr == nil {
+			e.Bytes = info.Size()
+			e.ModTime = info.ModTime()
+			// An unchanged file keeps its memoized entry: no re-read.
+			if c, ok := s.listCache[name]; ok && c.size == info.Size() && c.mod.Equal(info.ModTime()) {
+				fresh[name] = c
+				out = append(out, c.entry)
+				continue
+			}
+		}
+		e.decodeIdentity(filepath.Join(s.dir, name))
+		out = append(out, e)
+		if statErr == nil {
+			fresh[name] = listCached{size: e.Bytes, mod: e.ModTime, entry: e}
+		}
+	}
+	// Entries for files that vanished fall out of the cache here.
+	s.listCache = fresh
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// decodeIdentity fills the entry's identity (or Corrupt flag) from one
+// stored file, decoding only the identity fields.
+func (e *Entry) decodeIdentity(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		e.Corrupt = true
+		return
+	}
+	var id tableIdentity
+	t := IPCTable{}
+	if json.Unmarshal(data, &id) == nil {
+		t = IPCTable{
+			Simulator: id.Simulator, Cores: id.Cores, Policy: id.Policy,
+			TraceLen: id.TraceLen, Population: id.Population, Seed: id.Seed,
+			Universe: id.Universe, Source: id.Source,
+		}
+	}
+	if t.Simulator == "" || t.Key() != e.Key {
+		e.Corrupt = true
+		return
+	}
+	e.Table = t
 }
 
 // Keys lists the stored table keys, sorted.

@@ -1,6 +1,7 @@
 package results
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"sync"
@@ -260,5 +261,83 @@ func TestSavedFilesAreWorldReadable(t *testing.T) {
 	// Shared cache directories need group/other read bits (modulo umask).
 	if info.Mode().Perm()&0o044 == 0 {
 		t.Errorf("saved table mode %v lacks group/other read bits", info.Mode().Perm())
+	}
+}
+
+// TestListPreservesIdentity is the satellite contract of the /cache
+// endpoint: List must report the raw identity fields of every stored
+// table — including source specs whose sanitized filenames cannot be
+// mapped back — and surface corrupt files instead of hiding them.
+func TestListPreservesIdentity(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	a := table()
+	b := table()
+	b.Policy = "DIP"
+	b.Source = "dir:/traces/a b" // sanitization is lossy for this spec
+	for _, tab := range []*IPCTable{a, b} {
+		if err := s.Save(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A file that is not a table at all.
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("List returned %d entries, want 3: %+v", len(entries), entries)
+	}
+	byKey := map[string]Entry{}
+	for _, e := range entries {
+		byKey[e.Key] = e
+	}
+	got, ok := byKey[b.Key()]
+	if !ok {
+		t.Fatalf("List missing key %s", b.Key())
+	}
+	if got.Corrupt {
+		t.Fatal("valid table listed as corrupt")
+	}
+	// The raw identity survives, even though the filename sanitized it.
+	if got.Table.Source != b.Source || got.Table.Policy != "DIP" ||
+		got.Table.Cores != b.Cores || got.Table.Population != b.Population ||
+		got.Table.Seed != b.Seed || got.Table.TraceLen != b.TraceLen {
+		t.Errorf("listed identity %+v does not match saved table", got.Table)
+	}
+	if got.Table.IPC != nil {
+		t.Error("List kept the IPC rows; identity-only listing expected")
+	}
+	if got.Bytes <= 0 || got.ModTime.IsZero() {
+		t.Errorf("file metadata missing: bytes=%d mod=%v", got.Bytes, got.ModTime)
+	}
+	junk, ok := byKey["junk"]
+	if !ok || !junk.Corrupt {
+		t.Errorf("corrupt file not surfaced: %+v", junk)
+	}
+	// A decodable table stored under the wrong filename is corrupt too:
+	// serving it under its filename identity would be a lie.
+	wrong := table()
+	wrong.Policy = "RND"
+	data, _ := json.Marshal(wrong)
+	if err := os.WriteFile(filepath.Join(dir, "badco-c9-LRU-l1-p1-s1.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = s.List()
+	found := false
+	for _, e := range entries {
+		if e.Key == "badco-c9-LRU-l1-p1-s1" {
+			found = true
+			if !e.Corrupt {
+				t.Error("mismatched filename/content not marked corrupt")
+			}
+		}
+	}
+	if !found {
+		t.Error("mismatched entry missing from listing")
 	}
 }

@@ -1,0 +1,358 @@
+package serve
+
+// The HTTP surface. All endpoints speak JSON; /jobs/{id}/events also
+// speaks Server-Sent Events when the client asks for text/event-stream.
+//
+//	GET  /healthz            server identity, uptime, job stats
+//	GET  /experiments        the registry catalogue
+//	GET  /benches            the active benchmark source
+//	GET  /cache              identity-preserving persistent-store listing
+//	POST /jobs               submit {kind, experiment|simulate|sweep}
+//	GET  /jobs               list jobs
+//	GET  /jobs/{id}          one job's status
+//	GET  /jobs/{id}/result   the result (202 while not finished)
+//	GET  /jobs/{id}/events   progress log: JSON long-poll (?after, ?wait)
+//	                         or SSE (Accept: text/event-stream)
+//	POST /jobs/{id}/cancel   cancel a queued or running job
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcbench/internal/buildinfo"
+	"mcbench/internal/experiments"
+	"mcbench/internal/results"
+	"mcbench/internal/trace"
+)
+
+// maxBodyBytes bounds submission bodies (sweep workload lists included).
+const maxBodyBytes = 8 << 20
+
+// maxLongPollWait caps the ?wait parameter of the long-poll endpoint.
+const maxLongPollWait = 60 * time.Second
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders a JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	OK       bool           `json:"ok"`
+	Build    buildinfo.Info `json:"build"`
+	Uptime   string         `json:"uptime"`
+	Source   string         `json:"source"`
+	TraceLen int            `json:"trace_len"`
+	CacheDir string         `json:"cache_dir,omitempty"`
+	Workers  int            `json:"workers"`
+	Jobs     Stats          `json:"jobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		OK:       true,
+		Build:    s.build,
+		Uptime:   time.Since(s.start).Round(time.Millisecond).String(),
+		Source:   s.lab.Source().Name(),
+		TraceLen: s.lab.Config().TraceLen,
+		CacheDir: s.lab.Config().CacheDir,
+		Workers:  s.workers,
+		Jobs:     s.mgr.snapshotStats(),
+	})
+}
+
+// ExperimentInfo is one /experiments entry.
+type ExperimentInfo struct {
+	Name     string `json:"name"`
+	Synopsis string `json:"synopsis"`
+	Group    string `json:"group"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var out []ExperimentInfo
+	for _, g := range []experiments.Group{experiments.GroupPaper, experiments.GroupExtension} {
+		for _, e := range experiments.ByGroup(g) {
+			out = append(out, ExperimentInfo{Name: e.Name(), Synopsis: e.Synopsis(), Group: string(e.Group())})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+// BenchInfo is one /benches entry.
+type BenchInfo struct {
+	Name string `json:"name"`
+	// Params carries the trace-generator parameters when the source
+	// exposes them (load/store/branch/fp fractions, pattern kinds).
+	Params *BenchParams `json:"params,omitempty"`
+}
+
+// BenchParams is the introspectable slice of trace.Params.
+type BenchParams struct {
+	LoadFrac   float64  `json:"load_frac"`
+	StoreFrac  float64  `json:"store_frac"`
+	BranchFrac float64  `json:"branch_frac"`
+	FPFrac     float64  `json:"fp_frac"`
+	Patterns   []string `json:"patterns,omitempty"`
+}
+
+func (s *Server) handleBenches(w http.ResponseWriter, r *http.Request) {
+	src := s.lab.Source()
+	type paramsSource interface {
+		Params(string) (trace.Params, bool)
+	}
+	ps, hasParams := src.(paramsSource)
+	names := src.Names()
+	out := make([]BenchInfo, 0, len(names))
+	for _, n := range names {
+		info := BenchInfo{Name: n}
+		if hasParams {
+			if p, ok := ps.Params(n); ok {
+				bp := &BenchParams{
+					LoadFrac: p.LoadFrac, StoreFrac: p.StoreFrac,
+					BranchFrac: p.BranchFrac, FPFrac: p.FPFrac,
+				}
+				for _, spec := range p.Patterns {
+					bp.Patterns = append(bp.Patterns, spec.Kind.String())
+				}
+				info.Params = bp
+			}
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"source": src.Name(), "benchmarks": out})
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	store, err := s.cacheStore()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if store == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dir": "", "entries": []results.Entry{},
+			"note": "no cache directory configured (-cache)",
+		})
+		return
+	}
+	entries, err := store.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if entries == nil {
+		entries = []results.Entry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dir": s.lab.Config().CacheDir, "entries": entries})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "serve: bad submission: %v", err)
+		return
+	}
+	canon, key, err := canonicalize(req, s.lab.Source())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, deduped, err := s.mgr.submit(canon, key)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := j.status()
+	st.Deduped = deduped
+	status := http.StatusCreated
+	if deduped {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, st)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.list()})
+}
+
+// jobFor resolves {id} or writes a 404.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.mgr.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "serve: no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	st := j.status()
+	if !st.State.Terminal() {
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	if st.State != StateDone {
+		writeJSON(w, http.StatusOK, map[string]any{"status": st})
+		return
+	}
+	j.mu.Lock()
+	result := j.result
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, result)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.mgr.cancelJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "serve: no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams a job's progress log. JSON mode returns the
+// events past ?after=SEQ, long-polling up to ?wait=DURATION for new ones;
+// SSE mode (Accept: text/event-stream) replays from ?after and follows
+// until the job is terminal.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "serve: bad after cursor %q", v)
+			return
+		}
+		after = n
+	}
+	// Compound Accept values ("text/event-stream, */*", quality params)
+	// are how SSE libraries and proxies commonly ask; substring matching
+	// keeps them on the stream instead of silently degrading to one
+	// long-poll page.
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamSSE(w, r, j, after)
+		return
+	}
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "serve: bad wait duration %q", v)
+			return
+		}
+		wait = min(d, maxLongPollWait)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		evs, wake, state := j.eventsAfter(after)
+		if len(evs) > 0 || state.Terminal() || wait == 0 || !time.Now().Before(deadline) {
+			if evs == nil {
+				evs = []Event{}
+			}
+			// state comes from the same snapshot as evs: a terminal
+			// state here guarantees the final event is in (or before)
+			// this page, so a follower never stops early.
+			writeJSON(w, http.StatusOK, map[string]any{
+				"id": j.id, "state": state, "events": evs,
+			})
+			return
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-wake:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+		timer.Stop()
+	}
+}
+
+// streamSSE follows the event log as Server-Sent Events until the job
+// settles or the client disconnects. Event Seq doubles as the SSE id, so
+// a reconnecting client resumes with ?after=<last id>.
+func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, j *job, after int) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "serve: streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for {
+		evs, wake, state := j.eventsAfter(after)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			after = ev.Seq
+		}
+		flusher.Flush()
+		if state.Terminal() {
+			// The snapshot's terminal state guarantees the final event
+			// was in evs (state and log move under one lock), so the
+			// stream ends complete.
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// routes builds the mux.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("GET /benches", s.handleBenches)
+	mux.HandleFunc("GET /cache", s.handleCache)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	return mux
+}

@@ -1,0 +1,210 @@
+package serve
+
+// Request canonicalization. Every submission is validated and rewritten
+// into a canonical form up front — defaults filled in, workloads
+// resolved, names checked against the benchmark source — and the
+// canonical form is rendered into a stable key string. The key is the
+// dedup identity: two submissions asking for the same computation
+// canonicalize to the same key and coalesce onto one job, the serve-side
+// analogue of the identity scheme results.IPCTable.Key uses for the
+// persistent table cache.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"mcbench/internal/bench"
+	"mcbench/internal/cache"
+	"mcbench/internal/experiments"
+)
+
+// Kind classifies a job.
+type Kind string
+
+const (
+	// KindExperiment runs a registered experiment (registry-dispatched).
+	KindExperiment Kind = "experiment"
+	// KindSimulate runs one ad-hoc workload.
+	KindSimulate Kind = "simulate"
+	// KindSweep runs many ad-hoc workloads under one configuration.
+	KindSweep Kind = "sweep"
+)
+
+// Engine names on the wire.
+const (
+	EngineDetailed = "detailed"
+	EngineBadco    = "badco"
+)
+
+// SubmitRequest is the wire form of a job submission: a kind plus the
+// matching payload. Exactly one payload must be set.
+type SubmitRequest struct {
+	Kind       Kind               `json:"kind"`
+	Experiment *ExperimentRequest `json:"experiment,omitempty"`
+	Simulate   *SimulateRequest   `json:"simulate,omitempty"`
+	Sweep      *SweepRequest      `json:"sweep,omitempty"`
+}
+
+// ExperimentRequest asks for one registered experiment.
+type ExperimentRequest struct {
+	// Name is a registry experiment name (see /experiments).
+	Name string `json:"name"`
+	// Cores pins the core count; 0 means the experiment's paper default.
+	Cores int `json:"cores,omitempty"`
+}
+
+// SimulateRequest asks for one ad-hoc workload simulation. The trace
+// length is the server lab's Config.TraceLen.
+type SimulateRequest struct {
+	// Workload is one benchmark name per core. A single name with
+	// Cores > 1 is replicated onto all cores.
+	Workload []string `json:"workload"`
+	// Policy is the LLC replacement policy (default "LRU").
+	Policy string `json:"policy,omitempty"`
+	// Engine is "detailed" (default) or "badco".
+	Engine string `json:"engine,omitempty"`
+	// Quota is the per-thread instruction quota (0: one trace length).
+	Quota uint64 `json:"quota,omitempty"`
+	// Cores replicates a single-benchmark workload; 0 keeps the
+	// workload's own width.
+	Cores int `json:"cores,omitempty"`
+}
+
+// SweepRequest is SimulateRequest over many workloads at once.
+type SweepRequest struct {
+	Workloads [][]string `json:"workloads"`
+	Policy    string     `json:"policy,omitempty"`
+	Engine    string     `json:"engine,omitempty"`
+	Quota     uint64     `json:"quota,omitempty"`
+	Cores     int        `json:"cores,omitempty"`
+}
+
+// submitError is a validation failure; the handler maps it to 400.
+type submitError struct{ msg string }
+
+func (e *submitError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &submitError{msg: fmt.Sprintf(format, args...)}
+}
+
+// canonicalize validates the submission against the source and registry,
+// fills in defaults, resolves workloads, and returns the canonical
+// request plus its dedup key.
+func canonicalize(req SubmitRequest, src bench.Source) (SubmitRequest, string, error) {
+	switch req.Kind {
+	case KindExperiment:
+		if req.Experiment == nil {
+			return req, "", badRequest("serve: experiment submission without payload")
+		}
+		e := *req.Experiment
+		if e.Cores < 0 {
+			return req, "", badRequest("serve: negative cores %d", e.Cores)
+		}
+		if _, ok := experiments.Lookup(e.Name); !ok {
+			msg := fmt.Sprintf("serve: unknown experiment %q", e.Name)
+			if s := experiments.Suggest(e.Name); s != "" {
+				msg += fmt.Sprintf(" (did you mean %q?)", s)
+			}
+			return req, "", badRequest("%s", msg)
+		}
+		canon := SubmitRequest{Kind: KindExperiment, Experiment: &e}
+		return canon, fmt.Sprintf("exp|%s|c%d", e.Name, e.Cores), nil
+
+	case KindSimulate:
+		if req.Simulate == nil {
+			return req, "", badRequest("serve: simulate submission without payload")
+		}
+		s := *req.Simulate
+		w, policy, engine, err := canonSim(src, [][]string{s.Workload}, s.Policy, s.Engine, s.Cores)
+		if err != nil {
+			return req, "", err
+		}
+		s.Workload, s.Policy, s.Engine = w[0], policy, engine
+		canon := SubmitRequest{Kind: KindSimulate, Simulate: &s}
+		key := fmt.Sprintf("sim|%s|%s|q%d|%s", engine, policy, s.Quota, strings.Join(s.Workload, ","))
+		return canon, key, nil
+
+	case KindSweep:
+		if req.Sweep == nil {
+			return req, "", badRequest("serve: sweep submission without payload")
+		}
+		s := *req.Sweep
+		if len(s.Workloads) == 0 {
+			return req, "", badRequest("serve: empty sweep")
+		}
+		w, policy, engine, err := canonSim(src, s.Workloads, s.Policy, s.Engine, s.Cores)
+		if err != nil {
+			return req, "", err
+		}
+		s.Workloads, s.Policy, s.Engine = w, policy, engine
+		canon := SubmitRequest{Kind: KindSweep, Sweep: &s}
+		// Workload lists can be large; the key carries a digest plus the
+		// shape so distinct sweeps cannot collide in practice.
+		h := fnv.New64a()
+		for _, wl := range s.Workloads {
+			h.Write([]byte(strings.Join(wl, ",")))
+			h.Write([]byte{'\n'})
+		}
+		key := fmt.Sprintf("sweep|%s|%s|q%d|n%d|%016x", engine, policy, s.Quota, len(s.Workloads), h.Sum64())
+		return canon, key, nil
+
+	default:
+		return req, "", badRequest("serve: unknown job kind %q", req.Kind)
+	}
+}
+
+// canonSim validates and canonicalizes the shared simulate/sweep fields:
+// policy and engine defaults, WithCores-style replication, and name
+// validation against the source.
+func canonSim(src bench.Source, workloads [][]string, policy, engine string, cores int) (resolved [][]string, pol, eng string, err error) {
+	if policy == "" {
+		policy = string(cache.LRU)
+	}
+	if _, err := cache.NewPolicy(cache.PolicyName(policy), 0); err != nil {
+		return nil, "", "", badRequest("serve: %v", err)
+	}
+	switch engine {
+	case "":
+		engine = EngineDetailed
+	case EngineDetailed, EngineBadco:
+	default:
+		return nil, "", "", badRequest("serve: unknown engine %q (want %q or %q)", engine, EngineDetailed, EngineBadco)
+	}
+	if cores < 0 {
+		return nil, "", "", badRequest("serve: negative cores %d", cores)
+	}
+	resolved = make([][]string, len(workloads))
+	for i, w := range workloads {
+		rw, err := resolveWorkload(w, cores)
+		if err != nil {
+			return nil, "", "", err
+		}
+		resolved[i] = rw
+	}
+	if _, err := bench.CheckNames(src, resolved); err != nil {
+		return nil, "", "", badRequest("%v (see /benches)", err)
+	}
+	return resolved, policy, engine, nil
+}
+
+// resolveWorkload applies the cores option to one named workload: a
+// single benchmark is replicated onto all cores, a multi-benchmark
+// workload must already match.
+func resolveWorkload(workload []string, cores int) ([]string, error) {
+	if len(workload) == 0 {
+		return nil, badRequest("serve: empty workload")
+	}
+	if cores == 0 || cores == len(workload) {
+		return append([]string(nil), workload...), nil
+	}
+	if len(workload) == 1 {
+		w := make([]string, cores)
+		for i := range w {
+			w[i] = workload[0]
+		}
+		return w, nil
+	}
+	return nil, badRequest("serve: workload has %d threads but cores=%d was given", len(workload), cores)
+}

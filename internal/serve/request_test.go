@@ -1,0 +1,120 @@
+package serve
+
+// Canonicalization tests: defaults, key stability (the dedup identity),
+// and validation errors.
+
+import (
+	"strings"
+	"testing"
+
+	"mcbench/internal/bench"
+)
+
+func suiteSrc() bench.Source { return bench.NewSuite() }
+
+func TestCanonicalizeExperiment(t *testing.T) {
+	src := suiteSrc()
+	canon, key, err := canonicalize(SubmitRequest{
+		Kind: KindExperiment, Experiment: &ExperimentRequest{Name: "fig1", Cores: 2},
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Experiment.Name != "fig1" || key != "exp|fig1|c2" {
+		t.Fatalf("canon %+v key %q", canon.Experiment, key)
+	}
+	// Unknown experiments fail fast with a suggestion.
+	_, _, err = canonicalize(SubmitRequest{
+		Kind: KindExperiment, Experiment: &ExperimentRequest{Name: "fig12"},
+	}, src)
+	if err == nil || !strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("unknown experiment error %v lacks suggestion", err)
+	}
+}
+
+func TestCanonicalizeSimulateDefaultsAndKey(t *testing.T) {
+	src := suiteSrc()
+	a, keyA, err := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "povray"}},
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Simulate.Policy != "LRU" || a.Simulate.Engine != EngineDetailed {
+		t.Fatalf("defaults not filled: %+v", a.Simulate)
+	}
+	// Explicit defaults canonicalize to the same key: they dedup.
+	_, keyB, err := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{
+			Workload: []string{"mcf", "povray"}, Policy: "LRU", Engine: EngineDetailed,
+		},
+	}, src)
+	if err != nil || keyA != keyB {
+		t.Fatalf("equivalent submissions have keys %q vs %q (err %v)", keyA, keyB, err)
+	}
+	// Different policy, different key.
+	_, keyC, _ := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "povray"}, Policy: "DIP"},
+	}, src)
+	if keyC == keyA {
+		t.Error("different policies share a key")
+	}
+	// Cores replication canonicalizes into the workload itself.
+	d, keyD, err := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf"}, Cores: 2},
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Simulate.Workload) != 2 || d.Simulate.Workload[1] != "mcf" {
+		t.Fatalf("replication lost: %+v", d.Simulate.Workload)
+	}
+	_, keyE, _ := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "mcf"}},
+	}, src)
+	if keyD != keyE {
+		t.Errorf("replicated and explicit workloads differ: %q vs %q", keyD, keyE)
+	}
+}
+
+func TestCanonicalizeRejections(t *testing.T) {
+	src := suiteSrc()
+	cases := []SubmitRequest{
+		{Kind: "nope"},
+		{Kind: KindExperiment}, // no payload
+		{Kind: KindSimulate},   // no payload
+		{Kind: KindSweep},      // no payload
+		{Kind: KindSimulate, Simulate: &SimulateRequest{}}, // empty workload
+		{Kind: KindSweep, Sweep: &SweepRequest{}},          // empty sweep
+		{Kind: KindExperiment, Experiment: &ExperimentRequest{Name: "fig1", Cores: -1}},
+		{Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"nosuch"}}},
+		{Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf"}, Policy: "NOPE"}},
+		{Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf"}, Engine: "zesto"}},
+		{Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "gcc"}, Cores: 4}},
+	}
+	for i, req := range cases {
+		if _, _, err := canonicalize(req, src); err == nil {
+			t.Errorf("case %d (%+v): accepted", i, req)
+		}
+	}
+}
+
+func TestCanonicalizeSweepDigest(t *testing.T) {
+	src := suiteSrc()
+	ws := [][]string{{"mcf", "gcc"}, {"povray", "milc"}}
+	_, keyA, err := canonicalize(SubmitRequest{Kind: KindSweep, Sweep: &SweepRequest{Workloads: ws}}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, keyB, _ := canonicalize(SubmitRequest{Kind: KindSweep, Sweep: &SweepRequest{Workloads: ws}}, src)
+	if keyA != keyB {
+		t.Errorf("identical sweeps differ: %q vs %q", keyA, keyB)
+	}
+	// Workload order matters (results are indexed by it).
+	_, keyC, _ := canonicalize(SubmitRequest{Kind: KindSweep, Sweep: &SweepRequest{
+		Workloads: [][]string{{"povray", "milc"}, {"mcf", "gcc"}},
+	}}, src)
+	if keyC == keyA {
+		t.Error("reordered sweep shares a key")
+	}
+}

@@ -1,0 +1,250 @@
+package serve
+
+// Job executors. Experiment jobs ride the shared Lab — its single-flight
+// memoization and persistent table cache are what make N concurrent
+// clients cheap — and the event router forwards the lab's product
+// events (sweeps starting, tables landing, cache hits) to every job that
+// declared an interest in the product. Ad-hoc simulate/sweep jobs
+// resolve traces through the lab's source (memoized, shared) and build
+// the few BADCO models they need per job.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mcbench/internal/badco"
+	"mcbench/internal/bench"
+	"mcbench/internal/cache"
+	"mcbench/internal/experiments"
+	"mcbench/internal/multicore"
+)
+
+// router fans lab product events out to the jobs interested in each
+// product. Jobs register the normalized requests of their campaign plan
+// before warming and unregister afterwards; a product event reaches
+// every job registered for it at emission time — including single-flight
+// waiters riding another job's computation.
+type router struct {
+	mu sync.Mutex
+	m  map[experiments.Request]map[*job]struct{}
+}
+
+func newRouter() *router {
+	return &router{m: map[experiments.Request]map[*job]struct{}{}}
+}
+
+func (r *router) register(j *job, plan []experiments.Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, req := range plan {
+		req = req.Normalized()
+		set := r.m[req]
+		if set == nil {
+			set = map[*job]struct{}{}
+			r.m[req] = set
+		}
+		set[j] = struct{}{}
+	}
+}
+
+func (r *router) unregister(j *job, plan []experiments.Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, req := range plan {
+		req = req.Normalized()
+		if set := r.m[req]; set != nil {
+			delete(set, j)
+			if len(set) == 0 {
+				delete(r.m, req)
+			}
+		}
+	}
+}
+
+// dispatch is installed as the lab's Observer. Product events carry
+// normalized identity fields by construction, so the lookup key is
+// direct.
+func (r *router) dispatch(ev experiments.ProductEvent) {
+	req := experiments.Request{
+		Sim:    experiments.Simulator(ev.Sim),
+		Cores:  ev.Cores,
+		Policy: cache.PolicyName(ev.Policy),
+	}
+	r.mu.Lock()
+	jobs := make([]*job, 0, len(r.m[req]))
+	for j := range r.m[req] {
+		jobs = append(jobs, j)
+	}
+	r.mu.Unlock()
+	if len(jobs) == 0 {
+		return
+	}
+	data := map[string]any{
+		"sim":   ev.Sim,
+		"phase": ev.Phase,
+	}
+	if ev.Cores > 0 {
+		data["cores"] = ev.Cores
+	}
+	if ev.Policy != "" {
+		data["policy"] = ev.Policy
+	}
+	if ev.Cached {
+		data["cached"] = true
+	}
+	if ev.Phase == "done" && ev.Err == nil {
+		data["rows"] = ev.Rows
+		data["elapsed_ms"] = ev.Elapsed.Milliseconds()
+	}
+	if ev.Err != nil {
+		data["error"] = ev.Err.Error()
+	}
+	msg := productMsg(ev)
+	for _, j := range jobs {
+		j.emit("product", msg, data)
+	}
+}
+
+// productMsg renders one product event for human consumers of the
+// stream.
+func productMsg(ev experiments.ProductEvent) string {
+	id := ev.Sim
+	if ev.Cores > 0 {
+		id = fmt.Sprintf("%s c%d", id, ev.Cores)
+	}
+	if ev.Policy != "" {
+		id = fmt.Sprintf("%s %s", id, ev.Policy)
+	}
+	switch {
+	case ev.Err != nil:
+		return fmt.Sprintf("%s: %v", id, ev.Err)
+	case ev.Phase == "start":
+		return id + ": computing"
+	case ev.Cached:
+		return fmt.Sprintf("%s: %d rows (cache)", id, ev.Rows)
+	default:
+		return fmt.Sprintf("%s: %d rows in %v", id, ev.Rows, ev.Elapsed.Round(time.Millisecond))
+	}
+}
+
+// runJob dispatches one job to its executor.
+func (s *Server) runJob(ctx context.Context, j *job) (*JobResult, error) {
+	switch j.req.Kind {
+	case KindExperiment:
+		return s.runExperiment(ctx, j)
+	case KindSimulate:
+		return s.runSimulate(ctx, j)
+	case KindSweep:
+		return s.runSweep(ctx, j)
+	}
+	return nil, fmt.Errorf("serve: unknown job kind %q", j.req.Kind)
+}
+
+// runExperiment warms the experiment's campaign plan through the shared
+// lab (streaming product events as tables land), then runs the
+// experiment itself over the memoized products.
+func (s *Server) runExperiment(ctx context.Context, j *job) (*JobResult, error) {
+	e, ok := experiments.Lookup(j.req.Experiment.Name)
+	if !ok { // canonicalize validated; racing deregistration is impossible
+		return nil, fmt.Errorf("serve: unknown experiment %q", j.req.Experiment.Name)
+	}
+	// The same cores-to-Params mapping as the public Lab.Run, so both
+	// entry points key the shared memo and cache identically.
+	p := experiments.ParamsFor(j.req.Experiment.Cores)
+	plan := e.Requests(s.lab, p)
+	if len(plan) > 0 {
+		j.emit("plan", fmt.Sprintf("%d products to warm", len(plan)), map[string]any{"products": len(plan)})
+		s.router.register(j, plan)
+		defer s.router.unregister(j, plan)
+		if _, err := s.lab.Warm(ctx, plan, 0); err != nil {
+			return nil, err
+		}
+	}
+	tab, err := e.Run(ctx, s.lab, p)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{
+		ID: j.id, Kind: KindExperiment,
+		Table: &TableResult{Title: tab.Title, Columns: tab.Columns, Rows: tab.Rows, Notes: tab.Notes},
+		Text:  tab.String(),
+	}, nil
+}
+
+// runSimulate executes one ad-hoc workload at the lab's trace length.
+func (s *Server) runSimulate(ctx context.Context, j *job) (*JobResult, error) {
+	req := j.req.Simulate
+	results, err := s.adhocSweep(ctx, j, [][]string{req.Workload}, req.Policy, req.Engine, req.Quota)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{ID: j.id, Kind: KindSimulate, Results: results}, nil
+}
+
+// runSweep executes many ad-hoc workloads under one configuration.
+func (s *Server) runSweep(ctx context.Context, j *job) (*JobResult, error) {
+	req := j.req.Sweep
+	results, err := s.adhocSweep(ctx, j, req.Workloads, req.Policy, req.Engine, req.Quota)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{ID: j.id, Kind: KindSweep, Results: results}, nil
+}
+
+// adhocSweep is the shared simulate/sweep executor: traces resolve
+// through the lab's memoized source, BADCO models are built for the
+// distinct benchmarks the request touches, and the multicore sweeps
+// parallelise across the process-wide simulation budget.
+func (s *Server) adhocSweep(ctx context.Context, j *job, workloads [][]string, policy, engine string, quota uint64) ([]SimResult, error) {
+	src := s.lab.Source()
+	distinct, err := bench.CheckNames(src, workloads)
+	if err != nil {
+		return nil, err
+	}
+	prov := s.lab.Provider()
+	ws := make([]multicore.Workload, len(workloads))
+	for i, w := range workloads {
+		ws[i] = multicore.Workload(w)
+	}
+	pol := cache.PolicyName(policy)
+	var results []multicore.Result
+	switch engine {
+	case EngineBadco:
+		models, err := multicore.BuildModels(ctx, prov, distinct, badco.DefaultBuildConfig())
+		if err != nil {
+			return nil, err
+		}
+		j.emit("models", fmt.Sprintf("%d BADCO models built", len(models)), map[string]any{"models": len(models)})
+		results, err = multicore.SweepApproximate(ctx, ws, models, pol, quota)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		results, err = multicore.SweepDetailed(ctx, ws, prov, pol, quota)
+		// Ad-hoc jobs are one-shot: release every trace the sweep built
+		// (the BADCO branch releases through BuildModels) so a
+		// long-running server's resident memory tracks in-flight work,
+		// not the history of benchmarks clients ever touched. The traces
+		// rebuild deterministically if asked again.
+		for _, n := range distinct {
+			prov.Release(n)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]SimResult, len(results))
+	for i, r := range results {
+		out[i] = SimResult{
+			Workload:     append([]string(nil), r.Workload...),
+			Policy:       string(r.Policy),
+			Engine:       engine,
+			IPC:          r.IPC,
+			Cycles:       r.Cycles,
+			Instructions: r.Instructions,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+// Package sigctx is the one signal path of cmd/mcbench: both the batch
+// campaign runner and the long-running server derive their lifetime from
+// Notify, and both map their final error onto a process exit code with
+// ExitCode. Keeping the convention in one tested place means an
+// interrupted batch run and a drained server cannot drift apart on what
+// SIGTERM means.
+package sigctx
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Notify returns a context cancelled by SIGINT or SIGTERM (and by the
+// returned stop function). It is signal.NotifyContext pinned to the two
+// signals mcbench handles everywhere.
+func Notify(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Exit codes of the shared convention.
+const (
+	// ExitOK is a clean exit — including a server that drained
+	// gracefully after a signal.
+	ExitOK = 0
+	// ExitErr is a real failure.
+	ExitErr = 1
+	// ExitInterrupted is the conventional 128+SIGINT code of a run cut
+	// short by a signal before it could finish its work.
+	ExitInterrupted = 130
+)
+
+// ExitCode maps a command's final error onto the process exit code:
+// nil is success, context cancellation (the signal path) is the
+// conventional 130, anything else is a plain failure. A component that
+// treats a signal as a clean shutdown (the draining server) returns nil
+// and therefore exits 0.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ExitInterrupted
+	default:
+		return ExitErr
+	}
+}

@@ -1,0 +1,57 @@
+package sigctx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestExitCodeConvention(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{context.Canceled, ExitInterrupted},
+		{context.DeadlineExceeded, ExitInterrupted},
+		{fmt.Errorf("wrapped: %w", context.Canceled), ExitInterrupted},
+		{errors.New("boom"), ExitErr},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestNotifyCancelsOnSIGTERM sends the process a real SIGTERM and
+// asserts the context dies — the exact path a deployed server's drain
+// rides.
+func TestNotifyCancelsOnSIGTERM(t *testing.T) {
+	ctx, stop := Notify(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled by SIGTERM")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+}
+
+func TestNotifyStopReleases(t *testing.T) {
+	ctx, stop := Notify(context.Background())
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+}

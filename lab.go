@@ -22,6 +22,12 @@ func DefaultConfig() Config { return experiments.DefaultConfig() }
 // populations, fewer Monte-Carlo trials) that finishes in minutes.
 func QuickConfig() Config { return experiments.QuickConfig() }
 
+// ProductEvent reports the lifecycle of one expensive Lab product —
+// sweeps starting and finishing, models building, tables loading from
+// the persistent cache. Install a Config.Observer to receive them; the
+// serve subsystem streams them to clients as job progress.
+type ProductEvent = experiments.ProductEvent
+
 // Table is a printable experiment result: a title, column headers, rows
 // and notes. Print it with Fprint or String.
 type Table = experiments.Table
@@ -47,13 +53,7 @@ func NewLab(cfg Config) *Lab { return &Lab{lab: experiments.NewLab(cfg)} }
 // 0 means every experiment's paper default; a positive count pins both
 // the single-count experiments and the core-count sweeps of fig2, fig3
 // and fig7.
-func runParams(cores int) experiments.Params {
-	p := experiments.Params{Cores: cores}
-	if cores > 0 {
-		p.CoreCounts = []int{cores}
-	}
-	return p
-}
+func runParams(cores int) experiments.Params { return experiments.ParamsFor(cores) }
 
 // lookup resolves an experiment name with a did-you-mean error.
 func lookup(name string) (experiments.Experiment, error) {

@@ -1,0 +1,79 @@
+package mcbench
+
+import (
+	"context"
+
+	"mcbench/internal/results"
+	"mcbench/internal/serve"
+)
+
+// ServeOptions configures Serve.
+type ServeOptions struct {
+	// Addr is the listen address (default "127.0.0.1:8080"). Use ":0"
+	// with OnReady to bind an ephemeral port.
+	Addr string
+	// Workers bounds the number of concurrently executing jobs
+	// (default 2). Each job's sweeps already parallelise internally
+	// across the process-wide simulation budget; Workers is the
+	// campaign-level axis.
+	Workers int
+	// QueueDepth bounds the backlog of accepted-but-not-started jobs
+	// (default 16); submissions beyond it are rejected with 503.
+	QueueDepth int
+	// KeepJobs bounds how many settled jobs stay queryable with their
+	// event logs and results (default 256); beyond it the oldest are
+	// evicted, so a long-running server cannot grow without bound.
+	KeepJobs int
+	// OnReady, when non-nil, is called once with the bound address as
+	// soon as the server is listening.
+	OnReady func(addr string)
+}
+
+// Serve runs the experiment service until ctx is cancelled, then drains
+// gracefully: new submissions are rejected, running jobs are cancelled,
+// and every population sweep completed before the cancellation is
+// already persisted when Config.CacheDir is set — a restarted server
+// over the same cache directory serves them from disk. A drain is a
+// clean shutdown: Serve returns nil, so a SIGTERM'd process exits 0.
+//
+// One shared Lab (built from cfg) backs every job, so concurrent
+// requests ride its single-flight memoization: identical in-flight
+// submissions coalesce onto one job, and M clients asking for the same
+// sweep cost one computation. See Client for the matching API consumer,
+// and the README's "Serving" section for the HTTP surface.
+func Serve(ctx context.Context, cfg Config, opts ServeOptions) error {
+	srv := serve.New(serve.Config{Lab: cfg, Workers: opts.Workers, QueueDepth: opts.QueueDepth, KeepJobs: opts.KeepJobs})
+	return srv.ListenAndServe(ctx, opts.Addr, opts.OnReady)
+}
+
+// Wire types of the serve API, shared by the server and Client.
+type (
+	// JobState is a job's lifecycle state: "queued", "running", "done",
+	// "failed" or "canceled".
+	JobState = serve.State
+	// JobStatus describes a submitted job (GET /jobs/{id}).
+	JobStatus = serve.JobStatus
+	// JobResult is a completed job's payload (GET /jobs/{id}/result).
+	JobResult = serve.JobResult
+	// JobEvent is one entry of a job's progress log.
+	JobEvent = serve.Event
+	// ServerHealth is the /healthz payload.
+	ServerHealth = serve.Health
+	// ServerStats counts the job manager's traffic.
+	ServerStats = serve.Stats
+	// CacheEntry is one identity-preserving /cache listing entry.
+	CacheEntry = results.Entry
+	// ServeExperimentInfo is one /experiments catalogue entry.
+	ServeExperimentInfo = serve.ExperimentInfo
+	// BenchInfo is one /benches catalogue entry.
+	BenchInfo = serve.BenchInfo
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = serve.StateQueued
+	JobRunning  = serve.StateRunning
+	JobDone     = serve.StateDone
+	JobFailed   = serve.StateFailed
+	JobCanceled = serve.StateCanceled
+)

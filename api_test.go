@@ -93,10 +93,67 @@ func TestSimulateValidation(t *testing.T) {
 		{"cores mismatch", []string{"mcf", "gcc"}, []mcbench.Option{mcbench.WithCores(4)}},
 		{"bad policy", []string{"mcf"}, []mcbench.Option{mcbench.WithPolicy("NOPE")}},
 		{"bad trace length", []string{"mcf"}, []mcbench.Option{mcbench.WithTraceLen(-1)}},
+		{"warmup beyond default quota", []string{"mcf"}, []mcbench.Option{
+			mcbench.WithTraceLen(4000), mcbench.WithWarmup(4001)}},
+		{"warmup beyond explicit quota", []string{"mcf"}, []mcbench.Option{
+			mcbench.WithQuota(2000), mcbench.WithWarmup(3000)}},
 	}
 	for _, c := range cases {
 		if _, err := mcbench.Simulate(apiCtx, c.workload, c.opts...); err == nil {
 			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+// TestSimulateWithWarmup exercises the public warmup option on both
+// engines: the measurement covers quota µops beyond the warmed prefix,
+// and Sweep's warmed path agrees bit-for-bit with per-workload Simulate.
+func TestSimulateWithWarmup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	workload := []string{"mcf", "soplex"}
+	opts := func(more ...mcbench.Option) []mcbench.Option {
+		return append([]mcbench.Option{
+			mcbench.WithTraceLen(4000),
+			mcbench.WithQuota(2500),
+			mcbench.WithWarmup(1500),
+			mcbench.WithPolicy(mcbench.DRRIP),
+		}, more...)
+	}
+	for _, engine := range []mcbench.Engine{mcbench.Detailed, mcbench.BADCO} {
+		warmed, err := mcbench.Simulate(apiCtx, workload, opts(mcbench.WithSimulator(engine))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warmed.Instructions != 2500 {
+			t.Errorf("%v: measured quota %d, want 2500", engine, warmed.Instructions)
+		}
+		cold, err := mcbench.Simulate(apiCtx, workload,
+			mcbench.WithTraceLen(4000), mcbench.WithQuota(2500),
+			mcbench.WithPolicy(mcbench.DRRIP), mcbench.WithSimulator(engine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range warmed.IPC {
+			if warmed.IPC[i] != cold.IPC[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("%v: warmup had no effect on the measurement window", engine)
+		}
+
+		swept, err := mcbench.Sweep(apiCtx, [][]string{workload, {"gcc", "hmmer"}},
+			opts(mcbench.WithSimulator(engine))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range swept[0].IPC {
+			if swept[0].IPC[i] != warmed.IPC[i] {
+				t.Errorf("%v: sweep IPC[%d] = %v, Simulate %v", engine, i, swept[0].IPC[i], warmed.IPC[i])
+			}
 		}
 	}
 }

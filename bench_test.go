@@ -168,6 +168,71 @@ func BenchmarkBadcoSimulator8Core(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointed policy sweeps: k policies over one workload, the warmup
+// prefix paid once through snapshot/restore versus once per policy. The
+// window shape follows sample-simulation methodology (a long warming
+// prefix, a short measured sample), where the prefix dominates. Both
+// variants run the policies sequentially, so the ratio isolates the
+// shared warmup itself (no parallelism on either side) and mirrors the
+// per-workload task of the lab's grouped detailed sweep.
+
+const (
+	sweepTraceOps  = 100000
+	sweepWarmupOps = 90000
+	sweepQuotaOps  = 5000
+)
+
+func benchSweepTraces(b *testing.B) (multicore.TraceMap, multicore.Workload) {
+	b.Helper()
+	traces := multicore.TraceMap{}
+	w := multicore.Workload{"mcf", "povray"}
+	for _, name := range w {
+		p, ok := trace.ByName(name)
+		if !ok {
+			b.Fatalf("no suite benchmark %q", name)
+		}
+		tr, err := trace.Generate(p, sweepTraceOps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		traces[name] = tr
+	}
+	return traces, w
+}
+
+func BenchmarkPolicySweepSharedWarmup(b *testing.B) {
+	traces, w := benchSweepTraces(b)
+	pols := cache.PaperPolicies()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp, err := multicore.DetailedWarmup(bctx, w, traces, pols[0], sweepWarmupOps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pols {
+			if _, err := multicore.DetailedFrom(bctx, cp, traces, p, sweepQuotaOps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPolicySweepColdWarmup(b *testing.B) {
+	traces, w := benchSweepTraces(b)
+	pols := cache.PaperPolicies()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pols {
+			if _, err := multicore.DetailedWithWarmup(bctx, w, traces, p, sweepWarmupOps, sweepQuotaOps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func BenchmarkModelBuild(b *testing.B) {
 	traces := trace.GenerateSuite(20000)
 	b.ReportAllocs()

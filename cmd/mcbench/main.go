@@ -260,16 +260,38 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 	}, nil
 }
 
+// simUsage is the sim subcommand synopsis.
+const simUsage = "usage: mcbench sim [-warmup N] [-quota N] <policy> <bench,bench,...>"
+
 // simulate runs one named workload under one policy with both simulators
 // and prints the per-thread IPCs: mcbench sim DRRIP mcf,povray
-// Benchmark names resolve through the -suite source.
+// Benchmark names resolve through the -suite source. With -warmup each
+// thread commits N µops before the measurement window opens.
 func simulate(ctx context.Context, cfg experiments.Config, args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	warmup := fs.Uint64("warmup", 0, "µops committed per thread before measurement (warms caches and predictors)")
+	quota := fs.Uint64("quota", 0, "µops measured per thread (default: one trace length)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), simUsage)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	if len(args) != 2 {
-		return fmt.Errorf("usage: mcbench sim <policy> <bench,bench,...>")
+		return fmt.Errorf("%s", simUsage)
 	}
 	policy := cache.PolicyName(args[0])
 	if _, err := cache.NewPolicy(policy, 0); err != nil {
 		return err
+	}
+	q := *quota
+	if q == 0 {
+		q = uint64(cfg.TraceLen)
+	}
+	if *warmup > q {
+		return fmt.Errorf("warmup %d exceeds the instruction quota %d (use -quota to lengthen the measurement window)", *warmup, q)
 	}
 	src := cfg.Source
 	names := strings.Split(args[1], ",")
@@ -280,7 +302,7 @@ func simulate(ctx context.Context, cfg experiments.Config, args []string) error 
 	w := multicore.Workload(names)
 	prov := bench.At(src, cfg.TraceLen)
 
-	det, err := multicore.Detailed(ctx, w, prov, policy, 0)
+	det, err := multicore.DetailedWithWarmup(ctx, w, prov, policy, *warmup, *quota)
 	if err != nil {
 		return err
 	}
@@ -288,11 +310,15 @@ func simulate(ctx context.Context, cfg experiments.Config, args []string) error 
 	if err != nil {
 		return err
 	}
-	app, err := multicore.Approximate(ctx, w, models, policy, 0)
+	app, err := multicore.ApproximateWithWarmup(ctx, w, models, policy, *warmup, *quota)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload %s under %s (%d µops/thread)\n", w, policy, cfg.TraceLen)
+	window := fmt.Sprintf("%d µops/thread", q)
+	if *warmup > 0 {
+		window += fmt.Sprintf(" after %d warmup", *warmup)
+	}
+	fmt.Printf("workload %s under %s (%s)\n", w, policy, window)
 	fmt.Printf("%-12s  %10s  %10s\n", "thread", "detailed", "BADCO")
 	for i, n := range names {
 		fmt.Printf("%-12s  %10.4f  %10.4f\n", n, det.IPC[i], app.IPC[i])
@@ -335,7 +361,7 @@ func listExperiments(w io.Writer) {
 	printGroup(w, experiments.GroupExtension)
 	fmt.Fprintln(w, "\ncommands:")
 	printEntry(w, "all", "every paper experiment above, in order")
-	printEntry(w, "sim", "simulate one workload: mcbench sim <policy> <bench,bench,...>")
+	printEntry(w, "sim", "simulate one workload: mcbench sim [-warmup N] <policy> <bench,bench,...>")
 	printEntry(w, "benches", "list the active -suite source's benchmarks")
 	printEntry(w, "serve", "run the experiment service: mcbench serve [-addr HOST:PORT]")
 	printEntry(w, "version", "print the build identity")
@@ -365,7 +391,7 @@ experiments:
 	printEntry(os.Stderr, "all", "everything above")
 	fmt.Fprint(os.Stderr, "\nextensions (beyond the paper):\n")
 	printGroup(os.Stderr, experiments.GroupExtension)
-	printEntry(os.Stderr, "sim", "simulate one workload: mcbench sim <policy> <bench,bench,...>")
+	printEntry(os.Stderr, "sim", "simulate one workload: mcbench sim [-warmup N] <policy> <bench,bench,...>")
 	printEntry(os.Stderr, "benches", "list the active -suite source's benchmarks")
 	printEntry(os.Stderr, "serve", "run the experiment service: mcbench serve [-addr HOST:PORT]")
 	printEntry(os.Stderr, "version", "print the build identity")

@@ -17,6 +17,22 @@
 // Sweep does the same for many workloads at once, sharing traces and
 // models and parallelising across the process-wide simulation budget.
 //
+// WithWarmup opens the measurement window after a warming prefix, the
+// sample-simulation protocol: caches, predictors and prefetchers warm
+// for n committed µops per thread, then IPC and cycles cover the quota
+// beyond the boundary:
+//
+//	r, err := mcbench.Simulate(ctx, []string{"mcf", "povray"},
+//	    mcbench.WithPolicy(mcbench.DRRIP),
+//	    mcbench.WithQuota(10000),
+//	    mcbench.WithWarmup(90000))
+//
+// Under a Lab, the warmed machine state is snapshotted through the
+// kernel's checkpoint layer and every case-study policy measures from
+// the same restored prefix, so a k-policy sweep pays the (dominant)
+// warmup once instead of k times — see the README's "Checkpointed
+// sweeps" section for the equivalence argument and measured speedups.
+//
 // # Benchmark sources
 //
 // Workload names resolve through a Source — a named, lazily-memoized
@@ -125,8 +141,14 @@
 // batches (StepUntil) instead of per µop — provably the same schedule,
 // enforced bit-for-bit by golden tests against a retained per-step
 // reference driver — and the cpu/cache/uncore hot paths run free of map
-// traffic and steady-state allocations. See README.md's Performance
-// section and BENCH_2.json for measured speedups (scripts/bench.sh).
+// traffic and steady-state allocations. Every machine component also
+// snapshots into and restores from reusable state buffers
+// (Snapshot/Restore on cpu.Core, badco.Machine, uncore and below), the
+// checkpoint layer behind WithWarmup's shared-warmup sweeps and the
+// results store's crash-resume checkpoints; golden tests pin
+// snapshot→restore→run bit-identical to the uninterrupted run. See
+// README.md's Performance and "Checkpointed sweeps" sections, with
+// measured speedups in BENCH_2.json and BENCH_6.json (scripts/bench.sh).
 //
 // See DESIGN.md for the system inventory and substitutions, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in

@@ -1,0 +1,142 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// branchStream generates a deterministic synthetic branch stream with
+// per-site bias and some history correlation, enough to train every
+// predictor's tables.
+func branchStream(seed int64, n int) func(yield func(pc uint64, taken bool)) {
+	return func(yield func(pc uint64, taken bool)) {
+		rng := rand.New(rand.NewSource(seed))
+		hist := 0
+		for i := 0; i < n; i++ {
+			pc := 0x1000 + uint64(rng.Intn(64))*16
+			taken := (pc>>4+uint64(hist))%3 != 0
+			if rng.Intn(8) == 0 {
+				taken = !taken
+			}
+			hist = (hist << 1) & 0xff
+			if taken {
+				hist |= 1
+			}
+			yield(pc, taken)
+		}
+	}
+}
+
+// TestPredictorCheckpointRoundTrip trains each predictor kind, snapshots
+// it, restores into both a fresh and a differently-trained predictor,
+// and demands identical prediction sequences and stats from there on.
+func TestPredictorCheckpointRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{Bimodal, GShare, Tournament, TAGE} {
+		p, err := New(kind, 12, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		branchStream(1, 20000)(func(pc uint64, taken bool) { p.Predict(pc, taken) })
+
+		var st PredictorState
+		Snapshot(p, &st)
+		var want []bool
+		branchStream(2, 5000)(func(pc uint64, taken bool) { want = append(want, p.Predict(pc, taken)) })
+		wantStats := p.Stats()
+
+		for name, mk := range map[string]func() Predictor{
+			"fresh": func() Predictor {
+				q, _ := New(kind, 12, 8)
+				return q
+			},
+			"dirty": func() Predictor {
+				q, _ := New(kind, 12, 8)
+				branchStream(3, 7000)(func(pc uint64, taken bool) { q.Predict(pc, taken) })
+				return q
+			},
+		} {
+			q := mk()
+			Restore(q, &st)
+			i := 0
+			branchStream(2, 5000)(func(pc uint64, taken bool) {
+				if got := q.Predict(pc, taken); got != want[i] {
+					t.Fatalf("%s %s: prediction %d diverges after restore", kind, name, i)
+				}
+				i++
+			})
+			if q.Stats() != wantStats {
+				t.Errorf("%s %s: stats %+v after restore, want %+v", kind, name, q.Stats(), wantStats)
+			}
+		}
+	}
+}
+
+// TestTargetPredictorCheckpointRoundTrip does the same for the BTAC,
+// indirect predictor and RAS.
+func TestTargetPredictorCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := NewBTAC(512, 4)
+	ind := DefaultIndirect()
+	ras := NewRAS(16)
+	touch := func(n int) (sig uint64) {
+		for i := 0; i < n; i++ {
+			pc := 0x4000 + uint64(rng.Intn(600))*16
+			tgt := 0x8000 + uint64(rng.Intn(256))*16
+			if p, ok := b.Predict(pc); ok {
+				sig = sig*31 + p
+			}
+			b.Update(pc, tgt)
+			if p, ok := ind.Predict(pc); ok {
+				sig = sig*31 + p
+			}
+			ind.Update(pc, tgt)
+			if i%3 == 0 {
+				ras.Push(tgt)
+			} else {
+				sig = sig*31 + ras.Pop(tgt)
+			}
+		}
+		return sig
+	}
+	touch(10000)
+
+	var bs BTACState
+	var is IndirectState
+	var rs RASState
+	b.Snapshot(&bs)
+	ind.Snapshot(&is)
+	ras.Snapshot(&rs)
+	tail := rng.Int63()
+	rng = rand.New(rand.NewSource(tail))
+	want := touch(5000)
+
+	b2, ind2, ras2 := NewBTAC(512, 4), DefaultIndirect(), NewRAS(16)
+	b2.Restore(&bs)
+	ind2.Restore(&is)
+	ras2.Restore(&rs)
+	b, ind, ras = b2, ind2, ras2
+	rng = rand.New(rand.NewSource(tail))
+	if got := touch(5000); got != want {
+		t.Errorf("target predictors diverge after restore: %x, want %x", got, want)
+	}
+}
+
+// TestPredictorSnapshotAllocationFree pins warmed-buffer Snapshot and
+// Restore at zero allocations for every kind.
+func TestPredictorSnapshotAllocationFree(t *testing.T) {
+	for _, kind := range []Kind{Bimodal, GShare, Tournament, TAGE} {
+		p, err := New(kind, 12, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		branchStream(1, 5000)(func(pc uint64, taken bool) { p.Predict(pc, taken) })
+		var st PredictorState
+		Snapshot(p, &st)
+		if avg := testing.AllocsPerRun(10, func() { Snapshot(p, &st) }); avg != 0 {
+			t.Errorf("%s: steady-state Snapshot allocates %.2f times, want 0", kind, avg)
+		}
+		if avg := testing.AllocsPerRun(10, func() { Restore(p, &st) }); avg != 0 {
+			t.Errorf("%s: steady-state Restore allocates %.2f times, want 0", kind, avg)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allPolicies lists every shipped replacement policy, including the ones
+// the paper sweep does not touch (SRRIP, PLRU, SHiP), so the checkpoint
+// layer is pinned for all of them.
+var allPolicies = []PolicyName{LRU, Random, FIFO, DIP, DRRIP, SRRIP, PLRU, SHIP}
+
+// drive performs n deterministic mixed accesses against c, returning a
+// value folded from every observable outcome so divergence is loud.
+func drive(c *Cache, rng *rand.Rand, n int) uint64 {
+	var sig uint64
+	for i := 0; i < n; i++ {
+		addr := uint64(rng.Intn(1<<14)) * LineSize
+		switch i % 5 {
+		case 0:
+			ev := c.Fill(addr, rng.Intn(3) == 0, rng.Intn(4) == 0)
+			if ev.Valid {
+				sig = sig*1099511628211 + ev.Addr + 1
+				if ev.Dirty {
+					sig++
+				}
+			}
+		case 4:
+			if c.Probe(addr) {
+				sig = sig*1099511628211 + 7
+			}
+		default:
+			if c.Access(addr, i%2 == 0) {
+				sig = sig*1099511628211 + 3
+			}
+		}
+	}
+	return sig
+}
+
+// TestPolicyCheckpointRoundTrip drives a cache under every policy,
+// snapshots mid-stream, restores into a fresh cache and replays the
+// remainder on both: outcomes and statistics must match exactly. The
+// restore target is then dirtied and restored again to check snapshots
+// overwrite rather than merge.
+func TestPolicyCheckpointRoundTrip(t *testing.T) {
+	for _, name := range allPolicies {
+		c, err := New("LLC", 64<<10, 16, MustNewPolicy(name, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		drive(c, rng, 20000)
+
+		var st State
+		c.Snapshot(&st)
+		tailSeed := rng.Int63()
+		want := drive(c, rand.New(rand.NewSource(tailSeed)), 20000)
+
+		fresh, err := New("LLC", 64<<10, 16, MustNewPolicy(name, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.Restore(&st)
+		if got := drive(fresh, rand.New(rand.NewSource(tailSeed)), 20000); got != want {
+			t.Errorf("%s: fresh restore diverges: signature %x, want %x", name, got, want)
+		}
+		if fresh.Stats() != c.Stats() {
+			t.Errorf("%s: stats diverge: %+v vs %+v", name, fresh.Stats(), c.Stats())
+		}
+
+		// Dirty restore: run the restored cache further, restore again,
+		// and replay the same tail.
+		drive(fresh, rand.New(rand.NewSource(5)), 5000)
+		fresh.Restore(&st)
+		if got := drive(fresh, rand.New(rand.NewSource(tailSeed)), 20000); got != want {
+			t.Errorf("%s: dirty restore diverges", name)
+		}
+	}
+}
+
+// TestSnapshotAllocationFree pins Snapshot into a warmed buffer and
+// Restore at zero allocations for every policy.
+func TestSnapshotAllocationFree(t *testing.T) {
+	for _, name := range allPolicies {
+		c, err := New("LLC", 64<<10, 16, MustNewPolicy(name, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(c, rand.New(rand.NewSource(1)), 20000)
+		var st State
+		c.Snapshot(&st)
+		if avg := testing.AllocsPerRun(10, func() { c.Snapshot(&st) }); avg != 0 {
+			t.Errorf("%s: steady-state Snapshot allocates %.2f times, want 0", name, avg)
+		}
+		if avg := testing.AllocsPerRun(10, func() { c.Restore(&st) }); avg != 0 {
+			t.Errorf("%s: steady-state Restore allocates %.2f times, want 0", name, avg)
+		}
+	}
+}
+
+// TestSetPolicyKeepsContents checks the fan-out hook: after SetPolicy
+// the lines (tags, dirtiness) and stats survive while the replacement
+// metadata restarts fresh and fully functional.
+func TestSetPolicyKeepsContents(t *testing.T) {
+	c, err := New("LLC", 64<<10, 16, MustNewPolicy(LRU, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(c, rand.New(rand.NewSource(99)), 20000)
+	statsBefore := c.Stats()
+
+	resident := make([]uint64, 0, 64)
+	for a := uint64(0); a < 1<<14; a++ {
+		if addr := a * LineSize; c.Probe(addr) {
+			resident = append(resident, addr)
+		}
+	}
+	if len(resident) == 0 {
+		t.Fatal("no resident lines after warmup")
+	}
+	if err := c.SetPolicy(MustNewPolicy(DRRIP, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Policy().Name(); got != string(DRRIP) {
+		t.Fatalf("policy after swap: %s", got)
+	}
+	for _, addr := range resident {
+		if !c.Probe(addr) {
+			t.Fatalf("line %#x evicted by SetPolicy", addr)
+		}
+	}
+	if c.Stats() != statsBefore {
+		t.Errorf("stats changed by SetPolicy: %+v vs %+v", c.Stats(), statsBefore)
+	}
+	// The swapped-in policy must drive further traffic without issue.
+	drive(c, rand.New(rand.NewSource(3)), 20000)
+}
+
+// TestSeededRandStateRoundTrip pins the RNG position checkpointing that
+// DIP/DRRIP/Random replacement depend on: a restored generator continues
+// the exact draw sequence, even restored into a generator at a different
+// position.
+func TestSeededRandStateRoundTrip(t *testing.T) {
+	r := newSeededRand(12345)
+	for i := 0; i < 1000; i++ {
+		r.Intn(32)
+	}
+	st := r.state()
+	want := make([]int, 100)
+	for i := range want {
+		want[i] = r.Intn(32)
+	}
+	other := newSeededRand(12345)
+	for i := 0; i < 123; i++ {
+		other.Intn(16)
+	}
+	other.setState(st)
+	for i := range want {
+		if got := other.Intn(32); got != want[i] {
+			t.Fatalf("draw %d after restore: %d, want %d", i, got, want[i])
+		}
+	}
+}

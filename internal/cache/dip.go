@@ -1,9 +1,6 @@
 package cache
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // DIP implements Dynamic Insertion Policy (Qureshi et al., ISCA 2007):
 // set-dueling between traditional LRU insertion (at MRU) and Bimodal
@@ -27,12 +24,12 @@ type dipPolicy struct {
 	floor      int64   // decrements for LRU-position stamps
 	stamps     []int64 // recency stamps; larger = more recent
 	psel       int     // >= (max+1)/2 selects BIP in follower sets
-	rng        *rand.Rand
+	rng        *seededRand
 }
 
 // NewDIPPolicy returns a DIP replacement policy.
 func NewDIPPolicy(seed int64) Policy {
-	return &dipPolicy{rng: rand.New(rand.NewSource(seed)), psel: (dipPSELMax + 1) / 2}
+	return &dipPolicy{rng: newSeededRand(seed), psel: (dipPSELMax + 1) / 2}
 }
 
 func (p *dipPolicy) Name() string { return string(DIP) }

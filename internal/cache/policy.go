@@ -1,9 +1,6 @@
 package cache
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // Policy is a replacement policy attached to one cache. Implementations
 // keep per-set metadata; the cache calls the hooks on demand hits, demand
@@ -129,12 +126,12 @@ func (p *lruPolicy) Victim(set int) int {
 
 type randomPolicy struct {
 	ways int
-	rng  *rand.Rand
+	rng  *seededRand
 }
 
 // NewRandomPolicy returns a policy that evicts a uniformly random way.
 func NewRandomPolicy(seed int64) Policy {
-	return &randomPolicy{rng: rand.New(rand.NewSource(seed))}
+	return &randomPolicy{rng: newSeededRand(seed)}
 }
 
 func (p *randomPolicy) Name() string { return string(Random) }

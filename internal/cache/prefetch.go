@@ -45,12 +45,13 @@ func (p *nextLinePrefetcher) Observe(_, addr uint64, miss bool) []uint64 {
 // IP-based stride
 
 // ipStrideEntry tracks the last address and stride observed for one
-// instruction address.
+// instruction address. Fields are exported so prefetcher snapshots
+// survive encoding/gob persistence (see checkpoint.go).
 type ipStrideEntry struct {
-	tag      uint64
-	lastAddr uint64
-	stride   int64
-	conf     uint8 // 2-bit saturating confidence
+	Tag      uint64
+	LastAddr uint64
+	Stride   int64
+	Conf     uint8 // 2-bit saturating confidence
 }
 
 const (
@@ -80,24 +81,24 @@ func (p *ipStridePrefetcher) Observe(pc, addr uint64, _ bool) []uint64 {
 	idx := (pc ^ pc>>8) % ipStrideTableSize
 	e := &p.table[idx]
 	p.buf = p.buf[:0]
-	if e.tag != pc {
-		*e = ipStrideEntry{tag: pc, lastAddr: addr}
+	if e.Tag != pc {
+		*e = ipStrideEntry{Tag: pc, LastAddr: addr}
 		return nil
 	}
-	stride := int64(addr) - int64(e.lastAddr)
-	if stride == e.stride && stride != 0 {
-		if e.conf < ipStrideConfMax {
-			e.conf++
+	stride := int64(addr) - int64(e.LastAddr)
+	if stride == e.Stride && stride != 0 {
+		if e.Conf < ipStrideConfMax {
+			e.Conf++
 		}
 	} else {
-		e.stride = stride
-		e.conf = 0
+		e.Stride = stride
+		e.Conf = 0
 	}
-	e.lastAddr = addr
-	if e.conf >= ipStrideThreshold && e.stride != 0 {
+	e.LastAddr = addr
+	if e.Conf >= ipStrideThreshold && e.Stride != 0 {
 		next := int64(addr)
 		for d := 0; d < p.degree; d++ {
-			next += e.stride
+			next += e.Stride
 			if next <= 0 {
 				break
 			}

@@ -1,9 +1,6 @@
 package cache
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // RRIP policies (Jaleel et al., ISCA 2010) predict re-reference intervals
 // with a 2-bit RRPV per line. SRRIP inserts at "long" (RRPV = max-1) and
@@ -80,12 +77,12 @@ func (p *srripPolicy) OnFill(set, way int) {
 type drripPolicy struct {
 	rripCore
 	psel int
-	rng  *rand.Rand
+	rng  *seededRand
 }
 
 // NewDRRIPPolicy returns a dynamic RRIP policy dueling SRRIP vs BRRIP.
 func NewDRRIPPolicy(seed int64) Policy {
-	return &drripPolicy{rng: rand.New(rand.NewSource(seed)), psel: (rripPSELMax + 1) / 2}
+	return &drripPolicy{rng: newSeededRand(seed), psel: (rripPSELMax + 1) / 2}
 }
 
 func (p *drripPolicy) Name() string                { return string(DRRIP) }

@@ -1,0 +1,64 @@
+package cpu
+
+import (
+	"testing"
+
+	"mcbench/internal/trace"
+	"mcbench/internal/uncore"
+)
+
+// TestSnapshotRestoreRoundTrip runs a core, snapshots it mid-trace,
+// lets the original run on, restores a fresh core from the snapshot and
+// replays: both must commit the remaining µops at identical cycles.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	traces := trace.GenerateSuite(5000)
+	for _, bench := range []string{"mcf", "povray", "gcc"} {
+		tr := traces[bench]
+		unc := uncore.MustNew(uncore.ConfigFor(1, "LRU"))
+		c := MustNew(0, DefaultConfig(), tr, unc)
+		c.Run(tr.Len() / 2)
+
+		var cs State
+		var us uncore.State
+		c.Snapshot(&cs)
+		unc.Snapshot(&us)
+
+		want := make([]uint64, tr.Len())
+		for i := range want {
+			want[i] = c.Step()
+		}
+
+		unc2 := uncore.MustNew(uncore.ConfigFor(1, "LRU"))
+		c2 := MustNew(0, DefaultConfig(), tr, unc2)
+		c2.Restore(&cs)
+		unc2.Restore(&us)
+		for i := range want {
+			if got := c2.Step(); got != want[i] {
+				t.Fatalf("%s: step %d after restore commits at %d, original at %d", bench, i, got, want[i])
+			}
+		}
+		if c2.Stats() != c.Stats() {
+			t.Errorf("%s: stats diverge after restore:\n  restored %+v\n  original %+v", bench, c2.Stats(), c.Stats())
+		}
+	}
+}
+
+// TestSnapshotRestoreAllocationFree pins Snapshot into a warmed buffer
+// and Restore at zero steady-state allocations, alongside the Step pin.
+func TestSnapshotRestoreAllocationFree(t *testing.T) {
+	tr := trace.GenerateSuite(5000)["mcf"]
+	unc := uncore.MustNew(uncore.ConfigFor(1, "LRU"))
+	c := MustNew(0, DefaultConfig(), tr, unc)
+	c.Run(tr.Len())
+
+	var cs State
+	var us uncore.State
+	c.Snapshot(&cs) // first call grows the buffer
+	unc.Snapshot(&us)
+	if avg := testing.AllocsPerRun(10, func() { c.Snapshot(&cs); unc.Snapshot(&us) }); avg != 0 {
+		t.Errorf("steady-state Snapshot allocates %.2f times, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(10, func() { c.Restore(&cs); unc.Restore(&us) }); avg != 0 {
+		t.Errorf("steady-state Restore allocates %.2f times, want 0", avg)
+	}
+}

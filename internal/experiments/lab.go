@@ -77,6 +77,18 @@ type Config struct {
 	// population sweeps) across runs via the results package.
 	CacheDir string
 
+	// Warmup, when positive, runs every detailed-simulator workload for
+	// that many committed µops per core before its measurement window
+	// begins. The detailed population sweeps then share the warmed
+	// prefix across the case-study policies: each workload is warmed
+	// once, snapshotted, and every policy's measurement fans out from
+	// the restored state (multicore.DetailedWarmup / DetailedFrom), so
+	// a k-policy sweep pays the warmup once instead of k times. Warmed
+	// tables persist under distinct cache keys. The default 0 measures
+	// from reset and keeps every result — and every persisted cache
+	// file — bit-identical to previous versions.
+	Warmup int
+
 	// Observer, when non-nil, receives a ProductEvent whenever an
 	// expensive memoized product is computed (or loaded from the
 	// persistent cache): sweeps starting and finishing, models and
@@ -261,6 +273,11 @@ type Lab struct {
 	refIPC    flightGroup[int, []float64]      // per core count: per-benchmark alone IPC
 	badcoIPC  flightGroup[ipcKey, [][]float64] // population IPC tables (BADCO)
 	detIPC    flightGroup[ipcKey, [][]float64] // detailed IPC tables over DetSample
+
+	// detShared memoizes the shared-warmup grouped sweep per core count:
+	// one warmed prefix per workload, every case-study policy measured
+	// from it. Only consulted when cfg.Warmup > 0.
+	detShared flightGroup[int, map[cache.PolicyName][][]float64]
 
 	// Sweep counters record how many full population sweeps actually ran
 	// (persistent-cache hits excluded); the single-flight regression
@@ -456,9 +473,27 @@ func (l *Lab) BadcoIPC(ctx context.Context, cores int, policy cache.PolicyName) 
 			for i, w := range pop.Workloads {
 				ws[i] = l.toMulticore(w)
 			}
-			results, err := multicore.SweepApproximate(ctx, ws, models, policy, 0)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: BADCO sweep (%d cores, %s): %w", cores, policy, err)
+			var results []multicore.Result
+			if warm := uint64(l.cfg.Warmup); warm > 0 {
+				// Warmed protocol: each workload runs warm µops per core
+				// before its measurement window (BADCO is cheap enough
+				// that sharing the prefix across policies buys nothing).
+				results = make([]multicore.Result, len(ws))
+				errs := make([]error, len(ws))
+				if err := multicore.RunBounded(ctx, len(ws), func(i int) {
+					results[i], errs[i] = multicore.ApproximateWithWarmup(ctx, ws[i], models, policy, warm, 0)
+				}); err != nil {
+					return nil, err
+				}
+				if err := errors.Join(errs...); err != nil {
+					return nil, fmt.Errorf("experiments: BADCO sweep (%d cores, %s): %w", cores, policy, err)
+				}
+			} else {
+				var err error
+				results, err = multicore.SweepApproximate(ctx, ws, models, policy, 0)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: BADCO sweep (%d cores, %s): %w", cores, policy, err)
+				}
 			}
 			table := make([][]float64, len(results))
 			for i, r := range results {
@@ -511,25 +546,104 @@ func (l *Lab) DetailedIPC(ctx context.Context, cores int, policy cache.PolicyNam
 		}
 		ev := ProductEvent{Sim: "detailed", Cores: cores, Policy: string(policy)}
 		return observeRun(l, ev, func(t [][]float64) int { return len(t) }, func() ([][]float64, error) {
-			l.detSweeps.Add(1)
-			ws := make([]multicore.Workload, len(sample))
-			for i, wi := range sample {
-				ws[i] = l.toMulticore(pop.Workloads[wi])
-			}
-			// The sweep resolves traces lazily through the source: only
-			// benchmarks that actually appear in the sample are ever built.
-			results, err := multicore.SweepDetailed(ctx, ws, l.Provider(), policy, 0)
+			table, err := l.detailedSweep(ctx, cores, policy)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: detailed sweep (%d cores, %s): %w", cores, policy, err)
-			}
-			table := make([][]float64, len(results))
-			for i, r := range results {
-				table[i] = r.IPC
+				return nil, err
 			}
 			l.saveCached("detailed", cores, policy, table, universe)
 			return table, nil
 		})
 	})
+}
+
+// detailedSweep computes one detailed IPC table. With a zero warmup it
+// is the plain population sweep. With a positive warmup, a case-study
+// policy is served from the grouped shared-warmup sweep (all policies at
+// once, one warmed prefix per workload); any other policy warms alone.
+func (l *Lab) detailedSweep(ctx context.Context, cores int, policy cache.PolicyName) ([][]float64, error) {
+	warm := uint64(l.cfg.Warmup)
+	if warm == 0 {
+		l.detSweeps.Add(1)
+		pop := l.Population(cores)
+		sample := l.DetSample(cores)
+		ws := make([]multicore.Workload, len(sample))
+		for i, wi := range sample {
+			ws[i] = l.toMulticore(pop.Workloads[wi])
+		}
+		// The sweep resolves traces lazily through the source: only
+		// benchmarks that actually appear in the sample are ever built.
+		results, err := multicore.SweepDetailed(ctx, ws, l.Provider(), policy, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: detailed sweep (%d cores, %s): %w", cores, policy, err)
+		}
+		table := make([][]float64, len(results))
+		for i, r := range results {
+			table[i] = r.IPC
+		}
+		return table, nil
+	}
+	for _, p := range Policies() {
+		if p == policy {
+			group, err := l.detShared.do(ctx, cores, func() (map[cache.PolicyName][][]float64, error) {
+				return l.detailedSharedSweep(ctx, cores, Policies())
+			})
+			if err != nil {
+				return nil, err
+			}
+			return group[policy], nil
+		}
+	}
+	// Off the case-study list there is nothing to share the prefix with:
+	// warm this policy's runs on their own.
+	group, err := l.detailedSharedSweep(ctx, cores, []cache.PolicyName{policy})
+	if err != nil {
+		return nil, err
+	}
+	return group[policy], nil
+}
+
+// detailedSharedSweep runs the detailed sample once per workload to the
+// warmup boundary and measures every requested policy from the shared
+// prefix. The whole group counts as one sweep: warmup dominates the cost
+// the per-policy tables used to pay k times over.
+//
+// The per-workload body must not call RunBounded (it already holds a
+// slot), so the policy fan-out is sequential within each workload; the
+// sample provides the parallelism, and peak memory holds one warmup
+// checkpoint per simulation slot rather than per workload.
+func (l *Lab) detailedSharedSweep(ctx context.Context, cores int, pols []cache.PolicyName) (map[cache.PolicyName][][]float64, error) {
+	l.detSweeps.Add(1)
+	pop := l.Population(cores)
+	sample := l.DetSample(cores)
+	prov := l.Provider()
+	warm := uint64(l.cfg.Warmup)
+	tables := make(map[cache.PolicyName][][]float64, len(pols))
+	for _, p := range pols {
+		tables[p] = make([][]float64, len(sample))
+	}
+	errs := make([]error, len(sample))
+	if err := multicore.RunBounded(ctx, len(sample), func(i int) {
+		w := l.toMulticore(pop.Workloads[sample[i]])
+		cp, err := multicore.DetailedWarmup(ctx, w, prov, pols[0], warm)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		for _, p := range pols {
+			r, err := multicore.DetailedFrom(ctx, cp, prov, p, 0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			tables[p][i] = r.IPC
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, fmt.Errorf("experiments: shared-warmup detailed sweep (%d cores): %w", cores, err)
+	}
+	return tables, nil
 }
 
 // loadCached fetches a persisted IPC table if CacheDir is configured.
@@ -543,7 +657,7 @@ func (l *Lab) loadCached(sim string, cores int, policy cache.PolicyName, populat
 	t, ok, err := store.Load(results.IPCTable{
 		Simulator: sim, Cores: cores, Policy: string(policy),
 		TraceLen: l.cfg.TraceLen, Population: population, Seed: l.cfg.Seed,
-		Universe: universe, Source: l.sourceKey(),
+		Universe: universe, Source: l.sourceKey(), Warmup: l.cfg.Warmup,
 	})
 	if err != nil || !ok {
 		return nil, false
@@ -561,7 +675,7 @@ func (l *Lab) saveCached(sim string, cores int, policy cache.PolicyName, table [
 	_ = store.Save(&results.IPCTable{
 		Simulator: sim, Cores: cores, Policy: string(policy),
 		TraceLen: l.cfg.TraceLen, Population: len(table), Seed: l.cfg.Seed,
-		Universe: universe, Source: l.sourceKey(),
+		Universe: universe, Source: l.sourceKey(), Warmup: l.cfg.Warmup,
 		IPC: table,
 	})
 }

@@ -252,33 +252,53 @@ func Detailed(ctx context.Context, w Workload, traces TraceSource, policy cache.
 // can run the reference per-step driver through the identical
 // construction path.
 func detailedWith(ctx context.Context, w Workload, traces TraceSource, policy cache.PolicyName, quota uint64, drive driver) (Result, error) {
-	if len(w) == 0 {
-		return Result{}, fmt.Errorf("multicore: empty workload")
-	}
-	unc, err := uncore.New(uncore.ConfigFor(len(w), policy))
+	_, cores, quota, err := buildDetailed(ctx, w, traces, policy, quota)
 	if err != nil {
 		return Result{}, err
 	}
-	cores := make([]stepper, len(w))
+	cycles, err := drive(ctx, asSteppers(cores), quota)
+	if err != nil {
+		return Result{}, err
+	}
+	return assemble(w, policy, cycles, quota), nil
+}
+
+// buildDetailed constructs the shared uncore and one detailed core per
+// workload slot. A zero quota defaults to the first trace's length. It is
+// the single construction path for plain, warmup and restored detailed
+// simulations, so they cannot drift apart.
+func buildDetailed(ctx context.Context, w Workload, traces TraceSource, policy cache.PolicyName, quota uint64) (*uncore.Uncore, []*cpu.Core, uint64, error) {
+	if len(w) == 0 {
+		return nil, nil, 0, fmt.Errorf("multicore: empty workload")
+	}
+	unc, err := uncore.New(uncore.ConfigFor(len(w), policy))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cores := make([]*cpu.Core, len(w))
 	for i, name := range w {
 		tr, err := traces.Trace(ctx, name)
 		if err != nil {
-			return Result{}, err
+			return nil, nil, 0, err
 		}
 		if quota == 0 {
 			quota = uint64(tr.Len())
 		}
 		core, err := cpu.New(i, cpu.DefaultConfig(), tr, unc)
 		if err != nil {
-			return Result{}, err
+			return nil, nil, 0, err
 		}
 		cores[i] = core
 	}
-	cycles, err := drive(ctx, cores, quota)
-	if err != nil {
-		return Result{}, err
+	return unc, cores, quota, nil
+}
+
+func asSteppers[T stepper](cores []T) []stepper {
+	s := make([]stepper, len(cores))
+	for i, c := range cores {
+		s[i] = c
 	}
-	return assemble(w, policy, cycles, quota), nil
+	return s
 }
 
 // badcoStepper adapts a BADCO machine to the quota-based driver: the
@@ -298,26 +318,12 @@ func Approximate(ctx context.Context, w Workload, models map[string]*badco.Model
 // approximateWith is Approximate with an explicit driver (see
 // detailedWith).
 func approximateWith(ctx context.Context, w Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64, drive driver) (Result, error) {
-	if len(w) == 0 {
-		return Result{}, fmt.Errorf("multicore: empty workload")
-	}
-	unc, err := uncore.New(uncore.ConfigFor(len(w), policy))
+	_, machines, quota, err := buildApproximate(w, models, policy, quota)
 	if err != nil {
 		return Result{}, err
 	}
-	cores := make([]stepper, len(w))
-	for i, name := range w {
-		m, ok := models[name]
-		if !ok {
-			return Result{}, fmt.Errorf("multicore: no model for benchmark %q", name)
-		}
-		if quota == 0 {
-			quota = uint64(m.TraceLen)
-		}
-		ma, err := badco.NewMachine(i, m, unc)
-		if err != nil {
-			return Result{}, err
-		}
+	cores := make([]stepper, len(machines))
+	for i, ma := range machines {
 		cores[i] = badcoStepper{ma}
 	}
 	cycles, err := drive(ctx, cores, quota)
@@ -325,6 +331,33 @@ func approximateWith(ctx context.Context, w Workload, models map[string]*badco.M
 		return Result{}, err
 	}
 	return assemble(w, policy, cycles, quota), nil
+}
+
+// buildApproximate is buildDetailed's BADCO counterpart.
+func buildApproximate(w Workload, models map[string]*badco.Model, policy cache.PolicyName, quota uint64) (*uncore.Uncore, []*badco.Machine, uint64, error) {
+	if len(w) == 0 {
+		return nil, nil, 0, fmt.Errorf("multicore: empty workload")
+	}
+	unc, err := uncore.New(uncore.ConfigFor(len(w), policy))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	machines := make([]*badco.Machine, len(w))
+	for i, name := range w {
+		m, ok := models[name]
+		if !ok {
+			return nil, nil, 0, fmt.Errorf("multicore: no model for benchmark %q", name)
+		}
+		if quota == 0 {
+			quota = uint64(m.TraceLen)
+		}
+		ma, err := badco.NewMachine(i, m, unc)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		machines[i] = ma
+	}
+	return unc, machines, quota, nil
 }
 
 func assemble(w Workload, policy cache.PolicyName, cycles []uint64, quota uint64) Result {

@@ -1,0 +1,109 @@
+package results
+
+// Checkpoint persistence. A long sweep captures multicore.Checkpoint
+// values at periodic schedule boundaries; persisting the latest one next
+// to the staged IPC tables lets a killed campaign resume mid-trace
+// instead of replaying the whole run. Checkpoints are stored as gob —
+// they are dense binary machine state, not human-facing results — and
+// staged through the same atomic temp-file rename as the JSON tables, so
+// a crash mid-save leaves the previous checkpoint intact.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mcbench/internal/multicore"
+)
+
+// checkpointExt distinguishes checkpoint files from the ".json" tables
+// sharing the store directory; List and Keys skip them by extension.
+const checkpointExt = ".ckpt"
+
+// checkpointPath returns the file path for a checkpoint name.
+func (s *Store) checkpointPath(name string) string {
+	return filepath.Join(s.dir, sanitize(name)+checkpointExt)
+}
+
+// SaveCheckpoint persists a simulation checkpoint under the given name,
+// replacing any previous version atomically. The name is sanitized onto
+// the filename-safe alphabet; callers that need collision-freedom across
+// exotic names should pre-hash like IPCTable.Key does for sources.
+func (s *Store) SaveCheckpoint(name string, cp *multicore.Checkpoint) error {
+	if name == "" {
+		return fmt.Errorf("results: empty checkpoint name")
+	}
+	if cp == nil || len(cp.Workload) == 0 {
+		return fmt.Errorf("results: empty checkpoint")
+	}
+	tmp, err := os.CreateTemp(s.dir, sanitize(name)+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(cp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	// Same reasoning as Save: shared cache directories need the file
+	// readable beyond the creating user.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.checkpointPath(name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a persisted checkpoint; ok is false when no
+// checkpoint of that name exists.
+func (s *Store) LoadCheckpoint(name string) (*multicore.Checkpoint, bool, error) {
+	f, err := os.Open(s.checkpointPath(name))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("results: %w", err)
+	}
+	defer f.Close()
+	cp := new(multicore.Checkpoint)
+	if err := gob.NewDecoder(f).Decode(cp); err != nil {
+		return nil, false, fmt.Errorf("results: checkpoint %s: %w", name, err)
+	}
+	return cp, true, nil
+}
+
+// Checkpoints lists the names of the persisted checkpoints, sorted.
+func (s *Store) Checkpoints() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); filepath.Ext(name) == checkpointExt {
+			names = append(names, name[:len(name)-len(checkpointExt)])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// DeleteCheckpoint removes a persisted checkpoint (no error if absent) —
+// the natural call once the run it belonged to completes.
+func (s *Store) DeleteCheckpoint(name string) error {
+	err := os.Remove(s.checkpointPath(name))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

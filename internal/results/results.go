@@ -34,7 +34,12 @@ type IPCTable struct {
 	// Source identifies the benchmark source the table was swept over
 	// ("scaled:64:7", "dir:..."). Empty means the default fixed suite,
 	// keeping tables persisted before sources existed loadable.
-	Source string      `json:"source,omitempty"`
+	Source string `json:"source,omitempty"`
+	// Warmup is the per-core µop count each workload ran before its
+	// measurement began (see experiments.Config.Warmup). 0 — measurement
+	// from reset — leaves keys identical to pre-warmup versions, so
+	// existing cache files stay loadable.
+	Warmup int         `json:"warmup,omitempty"`
 	IPC    [][]float64 `json:"ipc"`
 }
 
@@ -48,6 +53,9 @@ func (t *IPCTable) Key() string {
 		t.Simulator, t.Cores, t.Policy, t.TraceLen, t.Population, t.Seed)
 	if t.Universe > 0 {
 		key += fmt.Sprintf("-u%d", t.Universe)
+	}
+	if t.Warmup > 0 {
+		key += fmt.Sprintf("-w%d", t.Warmup)
 	}
 	if t.Source != "" {
 		h := fnv.New32a()
@@ -232,7 +240,8 @@ func (t *IPCTable) sameIdentity(o *IPCTable) bool {
 	return t.Simulator == o.Simulator && t.Cores == o.Cores &&
 		t.Policy == o.Policy && t.TraceLen == o.TraceLen &&
 		t.Population == o.Population && t.Seed == o.Seed &&
-		t.Universe == o.Universe && t.Source == o.Source
+		t.Universe == o.Universe && t.Source == o.Source &&
+		t.Warmup == o.Warmup
 }
 
 // Entry describes one stored table for listings: the filename key plus

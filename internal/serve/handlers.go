@@ -168,7 +168,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "serve: bad submission: %v", err)
 		return
 	}
-	canon, key, err := canonicalize(req, s.lab.Source())
+	canon, key, err := canonicalize(req, s.lab.Source(), s.lab.Config().TraceLen)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -81,6 +81,9 @@ type SimResult struct {
 	IPC          []float64 `json:"ipc"`
 	Cycles       []uint64  `json:"cycles"`
 	Instructions uint64    `json:"instructions"`
+	// Warmup is the per-thread warmup prefix the measurement excluded
+	// (0 when the run measured from reset).
+	Warmup uint64 `json:"warmup,omitempty"`
 }
 
 // JobResult is a completed job's payload: a table (experiment jobs) or

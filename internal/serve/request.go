@@ -66,6 +66,11 @@ type SimulateRequest struct {
 	Engine string `json:"engine,omitempty"`
 	// Quota is the per-thread instruction quota (0: one trace length).
 	Quota uint64 `json:"quota,omitempty"`
+	// Warmup runs each thread for that many committed µops before the
+	// measurement window opens (0: measure from reset). It must not
+	// exceed the quota; submissions violating that are rejected before
+	// enqueueing.
+	Warmup uint64 `json:"warmup,omitempty"`
 	// Cores replicates a single-benchmark workload; 0 keeps the
 	// workload's own width.
 	Cores int `json:"cores,omitempty"`
@@ -77,6 +82,7 @@ type SweepRequest struct {
 	Policy    string     `json:"policy,omitempty"`
 	Engine    string     `json:"engine,omitempty"`
 	Quota     uint64     `json:"quota,omitempty"`
+	Warmup    uint64     `json:"warmup,omitempty"`
 	Cores     int        `json:"cores,omitempty"`
 }
 
@@ -91,8 +97,9 @@ func badRequest(format string, args ...any) error {
 
 // canonicalize validates the submission against the source and registry,
 // fills in defaults, resolves workloads, and returns the canonical
-// request plus its dedup key.
-func canonicalize(req SubmitRequest, src bench.Source) (SubmitRequest, string, error) {
+// request plus its dedup key. traceLen is the lab's per-benchmark trace
+// length; it resolves a zero quota when validating the warmup window.
+func canonicalize(req SubmitRequest, src bench.Source, traceLen int) (SubmitRequest, string, error) {
 	switch req.Kind {
 	case KindExperiment:
 		if req.Experiment == nil {
@@ -121,9 +128,15 @@ func canonicalize(req SubmitRequest, src bench.Source) (SubmitRequest, string, e
 		if err != nil {
 			return req, "", err
 		}
+		if err := checkWarmup(s.Warmup, s.Quota, traceLen); err != nil {
+			return req, "", err
+		}
 		s.Workload, s.Policy, s.Engine = w[0], policy, engine
 		canon := SubmitRequest{Kind: KindSimulate, Simulate: &s}
 		key := fmt.Sprintf("sim|%s|%s|q%d|%s", engine, policy, s.Quota, strings.Join(s.Workload, ","))
+		if s.Warmup > 0 {
+			key += fmt.Sprintf("|w%d", s.Warmup)
+		}
 		return canon, key, nil
 
 	case KindSweep:
@@ -138,6 +151,9 @@ func canonicalize(req SubmitRequest, src bench.Source) (SubmitRequest, string, e
 		if err != nil {
 			return req, "", err
 		}
+		if err := checkWarmup(s.Warmup, s.Quota, traceLen); err != nil {
+			return req, "", err
+		}
 		s.Workloads, s.Policy, s.Engine = w, policy, engine
 		canon := SubmitRequest{Kind: KindSweep, Sweep: &s}
 		// Workload lists can be large; the key carries a digest plus the
@@ -148,11 +164,28 @@ func canonicalize(req SubmitRequest, src bench.Source) (SubmitRequest, string, e
 			h.Write([]byte{'\n'})
 		}
 		key := fmt.Sprintf("sweep|%s|%s|q%d|n%d|%016x", engine, policy, s.Quota, len(s.Workloads), h.Sum64())
+		if s.Warmup > 0 {
+			key += fmt.Sprintf("|w%d", s.Warmup)
+		}
 		return canon, key, nil
 
 	default:
 		return req, "", badRequest("serve: unknown job kind %q", req.Kind)
 	}
+}
+
+// checkWarmup rejects a warmup prefix that exceeds the measurement
+// quota (a zero quota resolves to one trace length, as in the drivers),
+// so an impossible run is refused before it is enqueued.
+func checkWarmup(warmup, quota uint64, traceLen int) error {
+	q := quota
+	if q == 0 {
+		q = uint64(traceLen)
+	}
+	if warmup > q {
+		return badRequest("serve: warmup %d exceeds the instruction quota %d", warmup, q)
+	}
+	return nil
 }
 
 // canonSim validates and canonicalizes the shared simulate/sweep fields:

@@ -12,11 +12,15 @@ import (
 
 func suiteSrc() bench.Source { return bench.NewSuite() }
 
+// testTraceLen stands in for the lab's Config.TraceLen when resolving a
+// zero quota.
+const testTraceLen = 10000
+
 func TestCanonicalizeExperiment(t *testing.T) {
 	src := suiteSrc()
 	canon, key, err := canonicalize(SubmitRequest{
 		Kind: KindExperiment, Experiment: &ExperimentRequest{Name: "fig1", Cores: 2},
-	}, src)
+	}, src, testTraceLen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +30,7 @@ func TestCanonicalizeExperiment(t *testing.T) {
 	// Unknown experiments fail fast with a suggestion.
 	_, _, err = canonicalize(SubmitRequest{
 		Kind: KindExperiment, Experiment: &ExperimentRequest{Name: "fig12"},
-	}, src)
+	}, src, testTraceLen)
 	if err == nil || !strings.Contains(err.Error(), "did you mean") {
 		t.Fatalf("unknown experiment error %v lacks suggestion", err)
 	}
@@ -36,7 +40,7 @@ func TestCanonicalizeSimulateDefaultsAndKey(t *testing.T) {
 	src := suiteSrc()
 	a, keyA, err := canonicalize(SubmitRequest{
 		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "povray"}},
-	}, src)
+	}, src, testTraceLen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,21 +52,21 @@ func TestCanonicalizeSimulateDefaultsAndKey(t *testing.T) {
 		Kind: KindSimulate, Simulate: &SimulateRequest{
 			Workload: []string{"mcf", "povray"}, Policy: "LRU", Engine: EngineDetailed,
 		},
-	}, src)
+	}, src, testTraceLen)
 	if err != nil || keyA != keyB {
 		t.Fatalf("equivalent submissions have keys %q vs %q (err %v)", keyA, keyB, err)
 	}
 	// Different policy, different key.
 	_, keyC, _ := canonicalize(SubmitRequest{
 		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "povray"}, Policy: "DIP"},
-	}, src)
+	}, src, testTraceLen)
 	if keyC == keyA {
 		t.Error("different policies share a key")
 	}
 	// Cores replication canonicalizes into the workload itself.
 	d, keyD, err := canonicalize(SubmitRequest{
 		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf"}, Cores: 2},
-	}, src)
+	}, src, testTraceLen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +75,7 @@ func TestCanonicalizeSimulateDefaultsAndKey(t *testing.T) {
 	}
 	_, keyE, _ := canonicalize(SubmitRequest{
 		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "mcf"}},
-	}, src)
+	}, src, testTraceLen)
 	if keyD != keyE {
 		t.Errorf("replicated and explicit workloads differ: %q vs %q", keyD, keyE)
 	}
@@ -91,9 +95,14 @@ func TestCanonicalizeRejections(t *testing.T) {
 		{Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf"}, Policy: "NOPE"}},
 		{Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf"}, Engine: "zesto"}},
 		{Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "gcc"}, Cores: 4}},
+		// Warmup beyond the explicit quota.
+		{Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf"}, Quota: 2000, Warmup: 3000}},
+		// Warmup beyond the default quota (one trace length).
+		{Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf"}, Warmup: testTraceLen + 1}},
+		{Kind: KindSweep, Sweep: &SweepRequest{Workloads: [][]string{{"mcf"}}, Quota: 500, Warmup: 600}},
 	}
 	for i, req := range cases {
-		if _, _, err := canonicalize(req, src); err == nil {
+		if _, _, err := canonicalize(req, src, testTraceLen); err == nil {
 			t.Errorf("case %d (%+v): accepted", i, req)
 		}
 	}
@@ -102,19 +111,66 @@ func TestCanonicalizeRejections(t *testing.T) {
 func TestCanonicalizeSweepDigest(t *testing.T) {
 	src := suiteSrc()
 	ws := [][]string{{"mcf", "gcc"}, {"povray", "milc"}}
-	_, keyA, err := canonicalize(SubmitRequest{Kind: KindSweep, Sweep: &SweepRequest{Workloads: ws}}, src)
+	_, keyA, err := canonicalize(SubmitRequest{Kind: KindSweep, Sweep: &SweepRequest{Workloads: ws}}, src, testTraceLen)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, keyB, _ := canonicalize(SubmitRequest{Kind: KindSweep, Sweep: &SweepRequest{Workloads: ws}}, src)
+	_, keyB, _ := canonicalize(SubmitRequest{Kind: KindSweep, Sweep: &SweepRequest{Workloads: ws}}, src, testTraceLen)
 	if keyA != keyB {
 		t.Errorf("identical sweeps differ: %q vs %q", keyA, keyB)
 	}
 	// Workload order matters (results are indexed by it).
 	_, keyC, _ := canonicalize(SubmitRequest{Kind: KindSweep, Sweep: &SweepRequest{
 		Workloads: [][]string{{"povray", "milc"}, {"mcf", "gcc"}},
-	}}, src)
+	}}, src, testTraceLen)
 	if keyC == keyA {
 		t.Error("reordered sweep shares a key")
+	}
+}
+
+func TestCanonicalizeWarmupKeys(t *testing.T) {
+	src := suiteSrc()
+	// A warmed request computes different numbers than a cold one, so it
+	// must not dedup onto a cold job; a zero warmup keeps the historic
+	// key format byte-for-byte.
+	cold, keyCold, err := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "povray"}},
+	}, src, testTraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "sim|detailed|LRU|q0|mcf,povray"; keyCold != want {
+		t.Fatalf("cold key %q, want %q", keyCold, want)
+	}
+	_, keyWarm, err := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "povray"}, Warmup: 2500},
+	}, src, testTraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyWarm == keyCold {
+		t.Error("warmed and cold requests share a key")
+	}
+	if !strings.HasSuffix(keyWarm, "|w2500") {
+		t.Errorf("warm key %q lacks warmup suffix", keyWarm)
+	}
+	if cold.Simulate.Warmup != 0 {
+		t.Errorf("cold canonical form gained warmup %d", cold.Simulate.Warmup)
+	}
+	// A warmup that fits exactly inside the default quota is accepted.
+	if _, _, err := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf"}, Warmup: testTraceLen},
+	}, src, testTraceLen); err != nil {
+		t.Errorf("warmup == trace length rejected: %v", err)
+	}
+	// Sweeps carry the same suffix.
+	_, keySweep, err := canonicalize(SubmitRequest{
+		Kind: KindSweep, Sweep: &SweepRequest{Workloads: [][]string{{"mcf", "gcc"}}, Warmup: 100},
+	}, src, testTraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(keySweep, "|w100") {
+		t.Errorf("sweep key %q lacks warmup suffix", keySweep)
 	}
 }

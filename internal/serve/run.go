@@ -176,7 +176,7 @@ func (s *Server) runExperiment(ctx context.Context, j *job) (*JobResult, error) 
 // runSimulate executes one ad-hoc workload at the lab's trace length.
 func (s *Server) runSimulate(ctx context.Context, j *job) (*JobResult, error) {
 	req := j.req.Simulate
-	results, err := s.adhocSweep(ctx, j, [][]string{req.Workload}, req.Policy, req.Engine, req.Quota)
+	results, err := s.adhocSweep(ctx, j, [][]string{req.Workload}, req.Policy, req.Engine, req.Quota, req.Warmup)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +186,7 @@ func (s *Server) runSimulate(ctx context.Context, j *job) (*JobResult, error) {
 // runSweep executes many ad-hoc workloads under one configuration.
 func (s *Server) runSweep(ctx context.Context, j *job) (*JobResult, error) {
 	req := j.req.Sweep
-	results, err := s.adhocSweep(ctx, j, req.Workloads, req.Policy, req.Engine, req.Quota)
+	results, err := s.adhocSweep(ctx, j, req.Workloads, req.Policy, req.Engine, req.Quota, req.Warmup)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +197,7 @@ func (s *Server) runSweep(ctx context.Context, j *job) (*JobResult, error) {
 // through the lab's memoized source, BADCO models are built for the
 // distinct benchmarks the request touches, and the multicore sweeps
 // parallelise across the process-wide simulation budget.
-func (s *Server) adhocSweep(ctx context.Context, j *job, workloads [][]string, policy, engine string, quota uint64) ([]SimResult, error) {
+func (s *Server) adhocSweep(ctx context.Context, j *job, workloads [][]string, policy, engine string, quota, warmup uint64) ([]SimResult, error) {
 	src := s.lab.Source()
 	distinct, err := bench.CheckNames(src, workloads)
 	if err != nil {
@@ -217,12 +217,24 @@ func (s *Server) adhocSweep(ctx context.Context, j *job, workloads [][]string, p
 			return nil, err
 		}
 		j.emit("models", fmt.Sprintf("%d BADCO models built", len(models)), map[string]any{"models": len(models)})
-		results, err = multicore.SweepApproximate(ctx, ws, models, pol, quota)
+		if warmup > 0 {
+			results, err = warmedSweep(ctx, ws, func(ctx context.Context, w multicore.Workload) (multicore.Result, error) {
+				return multicore.ApproximateWithWarmup(ctx, w, models, pol, warmup, quota)
+			})
+		} else {
+			results, err = multicore.SweepApproximate(ctx, ws, models, pol, quota)
+		}
 		if err != nil {
 			return nil, err
 		}
 	default:
-		results, err = multicore.SweepDetailed(ctx, ws, prov, pol, quota)
+		if warmup > 0 {
+			results, err = warmedSweep(ctx, ws, func(ctx context.Context, w multicore.Workload) (multicore.Result, error) {
+				return multicore.DetailedWithWarmup(ctx, w, prov, pol, warmup, quota)
+			})
+		} else {
+			results, err = multicore.SweepDetailed(ctx, ws, prov, pol, quota)
+		}
 		// Ad-hoc jobs are one-shot: release every trace the sweep built
 		// (the BADCO branch releases through BuildModels) so a
 		// long-running server's resident memory tracks in-flight work,
@@ -238,6 +250,7 @@ func (s *Server) adhocSweep(ctx context.Context, j *job, workloads [][]string, p
 	out := make([]SimResult, len(results))
 	for i, r := range results {
 		out[i] = SimResult{
+			Warmup:       warmup,
 			Workload:     append([]string(nil), r.Workload...),
 			Policy:       string(r.Policy),
 			Engine:       engine,
@@ -247,4 +260,22 @@ func (s *Server) adhocSweep(ctx context.Context, j *job, workloads [][]string, p
 		}
 	}
 	return out, nil
+}
+
+// warmedSweep runs the two-stage (warmup + measure) simulation per
+// workload on the shared simulation budget, mirroring the plain sweeps.
+func warmedSweep(ctx context.Context, ws []multicore.Workload, run func(context.Context, multicore.Workload) (multicore.Result, error)) ([]multicore.Result, error) {
+	results := make([]multicore.Result, len(ws))
+	errs := make([]error, len(ws))
+	if err := multicore.RunBounded(ctx, len(ws), func(i int) {
+		results[i], errs[i] = run(ctx, ws[i])
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }

@@ -140,13 +140,13 @@ func (l *Lab) Simulate(ctx context.Context, workload []string, opts ...Option) (
 		if err != nil {
 			return nil, err
 		}
-		r, err := multicore.Approximate(ctx, multicore.Workload(w), models, o.policy, o.quota)
+		r, err := multicore.ApproximateWithWarmup(ctx, multicore.Workload(w), models, o.policy, o.warmup, o.quota)
 		if err != nil {
 			return nil, err
 		}
 		return convert(r, BADCO), nil
 	default:
-		r, err := multicore.Detailed(ctx, multicore.Workload(w), l.lab.Provider(), o.policy, o.quota)
+		r, err := multicore.DetailedWithWarmup(ctx, multicore.Workload(w), l.lab.Provider(), o.policy, o.warmup, o.quota)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,8 @@
 #   scripts/bench.sh [-baseline FILE | -interleave TESTBIN] [-out BENCH.json] [-reps N]
 #
 # Runs the per-µop simulator benchmarks (BenchmarkDetailedSimulator2Core,
-# BenchmarkBadcoSimulator2Core, BenchmarkBadcoSimulator8Core, each with
+# BenchmarkBadcoSimulator2Core, BenchmarkBadcoSimulator8Core and the
+# BenchmarkPolicySweep{SharedWarmup,ColdWarmup} pair, each with
 # -benchtime 3x, and BenchmarkPopulationSweep with -benchtime 1x), REPS
 # times each, and reports the MINIMUM ns/op per benchmark — the standard
 # way to measure on a noisy shared host, since noise only ever adds time.
@@ -25,7 +26,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE=""
 INTERLEAVE=""
-OUT="BENCH_2.json"
+OUT="BENCH_6.json"
 REPS=5
 while [ $# -gt 0 ]; do
 	case "$1" in
@@ -39,7 +40,7 @@ done
 
 RAW="$OUT.raw.txt"
 : >"$RAW"
-SIMS='BenchmarkDetailedSimulator2Core$|BenchmarkBadcoSimulator2Core$|BenchmarkBadcoSimulator8Core$'
+SIMS='BenchmarkDetailedSimulator2Core$|BenchmarkBadcoSimulator2Core$|BenchmarkBadcoSimulator8Core$|BenchmarkPolicySweepSharedWarmup$|BenchmarkPolicySweepColdWarmup$'
 POP='BenchmarkPopulationSweep$'
 
 if [ -n "$INTERLEAVE" ]; then
@@ -94,10 +95,23 @@ if [ -n "$BASELINE" ]; then
 	summarize "$BASELINE" >"$RAW.base.sum"
 fi
 
+# Shared-warmup vs per-policy-warmup policy sweep, same binary and time
+# window: the checkpointed-sweep speedup. Both run sequentially, so the
+# ratio is pure per-op cost, immune to core-count differences.
+SWEEP_SPEEDUP=""
+shared=$(awk '$1 == "BenchmarkPolicySweepSharedWarmup" { print $2 }' "$RAW.sum")
+cold=$(awk '$1 == "BenchmarkPolicySweepColdWarmup" { print $2 }' "$RAW.sum")
+if [ -n "$shared" ] && [ -n "$cold" ]; then
+	SWEEP_SPEEDUP=$(awk -v c="$cold" -v s="$shared" 'BEGIN { printf "%.2f", c / s }')
+fi
+
 {
 	echo '{'
 	echo '  "protocol": "min ns/op over '"$REPS"' runs (sim benchmarks: -benchtime 3x; population sweep: -benchtime 1x, fresh process per run), -benchmem",'
 	echo '  "walltime_seconds": '$((END - START))','
+	if [ -n "$SWEEP_SPEEDUP" ]; then
+		echo '  "policy_sweep_shared_warmup_speedup": '"$SWEEP_SPEEDUP"','
+	fi
 	echo '  "benchmarks": ['
 	first=1
 	while read -r name ns allocs; do

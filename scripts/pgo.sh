@@ -1,7 +1,7 @@
 #!/bin/sh
 # pgo.sh — regenerate default.pgo, the profile feeding profile-guided
 # optimization of the simulator benchmarks (see scripts/bench.sh).
-# Profiles the three hot simulator paths and merges them.
+# Profiles the hot simulator paths and merges them.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,6 +14,8 @@ go test -run '^$' -bench 'BenchmarkBadcoSimulator8Core$' -benchtime 8x \
 	-cpuprofile "$TMP/badco.prof" . >/dev/null
 go test -run '^$' -bench 'BenchmarkPopulationSweep$' -benchtime 1x \
 	-cpuprofile "$TMP/pop.prof" . >/dev/null
+go test -run '^$' -bench 'BenchmarkPolicySweepSharedWarmup$' -benchtime 8x \
+	-cpuprofile "$TMP/sweep.prof" . >/dev/null
 
-go tool pprof -proto "$TMP/det.prof" "$TMP/badco.prof" "$TMP/pop.prof" >default.pgo
+go tool pprof -proto "$TMP/det.prof" "$TMP/badco.prof" "$TMP/pop.prof" "$TMP/sweep.prof" >default.pgo
 echo "wrote default.pgo"

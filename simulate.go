@@ -75,6 +75,7 @@ type options struct {
 	policy   Policy
 	engine   Engine
 	quota    uint64
+	warmup   uint64
 	traceLen int
 	cores    int
 	suite    Source
@@ -93,6 +94,15 @@ func WithSimulator(e Engine) Option { return func(o *options) { o.engine = e } }
 // WithQuota sets the per-thread instruction quota (default: one trace
 // length per thread).
 func WithQuota(q uint64) Option { return func(o *options) { o.quota = q } }
+
+// WithWarmup runs each thread for n committed µops before the
+// measurement window opens (default 0: measure from reset). Caches,
+// predictors and prefetchers warm during the prefix; IPC and cycles
+// cover only the quota µops beyond it. The warmed machine state is
+// snapshotted through the checkpoint layer, so sweeping several
+// policies over one workload pays the warmup once (see
+// multicore.SweepPoliciesDetailed and experiments.Config.Warmup).
+func WithWarmup(n uint64) Option { return func(o *options) { o.warmup = n } }
 
 // WithTraceLen sets the per-benchmark trace length in µops (default
 // mcbench.DefaultTraceLen). Shorter traces simulate faster at lower
@@ -132,6 +142,15 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
+// effectiveQuota resolves the per-thread measurement quota: WithQuota
+// when given, one trace length otherwise (the drivers' default).
+func (o options) effectiveQuota() uint64 {
+	if o.quota != 0 {
+		return o.quota
+	}
+	return uint64(o.traceLen)
+}
+
 // source resolves the configured benchmark source.
 func (o options) source() Source {
 	if o.suite != nil {
@@ -169,6 +188,12 @@ func (o options) validate(workload []string) ([]string, error) {
 	}
 	if o.engine != Detailed && o.engine != BADCO {
 		return nil, fmt.Errorf("mcbench: unknown engine %v", o.engine)
+	}
+	// The quota defaults to one trace length per thread. A warmup beyond
+	// it almost always means swapped arguments, so it is rejected here
+	// rather than silently accepted as a run that mostly discards work.
+	if q := o.effectiveQuota(); o.warmup > q {
+		return nil, fmt.Errorf("mcbench: warmup %d exceeds the instruction quota %d", o.warmup, q)
 	}
 	return resolveWorkload(workload, o.cores)
 }
@@ -211,13 +236,13 @@ func Simulate(ctx context.Context, workload []string, opts ...Option) (*Result, 
 		if err != nil {
 			return nil, err
 		}
-		r, err := multicore.Approximate(ctx, multicore.Workload(w), models, o.policy, o.quota)
+		r, err := multicore.ApproximateWithWarmup(ctx, multicore.Workload(w), models, o.policy, o.warmup, o.quota)
 		if err != nil {
 			return nil, err
 		}
 		return convert(r, BADCO), nil
 	default:
-		r, err := multicore.Detailed(ctx, multicore.Workload(w), prov, o.policy, o.quota)
+		r, err := multicore.DetailedWithWarmup(ctx, multicore.Workload(w), prov, o.policy, o.warmup, o.quota)
 		if err != nil {
 			return nil, err
 		}
@@ -256,12 +281,24 @@ func Sweep(ctx context.Context, workloads [][]string, opts ...Option) ([]*Result
 		if err != nil {
 			return nil, err
 		}
-		results, err = multicore.SweepApproximate(ctx, ws, models, o.policy, o.quota)
+		if o.warmup > 0 {
+			results, err = sweepWarmed(ctx, ws, func(ctx context.Context, w multicore.Workload) (multicore.Result, error) {
+				return multicore.ApproximateWithWarmup(ctx, w, models, o.policy, o.warmup, o.quota)
+			})
+		} else {
+			results, err = multicore.SweepApproximate(ctx, ws, models, o.policy, o.quota)
+		}
 		if err != nil {
 			return nil, err
 		}
 	default:
-		results, err = multicore.SweepDetailed(ctx, ws, prov, o.policy, o.quota)
+		if o.warmup > 0 {
+			results, err = sweepWarmed(ctx, ws, func(ctx context.Context, w multicore.Workload) (multicore.Result, error) {
+				return multicore.DetailedWithWarmup(ctx, w, prov, o.policy, o.warmup, o.quota)
+			})
+		} else {
+			results, err = multicore.SweepDetailed(ctx, ws, prov, o.policy, o.quota)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -271,4 +308,22 @@ func Sweep(ctx context.Context, workloads [][]string, opts ...Option) ([]*Result
 		out[i] = convert(r, o.engine)
 	}
 	return out, nil
+}
+
+// sweepWarmed runs the two-stage (warmup + measure) simulation per
+// workload on the shared simulation budget, like the plain sweeps.
+func sweepWarmed(ctx context.Context, ws []multicore.Workload, run func(context.Context, multicore.Workload) (multicore.Result, error)) ([]multicore.Result, error) {
+	results := make([]multicore.Result, len(ws))
+	errs := make([]error, len(ws))
+	if err := multicore.RunBounded(ctx, len(ws), func(i int) {
+		results[i], errs[i] = run(ctx, ws[i])
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }

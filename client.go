@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,15 +30,48 @@ import (
 // job another client already has running returns the same job ID with
 // Deduped set, and both clients follow one computation.
 type Client struct {
-	base string
-	hc   *http.Client
+	base       string
+	hc         *http.Client
+	maxRetries int
+	baseDelay  time.Duration
 }
 
+// ClientOptions tunes a Client's resilience. The zero value means
+// defaults (4 retries, 100ms base delay, a fresh http.Client).
+type ClientOptions struct {
+	// MaxRetries bounds how many times a failed request is re-attempted
+	// (each request runs at most MaxRetries+1 times). 0 means the
+	// default (4); negative disables retries entirely. Connection errors
+	// and 503 rejections retry for every method — a 503 from the server
+	// means the submission was rejected before it was enqueued, and
+	// submissions are idempotent anyway (identical in-flight submissions
+	// coalesce server-side, completed sweeps are served from cache) —
+	// while 429/502/504 retry only idempotent GETs.
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff between attempts
+	// (default 100ms): delay n is BaseDelay·2ⁿ⁻¹, jittered ±50% and
+	// capped at 5s. A server 503's Retry-After header overrides the
+	// computed delay.
+	BaseDelay time.Duration
+	// HTTPClient replaces the underlying transport (proxies, test
+	// doubles, custom TLS). nil means a fresh &http.Client{} with no
+	// request timeout — pass deadline contexts to the calls instead;
+	// Events long-polls are expected to dwell.
+	HTTPClient *http.Client
+}
+
+// defaults for the zero ClientOptions.
+const (
+	defaultMaxRetries = 4
+	defaultBaseDelay  = 100 * time.Millisecond
+	maxRetryDelay     = 5 * time.Second
+)
+
 // NewClient validates the base URL ("http://host:port") and returns a
-// client over http.DefaultClient semantics (no request timeout; pass
-// deadline contexts to the calls instead — Events long-polls are
-// expected to dwell).
-func NewClient(baseURL string) (*Client, error) {
+// client. With no options the client retries transient failures
+// (connection errors, 503 queue-full rejections, and 429/502/504 on
+// GETs) with exponential backoff and jitter; see ClientOptions.
+func NewClient(baseURL string, opts ...ClientOptions) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("mcbench: bad server URL %q: %w", baseURL, err)
@@ -43,55 +79,191 @@ func NewClient(baseURL string) (*Client, error) {
 	if u.Scheme != "http" && u.Scheme != "https" {
 		return nil, fmt.Errorf("mcbench: server URL %q needs an http(s) scheme", baseURL)
 	}
-	return &Client{base: strings.TrimRight(u.String(), "/"), hc: &http.Client{}}, nil
+	var o ClientOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	c := &Client{
+		base:       strings.TrimRight(u.String(), "/"),
+		hc:         o.HTTPClient,
+		maxRetries: o.MaxRetries,
+		baseDelay:  o.BaseDelay,
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{}
+	}
+	switch {
+	case c.maxRetries == 0:
+		c.maxRetries = defaultMaxRetries
+	case c.maxRetries < 0:
+		c.maxRetries = 0
+	}
+	if c.baseDelay <= 0 {
+		c.baseDelay = defaultBaseDelay
+	}
+	return c, nil
 }
 
-// apiError is a non-2xx server response.
-type apiError struct {
-	status  int
-	message string
+// APIError is a non-2xx response from an mcbench server, inspectable
+// via errors.As:
+//
+//	var ae *mcbench.APIError
+//	if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound { ... }
+//
+// (or just mcbench.IsNotFound(err) for that case).
+type APIError struct {
+	// StatusCode is the HTTP status the server answered with.
+	StatusCode int
+	// Message is the server's error text.
+	Message string
+	// RetryAfter is the server's Retry-After hint, when it sent one
+	// (503 rejections do); zero otherwise.
+	RetryAfter time.Duration
 }
 
-func (e *apiError) Error() string {
-	return fmt.Sprintf("mcbench: server %d: %s", e.status, e.message)
+func (e *APIError) Error() string {
+	return fmt.Sprintf("mcbench: server %d: %s", e.StatusCode, e.Message)
 }
 
-// do performs one JSON exchange. A nil in means no body; a nil out
-// discards the response payload.
+// IsNotFound reports whether err is a server 404 — an unknown job ID
+// (e.g. after a server restart: job IDs do not survive restarts, only
+// cached results do) or an unknown route.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound
+}
+
+// connError marks a failure that never produced a server response —
+// connection refused, reset, timeout. Always safe to retry against this
+// server: either the request never arrived, or its effects are
+// idempotent (submissions coalesce, results are cached).
+type connError struct{ err error }
+
+func (e *connError) Error() string { return fmt.Sprintf("mcbench: %v", e.err) }
+func (e *connError) Unwrap() error { return e.err }
+
+// newAPIError builds the typed error from a non-2xx response.
+func newAPIError(resp *http.Response, body []byte) *APIError {
+	var payload struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &payload) == nil && payload.Error != "" {
+		msg = payload.Error
+	}
+	ae := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}
+
+// retryable reports whether the error is worth re-attempting for the
+// method. Connection errors and 503s retry for every method (see
+// ClientOptions.MaxRetries for why that is safe); 429/502/504 retry
+// idempotent GETs only.
+func retryable(method string, err error) bool {
+	var ce *connError
+	if errors.As(err, &ce) {
+		return true
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	switch ae.StatusCode {
+	case http.StatusServiceUnavailable:
+		return true
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusGatewayTimeout:
+		return method == http.MethodGet
+	}
+	return false
+}
+
+// retryDelay computes the pause before attempt n (1-based): the
+// server's Retry-After when it sent one, else exponential backoff from
+// BaseDelay with ±50% jitter, capped at maxRetryDelay. Jitter keeps a
+// thundering herd of clients (every caller rejected by the same full
+// queue) from re-converging on the same instant.
+func (c *Client) retryDelay(n int, lastErr error) time.Duration {
+	var ae *APIError
+	if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
+		return ae.RetryAfter
+	}
+	d := c.baseDelay << (n - 1)
+	if d > maxRetryDelay || d <= 0 {
+		d = maxRetryDelay
+	}
+	return d/2 + rand.N(d/2+1)
+}
+
+// sleepCtx pauses for d or until ctx dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do performs one JSON exchange with retries. A nil in means no body; a
+// nil out discards the response payload.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("mcbench: %w", err)
 		}
-		body = bytes.NewReader(data)
+		payload = data
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, c.retryDelay(attempt, lastErr)); err != nil {
+				return lastErr
+			}
+		}
+		err := c.once(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= c.maxRetries || !retryable(method, err) || ctx.Err() != nil {
+			return err
+		}
+	}
+}
+
+// once performs a single JSON exchange.
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return fmt.Errorf("mcbench: %w", err)
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("mcbench: %w", err)
+		return &connError{err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return fmt.Errorf("mcbench: %w", err)
+		return &connError{err}
 	}
 	if resp.StatusCode >= 300 {
-		var payload struct {
-			Error string `json:"error"`
-		}
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &payload) == nil && payload.Error != "" {
-			msg = payload.Error
-		}
-		return &apiError{status: resp.StatusCode, message: msg}
+		return newAPIError(resp, data)
 	}
 	if out == nil {
 		return nil
@@ -244,25 +416,16 @@ func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
 // running it returns (nil, false, nil); a failed or cancelled job is an
 // error carrying the server's reason.
 func (c *Client) Result(ctx context.Context, id string) (*JobResult, bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+url.PathEscape(id)+"/result", nil)
+	status, data, err := c.getRaw(ctx, "/jobs/"+url.PathEscape(id)+"/result")
 	if err != nil {
-		return nil, false, fmt.Errorf("mcbench: %w", err)
+		return nil, false, err
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, false, fmt.Errorf("mcbench: %w", err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, false, fmt.Errorf("mcbench: %w", err)
-	}
-	switch resp.StatusCode {
+	switch status {
 	case http.StatusAccepted:
 		return nil, false, nil
 	case http.StatusOK:
-	default:
-		return nil, false, &apiError{status: resp.StatusCode, message: strings.TrimSpace(string(data))}
+	default: // unreachable: getRaw converts non-2xx into *APIError
+		return nil, false, &APIError{StatusCode: status, Message: strings.TrimSpace(string(data))}
 	}
 	// A terminal non-done job answers 200 with its status wrapped.
 	var settled struct {
@@ -278,10 +441,62 @@ func (c *Client) Result(ctx context.Context, id string) (*JobResult, bool, error
 	return &res, true, nil
 }
 
+// getRaw performs a retrying GET and returns the 2xx status and body;
+// non-2xx responses come back as *APIError (and 503/429/502/504 and
+// connection errors were retried first, like do).
+func (c *Client) getRaw(ctx context.Context, path string) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, c.retryDelay(attempt, lastErr)); err != nil {
+				return 0, nil, lastErr
+			}
+		}
+		status, data, err := c.onceRaw(ctx, path)
+		if err == nil {
+			return status, data, nil
+		}
+		lastErr = err
+		if attempt >= c.maxRetries || !retryable(http.MethodGet, err) || ctx.Err() != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// onceRaw performs a single GET, preserving the status for callers that
+// dispatch on it (Result's 202-while-running).
+func (c *Client) onceRaw(ctx context.Context, path string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, nil, fmt.Errorf("mcbench: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, &connError{err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, &connError{err}
+	}
+	if resp.StatusCode >= 300 {
+		return 0, nil, newAPIError(resp, data)
+	}
+	return resp.StatusCode, data, nil
+}
+
 // Events long-polls the job's progress log from the cursor (0 = start),
 // invoking fn for each event in order, until the job settles, fn
 // returns false, or ctx dies. It returns the final state.
+//
+// The follower is resilient: when a poll fails transiently (a dropped
+// connection, a restarting reverse proxy) it reconnects and resumes
+// from its last-seen cursor, so fn never sees an event twice and never
+// skips one. Only MaxRetries consecutive failed polls — each of which
+// already retried internally — or a non-transient error (a 404 for the
+// job, say) end the follow.
 func (c *Client) Events(ctx context.Context, id string, after int, fn func(JobEvent) bool) (JobState, error) {
+	fails := 0
 	for {
 		var page struct {
 			State  JobState   `json:"state"`
@@ -289,8 +504,16 @@ func (c *Client) Events(ctx context.Context, id string, after int, fn func(JobEv
 		}
 		path := fmt.Sprintf("/jobs/%s/events?after=%d&wait=30s", url.PathEscape(id), after)
 		if err := c.do(ctx, http.MethodGet, path, nil, &page); err != nil {
-			return "", err
+			fails++
+			if fails > c.maxRetries || !retryable(http.MethodGet, err) || ctx.Err() != nil {
+				return "", err
+			}
+			if sleepCtx(ctx, c.retryDelay(fails, err)) != nil {
+				return "", err
+			}
+			continue // reconnect; the cursor picks up where we left off
 		}
+		fails = 0
 		for _, ev := range page.Events {
 			after = ev.Seq
 			if fn != nil && !fn(ev) {
@@ -308,6 +531,14 @@ const waitPollFloor = 500 * time.Millisecond
 
 // Wait follows the job until it settles and returns its result. A
 // failed or cancelled job is an error carrying the server's reason.
+//
+// Wait rides the same resilience as Events and the retrying transport:
+// it survives transient outages (including a server restart window) by
+// re-polling from its last-seen cursor with backoff. If the server
+// comes back having genuinely forgotten the job — job IDs do not
+// survive restarts — Wait returns a 404 APIError; resubmitting is then
+// cheap, since every sweep completed before the restart is served from
+// the persistent cache.
 func (c *Client) Wait(ctx context.Context, id string) (*JobResult, error) {
 	state, err := c.Events(ctx, id, 0, nil)
 	if err != nil {

@@ -199,8 +199,9 @@ func serveCmd(ctx context.Context, cfg experiments.Config, args []string) int {
 	workers := fs.Int("workers", 2, "concurrently executing jobs")
 	queue := fs.Int("queue", 16, "bounded backlog of accepted jobs")
 	keep := fs.Int("keep", 256, "settled jobs retained for querying (oldest evicted beyond)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock bound; a job exceeding it fails (0 = unbounded)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mcbench [-quick] [-suite SPEC] [-cache DIR] serve [-addr HOST:PORT] [-workers N] [-queue N]")
+		fmt.Fprintln(os.Stderr, "usage: mcbench [-quick] [-suite SPEC] [-cache DIR] serve [-addr HOST:PORT] [-workers N] [-queue N] [-job-timeout D]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -210,7 +211,10 @@ func serveCmd(ctx context.Context, cfg experiments.Config, args []string) int {
 		fmt.Fprintf(os.Stderr, "mcbench serve: unexpected arguments %v\n", fs.Args())
 		return 2
 	}
-	srv := serve.New(serve.Config{Lab: cfg, Workers: *workers, QueueDepth: *queue, KeepJobs: *keep})
+	srv := serve.New(serve.Config{
+		Lab: cfg, Workers: *workers, QueueDepth: *queue,
+		KeepJobs: *keep, JobTimeout: *jobTimeout,
+	})
 	onReady := func(bound string) {
 		fmt.Printf("mcbench serve: %s\n", buildinfo.Read())
 		fmt.Printf("mcbench serve: listening on http://%s (source %s, %d workers)\n",

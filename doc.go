@@ -85,6 +85,24 @@
 // serves them from disk. The `mcbench serve` subcommand wraps Serve;
 // see the README's "Serving" section for the HTTP surface.
 //
+// The client is resilient by default and tunable via ClientOptions:
+//
+//	c, err := mcbench.NewClient("http://127.0.0.1:8080", mcbench.ClientOptions{
+//		MaxRetries: 6,                      // 0 = default (4), negative = off
+//		BaseDelay:  200 * time.Millisecond, // exponential backoff, jittered
+//	})
+//
+// Connection errors and 503 rejections retry for every method — a 503
+// means the submission was rejected before it was enqueued (nothing
+// ran, nothing will), and its Retry-After header is honoured — while
+// 429/502/504 retry idempotent GETs only. Events reconnects from its
+// last-seen cursor across dropped polls, and Wait survives transient
+// outages the same way. Server errors are typed:
+//
+//	var ae *mcbench.APIError
+//	if errors.As(err, &ae) && ae.StatusCode == 503 { ... }
+//	if mcbench.IsNotFound(err) { ... } // job ID gone (e.g. server restarted)
+//
 // All entry points take a context.Context; cancellation aborts in-flight
 // simulations promptly, and completed products stay memoized, so an
 // interrupted campaign resumes where it stopped. The analysis machinery

@@ -1,0 +1,186 @@
+// Package faultinject provides deterministic, seed-driven fault
+// injection for robustness testing. Production code calls the cheap
+// package-level probes (Error, Sleep, Truncate) at named sites; with no
+// plan armed they are a single atomic load and do nothing, so the hooks
+// stay compiled in — no build tags — at negligible cost. Tests arm a
+// Plan with per-site rules; every decision derives from the plan's seed
+// and the site's own hit counter, so a failing chaos run replays
+// exactly under the same seed regardless of goroutine interleaving
+// across *different* sites.
+//
+// The three fault kinds mirror how storage and serving actually fail:
+//
+//   - Error: the operation reports a failure without side effects
+//     (EIO on write, a job rejected by a flaky dependency);
+//   - Sleep: the operation stalls (a degraded disk, a GC pause) —
+//     what per-job timeouts must absorb;
+//   - Truncate: a write is torn partway through (power loss, a
+//     full disk) — what checksums and quarantine must catch.
+//
+// Sites are dot-separated names ("results.save.write", "serve.job").
+// The wired-in sites are listed next to the code that calls them.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rule arms fault kinds at one site. Rates are per-hit probabilities in
+// [0, 1]; a zero rate disarms that kind. Decisions are deterministic in
+// (plan seed, site, hit index).
+type Rule struct {
+	// ErrorRate is the probability a hit returns an injected error.
+	ErrorRate float64
+	// SleepRate is the probability a hit sleeps; Sleep bounds how long
+	// (the actual duration is derived deterministically in (0, Sleep]).
+	SleepRate float64
+	Sleep     time.Duration
+	// TruncRate is the probability a write is torn: Truncate returns a
+	// strictly shorter length, derived deterministically.
+	TruncRate float64
+}
+
+// Plan is one armed fault campaign: a seed plus per-site rules and hit
+// counters. A Plan is safe for concurrent use.
+type Plan struct {
+	seed int64
+
+	mu       sync.Mutex
+	rules    map[string]Rule
+	hits     map[string]uint64
+	injected map[string]int
+}
+
+// NewPlan creates an empty plan; arm sites with Rule before Enable.
+func NewPlan(seed int64) *Plan {
+	return &Plan{
+		seed:     seed,
+		rules:    map[string]Rule{},
+		hits:     map[string]uint64{},
+		injected: map[string]int{},
+	}
+}
+
+// Rule arms (or replaces) the rule for one site.
+func (p *Plan) Rule(site string, r Rule) {
+	p.mu.Lock()
+	p.rules[site] = r
+	p.mu.Unlock()
+}
+
+// Injected reports how many faults of any kind fired at the site — the
+// observability hook chaos tests assert campaign pressure with.
+func (p *Plan) Injected(site string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected[site]
+}
+
+// InjectedTotal reports the fault count across every site.
+func (p *Plan) InjectedTotal() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, v := range p.injected {
+		n += v
+	}
+	return n
+}
+
+// active is the armed plan; nil means every probe is a no-op.
+var active atomic.Pointer[Plan]
+
+// Enable arms the plan process-wide. Tests that Enable must Disable
+// (typically via t.Cleanup) before another test arms its own plan.
+func Enable(p *Plan) { active.Store(p) }
+
+// Disable disarms fault injection; probes return to no-ops.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is armed.
+func Enabled() bool { return active.Load() != nil }
+
+// decide advances the site's hit counter and returns a deterministic
+// 64-bit draw for this hit, or ok=false when the site has no rule.
+func (p *Plan) decide(site string) (r Rule, draw uint64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok = p.rules[site]
+	if !ok {
+		return Rule{}, 0, false
+	}
+	k := p.hits[site]
+	p.hits[site] = k + 1
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", p.seed, site, k)
+	return r, splitmix64(h.Sum64()), true
+}
+
+// record counts one fired fault at the site.
+func (p *Plan) record(site string) {
+	p.mu.Lock()
+	p.injected[site]++
+	p.mu.Unlock()
+}
+
+// splitmix64 finalizes a hash into a well-mixed 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a draw onto [0, 1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// Error returns an injected error for the site, or nil. The returned
+// error is tagged with the site name so logs attribute it.
+func Error(site string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	r, draw, ok := p.decide(site)
+	if !ok || r.ErrorRate <= 0 || unit(draw) >= r.ErrorRate {
+		return nil
+	}
+	p.record(site)
+	return fmt.Errorf("faultinject: injected error at %s", site)
+}
+
+// Sleep stalls the caller when a latency fault fires at the site.
+func Sleep(site string) {
+	p := active.Load()
+	if p == nil {
+		return
+	}
+	r, draw, ok := p.decide(site)
+	if !ok || r.SleepRate <= 0 || r.Sleep <= 0 || unit(draw) >= r.SleepRate {
+		return
+	}
+	p.record(site)
+	// Derive the stall from a second mix of the draw: (0, r.Sleep].
+	d := time.Duration(splitmix64(draw)%uint64(r.Sleep)) + 1
+	time.Sleep(d)
+}
+
+// Truncate returns how many of n bytes a write at the site should
+// actually persist: n when no torn-write fault fires, strictly fewer
+// (possibly zero) when one does.
+func Truncate(site string, n int) int {
+	p := active.Load()
+	if p == nil || n <= 0 {
+		return n
+	}
+	r, draw, ok := p.decide(site)
+	if !ok || r.TruncRate <= 0 || unit(draw) >= r.TruncRate {
+		return n
+	}
+	p.record(site)
+	return int(splitmix64(draw^0xdead) % uint64(n))
+}

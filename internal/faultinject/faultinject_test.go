@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledProbesAreNoOps pins the production-path contract: with no
+// plan armed every probe does nothing, so the hooks can stay compiled
+// into the store and the serve path unconditionally.
+func TestDisabledProbesAreNoOps(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled with no plan armed")
+	}
+	if err := Error("any.site"); err != nil {
+		t.Errorf("disabled Error injected: %v", err)
+	}
+	Sleep("any.site") // must return immediately
+	if n := Truncate("any.site", 100); n != 100 {
+		t.Errorf("disabled Truncate tore the write: %d", n)
+	}
+}
+
+// TestUnruledSiteNeverFires pins that an armed plan only affects the
+// sites it has rules for.
+func TestUnruledSiteNeverFires(t *testing.T) {
+	p := NewPlan(1)
+	p.Rule("ruled", Rule{ErrorRate: 1})
+	Enable(p)
+	defer Disable()
+	for i := 0; i < 50; i++ {
+		if err := Error("unruled"); err != nil {
+			t.Fatalf("unruled site fired: %v", err)
+		}
+		if n := Truncate("unruled", 10); n != 10 {
+			t.Fatalf("unruled site tore: %d", n)
+		}
+	}
+	if got := p.Injected("unruled"); got != 0 {
+		t.Errorf("unruled site counted %d injections", got)
+	}
+}
+
+// TestRateExtremes pins the endpoints: rate 1 always fires, rate 0
+// never does.
+func TestRateExtremes(t *testing.T) {
+	p := NewPlan(7)
+	p.Rule("always", Rule{ErrorRate: 1, TruncRate: 1})
+	p.Rule("never", Rule{ErrorRate: 0, TruncRate: 0})
+	Enable(p)
+	defer Disable()
+	for i := 0; i < 100; i++ {
+		if Error("always") == nil {
+			t.Fatal("rate-1 Error did not fire")
+		}
+		if n := Truncate("always", 64); n >= 64 {
+			t.Fatalf("rate-1 Truncate returned %d of 64", n)
+		}
+		if Error("never") != nil {
+			t.Fatal("rate-0 Error fired")
+		}
+		if n := Truncate("never", 64); n != 64 {
+			t.Fatalf("rate-0 Truncate tore: %d", n)
+		}
+	}
+	if got := p.Injected("always"); got != 200 {
+		t.Errorf("Injected(always) = %d, want 200", got)
+	}
+	if total := p.InjectedTotal(); total != 200 {
+		t.Errorf("InjectedTotal = %d, want 200", total)
+	}
+}
+
+// TestDeterminism pins the replay property: two plans with the same
+// seed make identical decisions hit-for-hit at every site, and a
+// different seed makes different ones.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) (errs []bool, truncs []int) {
+		p := NewPlan(seed)
+		p.Rule("e", Rule{ErrorRate: 0.5})
+		p.Rule("t", Rule{TruncRate: 0.5})
+		Enable(p)
+		defer Disable()
+		for i := 0; i < 200; i++ {
+			errs = append(errs, Error("e") != nil)
+			truncs = append(truncs, Truncate("t", 1000))
+		}
+		return errs, truncs
+	}
+	e1, t1 := run(42)
+	e2, t2 := run(42)
+	for i := range e1 {
+		if e1[i] != e2[i] || t1[i] != t2[i] {
+			t.Fatalf("same seed diverged at hit %d: %v/%v vs %v/%v", i, e1[i], t1[i], e2[i], t2[i])
+		}
+	}
+	e3, _ := run(43)
+	same := true
+	for i := range e1 {
+		if e1[i] != e3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical error sequences")
+	}
+	// A mid-rate rule must actually fire sometimes and skip sometimes.
+	fired := 0
+	for _, b := range e1 {
+		if b {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(e1) {
+		t.Errorf("rate-0.5 rule fired %d/%d times", fired, len(e1))
+	}
+}
+
+// TestSleepFires pins that a latency fault actually stalls, bounded by
+// the rule's Sleep.
+func TestSleepFires(t *testing.T) {
+	p := NewPlan(3)
+	p.Rule("s", Rule{SleepRate: 1, Sleep: 5 * time.Millisecond})
+	Enable(p)
+	defer Disable()
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		Sleep("s")
+	}
+	if p.Injected("s") != 3 {
+		t.Fatalf("Injected(s) = %d, want 3", p.Injected("s"))
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("3 bounded sleeps took %v", elapsed)
+	}
+}

@@ -9,6 +9,7 @@ package results
 // a crash mid-save leaves the previous checkpoint intact.
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -28,9 +29,13 @@ func (s *Store) checkpointPath(name string) string {
 }
 
 // SaveCheckpoint persists a simulation checkpoint under the given name,
-// replacing any previous version atomically. The name is sanitized onto
-// the filename-safe alphabet; callers that need collision-freedom across
-// exotic names should pre-hash like IPCTable.Key does for sources.
+// replacing any previous version atomically and durably (integrity
+// footer, fsync before and after the rename — the same contract as
+// Save). The name is sanitized onto the filename-safe alphabet; callers
+// that need collision-freedom across exotic names should pre-hash like
+// IPCTable.Key does for sources.
+//
+// Fault-injection site: "results.ckpt.write" (tear the staged write).
 func (s *Store) SaveCheckpoint(name string, cp *multicore.Checkpoint) error {
 	if name == "" {
 		return fmt.Errorf("results: empty checkpoint name")
@@ -38,46 +43,42 @@ func (s *Store) SaveCheckpoint(name string, cp *multicore.Checkpoint) error {
 	if cp == nil || len(cp.Workload) == 0 {
 		return fmt.Errorf("results: empty checkpoint")
 	}
-	tmp, err := os.CreateTemp(s.dir, sanitize(name)+"-*.tmp")
-	if err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
 		return fmt.Errorf("results: %w", err)
 	}
-	if err := gob.NewEncoder(tmp).Encode(cp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("results: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("results: %w", err)
-	}
-	// Same reasoning as Save: shared cache directories need the file
-	// readable beyond the creating user.
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("results: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.checkpointPath(name)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("results: %w", err)
-	}
-	return nil
+	return s.publish(sanitize(name)+"-*.tmp", s.checkpointPath(name),
+		appendFooter(buf.Bytes()), "results.ckpt.write")
 }
 
 // LoadCheckpoint reads a persisted checkpoint; ok is false when no
-// checkpoint of that name exists.
+// checkpoint of that name exists. A corrupt checkpoint — torn write,
+// failed footer, undecodable gob — is quarantined and reported as
+// absent: resuming from scratch is always safe, resuming from garbage
+// machine state never is. Footer-less files from older versions load
+// unchanged.
 func (s *Store) LoadCheckpoint(name string) (*multicore.Checkpoint, bool, error) {
-	f, err := os.Open(s.checkpointPath(name))
+	path := s.checkpointPath(name)
+	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("results: %w", err)
 	}
-	defer f.Close()
+	payload, hasFooter, valid := splitFooter(data)
+	if hasFooter && !valid {
+		s.quarantine(path)
+		return nil, false, nil
+	}
 	cp := new(multicore.Checkpoint)
-	if err := gob.NewDecoder(f).Decode(cp); err != nil {
-		return nil, false, fmt.Errorf("results: checkpoint %s: %w", name, err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(cp); err != nil {
+		s.quarantine(path)
+		return nil, false, nil
+	}
+	if len(cp.Workload) == 0 {
+		s.quarantine(path)
+		return nil, false, nil
 	}
 	return cp, true, nil
 }

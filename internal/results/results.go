@@ -8,12 +8,17 @@ package results
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"mcbench/internal/faultinject"
 )
 
 // IPCTable is one sweep result: row per workload, column per core.
@@ -170,25 +175,130 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
-// Save writes the table, replacing any previous version atomically. Each
-// writer stages through its own uniquely named temporary file, so
-// concurrent saves of the same key (parallel campaign workers, or
-// several processes sharing one cache directory) never clobber each
+// Integrity footer. Every file the store writes ends with a fixed-width
+// CRC32-C line over the payload that precedes it, so Load can tell a
+// complete table from a torn or bit-flipped one before decoding. The
+// footer sits *after* the payload (a trailing line a JSON or gob decoder
+// never reaches), so files written by older versions — no footer at all —
+// keep loading unchanged; only a present-but-wrong footer is corruption.
+const (
+	footerMagic = "\nmcbench-crc32:"
+	footerLen   = len(footerMagic) + 8 + 1 // magic + 8 hex digits + "\n"
+)
+
+// crcTable is Castagnoli (CRC32-C), hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFooter returns the payload with its integrity footer.
+func appendFooter(payload []byte) []byte {
+	sum := crc32.Checksum(payload, crcTable)
+	return fmt.Appendf(payload, "%s%08x\n", footerMagic, sum)
+}
+
+// splitFooter detects and verifies the integrity footer. hasFooter is
+// false for legacy footer-less files (payload is then the whole input);
+// valid is meaningful only when hasFooter is true.
+func splitFooter(data []byte) (payload []byte, hasFooter, valid bool) {
+	if len(data) < footerLen {
+		return data, false, false
+	}
+	tail := data[len(data)-footerLen:]
+	if string(tail[:len(footerMagic)]) != footerMagic || tail[footerLen-1] != '\n' {
+		return data, false, false
+	}
+	// Strict parse: all 8 digits must be hex, or this is not a footer.
+	sum, err := strconv.ParseUint(string(tail[len(footerMagic):footerLen-1]), 16, 32)
+	if err != nil {
+		return data, false, false
+	}
+	payload = data[:len(data)-footerLen]
+	return payload, true, crc32.Checksum(payload, crcTable) == uint32(sum)
+}
+
+// QuarantineDir is the store subdirectory corrupt files are moved into.
+const QuarantineDir = "quarantine"
+
+// quarantine moves a corrupt file out of the live directory instead of
+// letting it poison every future Load (or silently serving garbage).
+// The original base name survives so operators can tell which key was
+// hit; a numeric suffix avoids clobbering an earlier quarantined
+// generation of the same file. Best-effort: if the move fails the file
+// is removed outright — a corrupt file must never stay live.
+func (s *Store) quarantine(path string) {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(path)
+		return
+	}
+	base := filepath.Base(path)
+	dst := filepath.Join(qdir, base)
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+}
+
+// syncDir fsyncs the store directory, making a just-renamed file's
+// directory entry durable. Without it a power loss shortly after Save
+// returns can roll the rename back — the rename is atomic, not durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Save writes the table, replacing any previous version atomically and
+// durably. Each writer stages through its own uniquely named temporary
+// file, so concurrent saves of the same key (parallel campaign workers,
+// or several processes sharing one cache directory) never clobber each
 // other's staging data: whichever rename lands last wins, and readers
-// always see a complete file.
+// always see a complete file. The staged bytes carry an integrity
+// footer and are fsynced (file, then directory) before and after the
+// rename, so a power loss after Save returns cannot lose or tear the
+// published table.
+//
+// Fault-injection sites: "results.save" (fail the save outright),
+// "results.save.write" (tear the staged write — the published file then
+// fails its checksum and Load quarantines it).
 func (s *Store) Save(t *IPCTable) error {
 	if err := t.Validate(); err != nil {
 		return err
+	}
+	if err := faultinject.Error("results.save"); err != nil {
+		return fmt.Errorf("results: %w", err)
 	}
 	data, err := json.Marshal(t)
 	if err != nil {
 		return fmt.Errorf("results: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.dir, t.Key()+"-*.tmp")
+	return s.publish(t.Key()+"-*.tmp", s.path(t.Key()), appendFooter(data), "results.save.write")
+}
+
+// publish stages buf through a uniquely named temp file and renames it
+// onto dst, fsyncing the file before and the directory after the rename.
+// tornSite names the fault-injection point that may tear the write.
+func (s *Store) publish(tmpPattern, dst string, buf []byte, tornSite string) error {
+	tmp, err := os.CreateTemp(s.dir, tmpPattern)
 	if err != nil {
 		return fmt.Errorf("results: %w", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(buf[:faultinject.Truncate(tornSite, len(buf))]); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	// fsync the payload before rename: rename is atomic with respect to
+	// readers but says nothing about durability — without the sync a
+	// power loss can publish a name pointing at unwritten blocks.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("results: %w", err)
@@ -203,31 +313,54 @@ func (s *Store) Save(t *IPCTable) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("results: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(t.Key())); err != nil {
+	if err := os.Rename(tmp.Name(), dst); err != nil {
 		os.Remove(tmp.Name())
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
 		return fmt.Errorf("results: %w", err)
 	}
 	return nil
 }
 
 // Load reads the table with the given identity; ok is false when absent.
+// A corrupt file — torn write, bit flip, failed checksum, undecodable or
+// structurally invalid content — is quarantined into QuarantineDir and
+// reported as absent, never as an error and never as a wrong table: the
+// caller recomputes and the next Save republishes a good file.
+//
+// Fault-injection site: "results.load" (fail the read as an I/O error).
 func (s *Store) Load(proto IPCTable) (*IPCTable, bool, error) {
-	data, err := os.ReadFile(s.path(proto.Key()))
+	path := s.path(proto.Key())
+	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("results: %w", err)
 	}
+	if err := faultinject.Error("results.load"); err != nil {
+		return nil, false, fmt.Errorf("results: %w", err)
+	}
+	payload, hasFooter, valid := splitFooter(data)
+	if hasFooter && !valid {
+		s.quarantine(path)
+		return nil, false, nil
+	}
 	var t IPCTable
-	if err := json.Unmarshal(data, &t); err != nil {
-		return nil, false, fmt.Errorf("results: corrupt %s: %w", proto.Key(), err)
+	if err := json.Unmarshal(payload, &t); err != nil {
+		s.quarantine(path)
+		return nil, false, nil
 	}
 	if err := t.Validate(); err != nil {
-		return nil, false, err
+		s.quarantine(path)
+		return nil, false, nil
 	}
 	if !t.sameIdentity(&proto) {
-		return nil, false, fmt.Errorf("results: %s holds mismatching table %s", proto.Key(), t.Key())
+		// Not corruption: sanitize collapses distinct source names onto
+		// one filename, and this file is the *other* source's valid
+		// table. Report a miss; the recompute will overwrite it.
+		return nil, false, nil
 	}
 	return &t, true, nil
 }
@@ -258,10 +391,16 @@ type Entry struct {
 	// Bytes and ModTime describe the file itself.
 	Bytes   int64     `json:"bytes"`
 	ModTime time.Time `json:"mod_time"`
-	// Corrupt marks a file that exists but does not decode (or whose
-	// content does not match its filename); its Table is zero. Listing
-	// surfaces it instead of hiding it so operators can clean up.
+	// Corrupt marks a file that exists but does not decode, fails its
+	// integrity footer, or whose content does not match its filename;
+	// its Table is zero. Listing surfaces it instead of hiding it so
+	// operators can clean up.
 	Corrupt bool `json:"corrupt,omitempty"`
+	// Quarantined marks a file Load moved into the quarantine
+	// subdirectory after it failed verification. Quarantined entries are
+	// listed (they tell an operator data was lost to corruption and
+	// recomputed) but never served.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // tableIdentity mirrors IPCTable's identity fields without the IPC
@@ -320,21 +459,53 @@ func (s *Store) List() ([]Entry, error) {
 	}
 	// Entries for files that vanished fall out of the cache here.
 	s.listCache = fresh
+	out = append(out, s.listQuarantine()...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out, nil
 }
 
+// listQuarantine reports the quarantined files as entries: Corrupt and
+// Quarantined set, identity zero (the content already failed
+// verification — decoding it again would lend it false credibility).
+func (s *Store) listQuarantine() []Entry {
+	entries, err := os.ReadDir(filepath.Join(s.dir, QuarantineDir))
+	if err != nil {
+		return nil
+	}
+	var out []Entry
+	for _, de := range entries {
+		name := de.Name()
+		e := Entry{
+			Key:         QuarantineDir + "/" + strings.TrimSuffix(name, ".json"),
+			Corrupt:     true,
+			Quarantined: true,
+		}
+		if info, err := de.Info(); err == nil {
+			e.Bytes = info.Size()
+			e.ModTime = info.ModTime()
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
 // decodeIdentity fills the entry's identity (or Corrupt flag) from one
-// stored file, decoding only the identity fields.
+// stored file, decoding only the identity fields and verifying the
+// integrity footer when present.
 func (e *Entry) decodeIdentity(path string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		e.Corrupt = true
 		return
 	}
+	payload, hasFooter, valid := splitFooter(data)
+	if hasFooter && !valid {
+		e.Corrupt = true
+		return
+	}
 	var id tableIdentity
 	t := IPCTable{}
-	if json.Unmarshal(data, &id) == nil {
+	if json.Unmarshal(payload, &id) == nil {
 		t = IPCTable{
 			Simulator: id.Simulator, Cores: id.Cores, Policy: id.Policy,
 			TraceLen: id.TraceLen, Population: id.Population, Seed: id.Seed,

@@ -109,8 +109,25 @@ func TestCorruptFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Load(*want); err == nil {
-		t.Error("Load accepted corrupt file")
+	// Corruption is a miss, never an error and never a wrong table: the
+	// caller recomputes while the bad file moves to quarantine.
+	got, ok, err := s.Load(*want)
+	if err != nil || ok || got != nil {
+		t.Fatalf("Load(corrupt) = %v, %v, %v; want miss", got, ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt file left live after Load")
+	}
+	q := filepath.Join(dir, QuarantineDir, want.Key()+".json")
+	if _, err := os.Stat(q); err != nil {
+		t.Errorf("corrupt file not quarantined: %v", err)
+	}
+	// A recompute republishes cleanly over the quarantined name.
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := s.Load(*want); err != nil || !ok || got == nil {
+		t.Fatalf("reload after recompute = %v, %v, %v", got, ok, err)
 	}
 }
 

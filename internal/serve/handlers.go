@@ -59,19 +59,22 @@ type Health struct {
 	TraceLen int            `json:"trace_len"`
 	CacheDir string         `json:"cache_dir,omitempty"`
 	Workers  int            `json:"workers"`
-	Jobs     Stats          `json:"jobs"`
+	// JobTimeout is the per-job wall-clock bound ("0s" when unbounded).
+	JobTimeout string `json:"job_timeout,omitempty"`
+	Jobs       Stats  `json:"jobs"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Health{
-		OK:       true,
-		Build:    s.build,
-		Uptime:   time.Since(s.start).Round(time.Millisecond).String(),
-		Source:   s.lab.Source().Name(),
-		TraceLen: s.lab.Config().TraceLen,
-		CacheDir: s.lab.Config().CacheDir,
-		Workers:  s.workers,
-		Jobs:     s.mgr.snapshotStats(),
+		OK:         true,
+		Build:      s.build,
+		Uptime:     time.Since(s.start).Round(time.Millisecond).String(),
+		Source:     s.lab.Source().Name(),
+		TraceLen:   s.lab.Config().TraceLen,
+		CacheDir:   s.lab.Config().CacheDir,
+		Workers:    s.workers,
+		JobTimeout: s.jobTimeoutString(),
+		Jobs:       s.mgr.snapshotStats(),
 	})
 }
 
@@ -176,6 +179,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, deduped, err := s.mgr.submit(canon, key)
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		// Contract: a 503 here means the submission was rejected before it
+		// was enqueued — nothing ran, nothing will — so retrying it is
+		// always safe. Retry-After tells well-behaved clients (including
+		// mcbench.Client) when; 1s is one queue-drain quantum.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:

@@ -10,8 +10,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
+
+	"mcbench/internal/faultinject"
 )
 
 // State is a job's lifecycle state.
@@ -195,6 +198,13 @@ type Stats struct {
 	Canceled  int64 `json:"canceled"`
 	Queued    int64 `json:"queued"`
 	Running   int64 `json:"running"`
+	// Panics counts jobs that died to a recovered panic (a subset of
+	// Failed). Non-zero panics mean an experiment has a crash bug the
+	// server absorbed — worth alerting on even though service continued.
+	Panics int64 `json:"panics"`
+	// TimedOut counts jobs killed by the per-job wall-clock timeout
+	// (a subset of Failed).
+	TimedOut int64 `json:"timed_out"`
 }
 
 // Errors the handlers map to HTTP statuses.
@@ -208,6 +218,9 @@ var (
 // manager owns the job table, the dedup index and the worker pool.
 type manager struct {
 	run func(ctx context.Context, j *job) (*JobResult, error)
+
+	// jobTimeout bounds each job's wall-clock run time; 0 means no bound.
+	jobTimeout time.Duration
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -233,7 +246,7 @@ type manager struct {
 // bounds how many settled jobs (with their event logs and results) stay
 // queryable; beyond it the oldest are evicted, so a long-running server
 // under sustained traffic holds O(keep) finished jobs, not all of them.
-func newManager(workers, queueDepth, keep int, run func(ctx context.Context, j *job) (*JobResult, error)) *manager {
+func newManager(workers, queueDepth, keep int, jobTimeout time.Duration, run func(ctx context.Context, j *job) (*JobResult, error)) *manager {
 	if workers <= 0 {
 		workers = 2
 	}
@@ -246,6 +259,7 @@ func newManager(workers, queueDepth, keep int, run func(ctx context.Context, j *
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &manager{
 		run:        run,
+		jobTimeout: jobTimeout,
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		jobs:       map[string]*job{},
@@ -448,11 +462,28 @@ func (m *manager) runOne(j *job) {
 	m.mu.Unlock()
 	j.emit("started", string(j.req.Kind)+" running", nil)
 
-	result, err := m.run(ctx, j)
+	// The wall-clock bound nests inside the cancel context: a fired
+	// deadline with ctx still alive is unambiguously a timeout, not a
+	// client cancel or a server drain.
+	runCtx := ctx
+	if m.jobTimeout > 0 {
+		var tcancel context.CancelFunc
+		runCtx, tcancel = context.WithTimeout(ctx, m.jobTimeout)
+		defer tcancel()
+	}
+
+	result, err := m.execute(runCtx, j)
 
 	final, errText, msg := StateDone, "", "job complete"
 	switch {
 	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+		// A timeout is a failure of the job, not a cancellation: the
+		// client asked for work the server's policy refused to finish.
+		final, errText, msg = StateFailed, fmt.Sprintf("job exceeded timeout %s", m.jobTimeout), ""
+		m.mu.Lock()
+		m.stats.TimedOut++
+		m.mu.Unlock()
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		final, errText, msg = StateCanceled, err.Error(), ""
 	default:
@@ -470,6 +501,31 @@ func (m *manager) runOne(j *job) {
 	m.stats.Running--
 	m.mu.Unlock()
 	m.settle(j, final)
+}
+
+// execute invokes the job body with panic isolation: a panicking
+// experiment fails its own job — stack preserved in the event log,
+// counted in Stats.Panics — while the worker, its pool and every other
+// job keep going. Without this one crashing experiment kills the whole
+// server and every queued job with it.
+//
+// Fault-injection site: "serve.job" (inject a job failure or stall).
+func (m *manager) execute(ctx context.Context, j *job) (result *JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.mu.Lock()
+			m.stats.Panics++
+			m.mu.Unlock()
+			j.emit("panic", fmt.Sprintf("panic: %v", r),
+				map[string]any{"stack": string(debug.Stack())})
+			result, err = nil, fmt.Errorf("serve: job panicked: %v", r)
+		}
+	}()
+	faultinject.Sleep("serve.job")
+	if err := faultinject.Error("serve.job"); err != nil {
+		return nil, err
+	}
+	return m.run(ctx, j)
 }
 
 // snapshotStats returns the current counters.

@@ -13,7 +13,7 @@ import (
 
 // blockingManager runs jobs that wait on release (or their context).
 func blockingManager(workers, depth int, release chan struct{}) *manager {
-	return newManager(workers, depth, 0, func(ctx context.Context, j *job) (*JobResult, error) {
+	return newManager(workers, depth, 0, 0, func(ctx context.Context, j *job) (*JobResult, error) {
 		select {
 		case <-release:
 			return &JobResult{ID: j.id, Kind: j.req.Kind}, nil
@@ -186,7 +186,7 @@ func TestCancelFreesQueueSlot(t *testing.T) {
 // manager holds only the newest `keep` settled jobs, so sustained
 // traffic cannot grow the job table without bound.
 func TestManagerSettledRetention(t *testing.T) {
-	m := newManager(1, 8, 2, func(ctx context.Context, j *job) (*JobResult, error) {
+	m := newManager(1, 8, 2, 0, func(ctx context.Context, j *job) (*JobResult, error) {
 		return &JobResult{ID: j.id, Kind: j.req.Kind}, nil
 	})
 	defer m.drain()

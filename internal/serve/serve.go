@@ -45,6 +45,11 @@ type Config struct {
 	// evicted, so a long-running server holds O(KeepJobs) finished
 	// jobs under sustained traffic instead of all of them.
 	KeepJobs int
+	// JobTimeout bounds each job's wall-clock run time; a job exceeding
+	// it is cancelled and marked failed (never canceled — the timeout is
+	// the server refusing work, not the client withdrawing it). 0 means
+	// no bound.
+	JobTimeout time.Duration
 }
 
 // Server is the experiment service: a shared Lab, a job manager and the
@@ -101,7 +106,7 @@ func New(cfg Config) *Server {
 		labCfg.Observer = s.router.dispatch
 	}
 	s.lab = experiments.NewLab(labCfg)
-	s.mgr = newManager(cfg.Workers, cfg.QueueDepth, cfg.KeepJobs, s.runJob)
+	s.mgr = newManager(cfg.Workers, cfg.QueueDepth, cfg.KeepJobs, cfg.JobTimeout, s.runJob)
 	s.mux = s.routes()
 	return s
 }
@@ -109,6 +114,15 @@ func New(cfg Config) *Server {
 // Lab returns the server's shared lab (tests assert on its sweep
 // counters; the CLI reports its configuration).
 func (s *Server) Lab() *experiments.Lab { return s.lab }
+
+// jobTimeoutString renders the per-job bound for /healthz ("" when
+// unbounded, so the field elides).
+func (s *Server) jobTimeoutString() string {
+	if s.mgr.jobTimeout <= 0 {
+		return ""
+	}
+	return s.mgr.jobTimeout.String()
+}
 
 // Handler returns the server's HTTP handler, for httptest and embedding.
 func (s *Server) Handler() http.Handler { return s.mux }

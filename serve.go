@@ -2,6 +2,7 @@ package mcbench
 
 import (
 	"context"
+	"time"
 
 	"mcbench/internal/results"
 	"mcbench/internal/serve"
@@ -24,6 +25,12 @@ type ServeOptions struct {
 	// event logs and results (default 256); beyond it the oldest are
 	// evicted, so a long-running server cannot grow without bound.
 	KeepJobs int
+	// JobTimeout bounds each job's wall-clock run time. A job exceeding
+	// it is cancelled and marked failed (not canceled: the timeout is the
+	// server refusing further work, not the client withdrawing it), with
+	// the timeout recorded in the job's error and counted in
+	// ServerStats.TimedOut. 0 means no bound.
+	JobTimeout time.Duration
 	// OnReady, when non-nil, is called once with the bound address as
 	// soon as the server is listening.
 	OnReady func(addr string)
@@ -42,7 +49,10 @@ type ServeOptions struct {
 // sweep cost one computation. See Client for the matching API consumer,
 // and the README's "Serving" section for the HTTP surface.
 func Serve(ctx context.Context, cfg Config, opts ServeOptions) error {
-	srv := serve.New(serve.Config{Lab: cfg, Workers: opts.Workers, QueueDepth: opts.QueueDepth, KeepJobs: opts.KeepJobs})
+	srv := serve.New(serve.Config{
+		Lab: cfg, Workers: opts.Workers, QueueDepth: opts.QueueDepth,
+		KeepJobs: opts.KeepJobs, JobTimeout: opts.JobTimeout,
+	})
 	return srv.ListenAndServe(ctx, opts.Addr, opts.OnReady)
 }
 

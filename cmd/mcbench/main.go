@@ -9,7 +9,7 @@
 //	mcbench list
 //	mcbench benches
 //	mcbench sim <policy> <bench,bench,...>
-//	mcbench serve [-addr HOST:PORT] [-workers N] [-queue N]
+//	mcbench serve [-addr HOST:PORT] [-workers N] [-queue N] [-join HOST:PORT]
 //	mcbench version
 //
 // Experiments are dispatched through the registry in
@@ -42,13 +42,13 @@ import (
 	"strings"
 	"time"
 
+	"mcbench"
 	"mcbench/internal/badco"
 	"mcbench/internal/bench"
 	"mcbench/internal/buildinfo"
 	"mcbench/internal/cache"
 	"mcbench/internal/experiments"
 	"mcbench/internal/multicore"
-	"mcbench/internal/serve"
 	"mcbench/internal/sigctx"
 	"mcbench/internal/trace"
 )
@@ -192,7 +192,9 @@ func campaignErr(err error, cacheDir string) int {
 // serveCmd runs the experiment service until the shared signal context
 // fires, then drains: a SIGTERM'd server exits 0 with every completed
 // sweep persisted (when -cache is set), and a restart serves them from
-// disk.
+// disk. With -join the server runs as a fleet worker of the coordinator
+// at that address; without it the server is itself a coordinator, and
+// campaigns submitted to it shard across whatever workers have joined.
 func serveCmd(ctx context.Context, cfg experiments.Config, args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -200,8 +202,12 @@ func serveCmd(ctx context.Context, cfg experiments.Config, args []string) int {
 	queue := fs.Int("queue", 16, "bounded backlog of accepted jobs")
 	keep := fs.Int("keep", 256, "settled jobs retained for querying (oldest evicted beyond)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock bound; a job exceeding it fails (0 = unbounded)")
+	join := fs.String("join", "", "coordinator address to join as a fleet worker (empty: run as coordinator)")
+	advertise := fs.String("advertise", "", "address fleet peers reach this server at (default: the bound listen address)")
+	heartbeat := fs.Duration("heartbeat", 0, "fleet worker heartbeat interval (0 = coordinator default, 5s)")
+	stealAfter := fs.Duration("steal-after", 0, "re-issue a dispatched shard after this long on one worker (0 = only on lease lapse)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mcbench [-quick] [-suite SPEC] [-cache DIR] serve [-addr HOST:PORT] [-workers N] [-queue N] [-job-timeout D]")
+		fmt.Fprintln(os.Stderr, "usage: mcbench [-quick] [-suite SPEC] [-cache DIR] serve [-addr HOST:PORT] [-workers N] [-queue N] [-job-timeout D] [-join HOST:PORT] [-advertise HOST:PORT]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -211,16 +217,21 @@ func serveCmd(ctx context.Context, cfg experiments.Config, args []string) int {
 		fmt.Fprintf(os.Stderr, "mcbench serve: unexpected arguments %v\n", fs.Args())
 		return 2
 	}
-	srv := serve.New(serve.Config{
-		Lab: cfg, Workers: *workers, QueueDepth: *queue,
-		KeepJobs: *keep, JobTimeout: *jobTimeout,
-	})
+	role := "coordinator"
+	if *join != "" {
+		role = "worker of " + *join
+	}
 	onReady := func(bound string) {
 		fmt.Printf("mcbench serve: %s\n", buildinfo.Read())
-		fmt.Printf("mcbench serve: listening on http://%s (source %s, %d workers)\n",
-			bound, cfg.Source.Name(), *workers)
+		fmt.Printf("mcbench serve: listening on http://%s (source %s, %d workers, fleet %s)\n",
+			bound, cfg.Source.Name(), *workers, role)
 	}
-	err := srv.ListenAndServe(ctx, *addr, onReady)
+	err := mcbench.Serve(ctx, cfg, mcbench.ServeOptions{
+		Addr: *addr, Workers: *workers, QueueDepth: *queue,
+		KeepJobs: *keep, JobTimeout: *jobTimeout, OnReady: onReady,
+		Join: *join, Advertise: *advertise,
+		FleetHeartbeat: *heartbeat, StealAfter: *stealAfter,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcbench serve:", err)
 		return sigctx.ExitCode(err)

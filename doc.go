@@ -85,6 +85,26 @@
 // serves them from disk. The `mcbench serve` subcommand wraps Serve;
 // see the README's "Serving" section for the HTTP surface.
 //
+// Servers federate into a fleet: a node started with ServeOptions.Join
+// (the `serve -join` flag) registers as a worker of the coordinator at
+// that address, holding its membership under a heartbeat lease. The
+// coordinator shards campaign warm plans across workers by rendezvous
+// hashing on each product's memo identity, collects the swept tables
+// through the content-addressed result fabric (GET /cache/{key},
+// CRC32-C-verified on arrival), and steals unfinished shards back from
+// dead or straggling workers — the sharded result is bit-identical to
+// the single-node run, with zero duplicate sweeps fleet-wide:
+//
+//	go mcbench.Serve(ctx, cfg, mcbench.ServeOptions{Addr: ":8390"}) // coordinator
+//	go mcbench.Serve(ctx, cfg, mcbench.ServeOptions{Addr: ":8391", Join: "127.0.0.1:8390"})
+//	go mcbench.Serve(ctx, cfg, mcbench.ServeOptions{Addr: ":8392", Join: "127.0.0.1:8390"})
+//	...
+//	st, err := c.SubmitWarm(ctx, products) // shards across the fleet
+//
+// The join handshake checks build identity and lab configuration, so a
+// mixed-version fleet is rejected (409) instead of computing a mixed
+// answer; see the README's "Distributed lab" section.
+//
 // The client is resilient by default and tunable via ClientOptions:
 //
 //	c, err := mcbench.NewClient("http://127.0.0.1:8080", mcbench.ClientOptions{
@@ -144,6 +164,9 @@
 //     with text charts from internal/plot;
 //   - internal/serve — the experiment service: job queue, request dedup,
 //     progress streaming and the cache-browsing API behind Serve/Client;
+//   - internal/fleet — the distributed lab: rendezvous-hashed shard
+//     partitioning, lease-based membership, work-stealing dispatch and
+//     the worker-side join/heartbeat agent behind ServeOptions.Join;
 //   - cmd/mcbench, cmd/tracegen — the command-line front ends.
 //
 // The experiments package is a concurrent campaign runner: a Lab memoizes

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"mcbench/internal/cache"
+	"mcbench/internal/results"
 )
 
 // Simulator names the engine (or measurement) behind a warmed product.
@@ -150,6 +151,64 @@ loop:
 		return len(uniq), err
 	}
 	return len(uniq), errors.Join(errs...)
+}
+
+// KeyedRequest pairs a campaign request with the content key of the
+// persisted table it produces — the shard key the fleet partitions by.
+type KeyedRequest struct {
+	Req Request
+	Key string
+}
+
+// ProductKey returns the persistent-store content key the request's
+// product is saved under, given this lab's configuration. Only the
+// population IPC tables — SimBadco and SimDetailed with a positive core
+// count — have one: the reference/MPKI/model products are in-memory
+// memos every node rebuilds cheaply on its own. The key is a pure
+// function of the lab config, so every fleet node computes identical
+// keys without coordination.
+func (l *Lab) ProductKey(r Request) (string, bool) {
+	r = r.normalize()
+	if r.Cores <= 0 {
+		return "", false
+	}
+	proto := results.IPCTable{
+		Cores: r.Cores, Policy: string(r.Policy),
+		TraceLen: l.cfg.TraceLen, Seed: l.cfg.Seed,
+		Source: l.sourceKey(), Warmup: l.cfg.Warmup,
+	}
+	switch r.Sim {
+	case SimBadco:
+		proto.Simulator = "badco"
+		proto.Population = l.Population(r.Cores).Size()
+	case SimDetailed:
+		proto.Simulator = "detailed"
+		proto.Population = len(l.DetSample(r.Cores))
+		proto.Universe = l.Population(r.Cores).Size()
+	default:
+		return "", false
+	}
+	return proto.Key(), true
+}
+
+// PartitionPlan reduces a campaign plan to its shardable products:
+// normalized, deduplicated, and keyed by content identity. The fleet
+// coordinator partitions the result across workers by rendezvous-hashing
+// each Key; requests without a content key stay local.
+func (l *Lab) PartitionPlan(plan []Request) []KeyedRequest {
+	seen := make(map[Request]bool, len(plan))
+	var out []KeyedRequest
+	for _, r := range plan {
+		r = r.normalize()
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if key, ok := l.ProductKey(r); ok {
+			out = append(out, KeyedRequest{Req: r, Key: key})
+		}
+	}
+	return out
 }
 
 // badcoSet expands a policy list into BADCO table requests at one core

@@ -77,6 +77,13 @@ type Config struct {
 	// population sweeps) across runs via the results package.
 	CacheDir string
 
+	// RemoteFetch, when non-nil (and CacheDir is set), is installed as the
+	// store's read-through fetcher: a local cache miss consults it before
+	// falling back to compute. The fleet wires it to peer /cache/{key}
+	// fetches so any node can serve any table; fetched bytes are
+	// checksum-verified before use and any failure is a plain miss.
+	RemoteFetch func(key string) (data []byte, ok bool, err error)
+
 	// Warmup, when positive, runs every detailed-simulator workload for
 	// that many committed µops per core before its measurement window
 	// begins. The detailed population sweeps then share the warmed
@@ -380,6 +387,9 @@ func (l *Lab) resultStore() *results.Store {
 			return
 		}
 		if s, err := results.Open(l.cfg.CacheDir); err == nil {
+			if l.cfg.RemoteFetch != nil {
+				s.SetFetch(results.Fetcher(l.cfg.RemoteFetch))
+			}
 			l.store = s
 		}
 	})

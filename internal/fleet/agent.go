@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// AgentConfig parameterises a worker's membership agent.
+type AgentConfig struct {
+	// Coordinator is the peer handle for the coordinator node.
+	Coordinator Peer
+	// Join is the registration handshake to present (the agent's own
+	// advertised address, build and lab identity).
+	Join JoinRequest
+	// RetryEvery is the delay between failed join attempts (0 → 1s).
+	RetryEvery time.Duration
+}
+
+// Agent maintains a worker's fleet membership: join, heartbeat at the
+// granted interval, re-join when the coordinator forgets us (restart or
+// lease reaped), leave on shutdown. A join rejected as incompatible is
+// fatal — version or lab-config skew cannot heal by retrying.
+type Agent struct {
+	cfg AgentConfig
+
+	mu       sync.Mutex
+	memberID string // "" until joined
+	lastErr  error  // last join/heartbeat failure, for health reporting
+}
+
+// NewAgent creates an agent (call Run to start it).
+func NewAgent(cfg AgentConfig) *Agent {
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = time.Second
+	}
+	return &Agent{cfg: cfg}
+}
+
+// Status reports the agent's current membership ("" when not joined)
+// and the last membership error, for /healthz.
+func (a *Agent) Status() (memberID string, lastErr error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.memberID, a.lastErr
+}
+
+func (a *Agent) set(id string, err error) {
+	a.mu.Lock()
+	a.memberID = id
+	a.lastErr = err
+	a.mu.Unlock()
+}
+
+// Run drives the membership loop until the context is cancelled (normal
+// shutdown: returns nil after a best-effort Leave) or the coordinator
+// rejects the worker as incompatible (returns the error — the serve
+// layer fails startup loudly rather than running a poisoned fleet).
+func (a *Agent) Run(ctx context.Context) error {
+	for {
+		resp, err := a.cfg.Coordinator.Join(ctx, a.cfg.Join)
+		if err != nil {
+			if errors.Is(err, ErrIncompatible) {
+				a.set("", err)
+				return err
+			}
+			a.set("", err)
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(a.cfg.RetryEvery):
+			}
+			continue
+		}
+		a.set(resp.ID, nil)
+		interval := resp.Heartbeat
+		if interval <= 0 {
+			interval = DefaultHeartbeat
+		}
+		if !a.beatLoop(ctx, resp.ID, interval) {
+			// Context cancelled: deregister politely and stop.
+			lctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_ = a.cfg.Coordinator.Leave(lctx, resp.ID)
+			cancel()
+			a.set("", nil)
+			return nil
+		}
+		// Heartbeat rejected or failing: membership lost, re-join.
+	}
+}
+
+// beatLoop heartbeats until the context ends (returns false) or the
+// membership is lost (returns true — caller re-joins). A transient
+// transport error does not immediately forfeit membership: the lease
+// tolerates missedBeats intervals, so keep beating until one lands or
+// the coordinator explicitly rejects the id.
+func (a *Agent) beatLoop(ctx context.Context, id string, interval time.Duration) (rejoin bool) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+			err := a.cfg.Coordinator.Heartbeat(ctx, id)
+			if err == nil {
+				fails = 0
+				a.set(id, nil)
+				continue
+			}
+			if ctx.Err() != nil {
+				return false
+			}
+			fails++
+			a.set(id, err)
+			if fails >= missedBeats {
+				// Either the coordinator forgot us (restart, reap) or it
+				// is unreachable long enough that it will; re-join either
+				// way.
+				return true
+			}
+		}
+	}
+}

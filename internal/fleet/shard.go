@@ -1,0 +1,246 @@
+package fleet
+
+import (
+	"context"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"mcbench/internal/experiments"
+)
+
+// maxDispatchRounds bounds the steal-and-redispatch loop: each round
+// excludes at least one failed member, so the loop terminates on its own
+// once the fleet is exhausted; the bound is a backstop against a
+// pathological membership churning joins between rounds.
+const maxDispatchRounds = 8
+
+// weight is the rendezvous (highest-random-weight) score of a member for
+// a key: fnv64a over key, a NUL separator, and the member id. Every node
+// computes the same weights from the same membership, so shard ownership
+// needs no coordination and reshards minimally when membership changes —
+// only the keys whose top-ranked member vanished move.
+func weight(key, memberID string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(memberID))
+	return h.Sum64()
+}
+
+// rankMembers orders members by descending rendezvous weight for key:
+// index 0 is the owner, the rest are the fallback order Fetch probes.
+func rankMembers(members []*member, key string) []*member {
+	out := make([]*member, len(members))
+	copy(out, members)
+	sort.SliceStable(out, func(i, j int) bool {
+		return weight(key, out[i].id) > weight(key, out[j].id)
+	})
+	return out
+}
+
+// ShardEvent reports the lifecycle of one dispatched shard for progress
+// streaming: Type is "dispatch" (shard handed to Worker as JobID),
+// "done" (its warm job succeeded), or "steal" (its worker died or
+// straggled; the shard's products re-enter the pending set).
+type ShardEvent struct {
+	Type     string // "dispatch" | "done" | "steal"
+	Worker   string // member id
+	Addr     string // member address
+	JobID    string
+	Products int   // products in the shard
+	Err      error // on "steal": why the shard was taken back
+}
+
+// Report summarises one WarmFleet dispatch.
+type Report struct {
+	// Members is how many live workers the first round partitioned over.
+	Members int
+	// Shards is the total number of shard jobs dispatched (including
+	// re-dispatches after steals).
+	Shards int
+	// Products is the number of distinct products in the plan.
+	Products int
+	// Stolen is how many shards were re-issued after their worker died
+	// or straggled.
+	Stolen int
+	// Unassigned is how many products no worker completed; the caller's
+	// local warm computes them.
+	Unassigned int
+}
+
+// WarmFleet partitions the keyed products across the live workers by
+// rendezvous-hashing each content key, dispatches one warm job per
+// worker, and re-issues the shards of failed or straggling workers to
+// the remaining fleet until the plan is served or the fleet is
+// exhausted. It never fails: products nobody completed are reported as
+// Unassigned and fall to the caller's local warm, which reads everything
+// the fleet did complete through the result fabric. emit, when non-nil,
+// receives shard lifecycle events for progress streaming.
+func (c *Coordinator) WarmFleet(ctx context.Context, products []experiments.KeyedRequest, emit func(ShardEvent)) Report {
+	if emit == nil {
+		emit = func(ShardEvent) {}
+	}
+	// Dedup by content key (a plan can name one product many times).
+	byKey := make(map[string]experiments.KeyedRequest, len(products))
+	for _, p := range products {
+		byKey[p.Key] = p
+	}
+	pending := make([]experiments.KeyedRequest, 0, len(byKey))
+	for _, p := range byKey {
+		pending = append(pending, p)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Key < pending[j].Key })
+
+	rep := Report{Products: len(pending)}
+	// excluded accumulates members whose shard failed or straggled:
+	// re-partitioning must never hand a stolen shard back to its original
+	// owner, where the warm-key dedup would coalesce the re-issue onto
+	// the very job being stolen from.
+	excluded := make(map[string]bool)
+	for round := 0; len(pending) > 0 && round < maxDispatchRounds; round++ {
+		if ctx.Err() != nil {
+			break
+		}
+		var members []*member
+		for _, m := range c.live() {
+			if !excluded[m.id] {
+				members = append(members, m)
+			}
+		}
+		if len(members) == 0 {
+			break
+		}
+		if round == 0 {
+			rep.Members = len(members)
+		}
+		// Rendezvous partition: each key goes to its highest-weight member.
+		shards := make(map[string][]experiments.KeyedRequest)
+		for _, p := range pending {
+			owner := rankMembers(members, p.Key)[0]
+			shards[owner.id] = append(shards[owner.id], p)
+		}
+		byID := make(map[string]*member, len(members))
+		for _, m := range members {
+			byID[m.id] = m
+		}
+		var (
+			mu     sync.Mutex
+			failed []experiments.KeyedRequest
+			wg     sync.WaitGroup
+		)
+		for id, shard := range shards {
+			rep.Shards++
+			if round > 0 {
+				rep.Stolen++
+				c.addStolen(1)
+			}
+			wg.Add(1)
+			go func(m *member, shard []experiments.KeyedRequest) {
+				defer wg.Done()
+				if err := c.runShard(ctx, m, shard, emit); err != nil {
+					mu.Lock()
+					failed = append(failed, shard...)
+					excluded[m.id] = true
+					mu.Unlock()
+				}
+			}(byID[id], shard)
+		}
+		wg.Wait()
+		sort.Slice(failed, func(i, j int) bool { return failed[i].Key < failed[j].Key })
+		pending = failed
+	}
+	rep.Unassigned = len(pending)
+	return rep
+}
+
+// stragglerPoll is how often runShard re-checks its worker's liveness
+// while waiting on the shard job, floored so tests with millisecond
+// heartbeats do not spin.
+func (c *Coordinator) stragglerPoll() time.Duration {
+	poll := c.cfg.Heartbeat / 2
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	return poll
+}
+
+// runShard dispatches one shard to one member and waits for the warm job
+// to finish, stealing the shard back if the member's lease lapses (it
+// died) or StealAfter elapses (it straggles). The error return means
+// "this shard needs re-issuing"; the worker itself may still finish its
+// job later, which is harmless — the result fabric is content-addressed
+// and last-wins, so a stolen-then-revived shard lands identical bytes.
+func (c *Coordinator) runShard(ctx context.Context, m *member, shard []experiments.KeyedRequest, emit func(ShardEvent)) error {
+	reqs := make([]experiments.Request, len(shard))
+	for i, p := range shard {
+		reqs[i] = p.Req
+	}
+	jobID, err := m.peer.SubmitWarm(ctx, reqs)
+	if err != nil {
+		emit(ShardEvent{Type: "steal", Worker: m.id, Addr: m.addr, Products: len(shard), Err: err})
+		return err
+	}
+	emit(ShardEvent{Type: "dispatch", Worker: m.id, Addr: m.addr, JobID: jobID, Products: len(shard)})
+
+	waitCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- m.peer.WaitJob(waitCtx, jobID) }()
+
+	poll := time.NewTicker(c.stragglerPoll())
+	defer poll.Stop()
+	var steal *time.Timer
+	var stealCh <-chan time.Time
+	if c.cfg.StealAfter > 0 {
+		steal = time.NewTimer(c.cfg.StealAfter)
+		defer steal.Stop()
+		stealCh = steal.C
+	}
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				emit(ShardEvent{Type: "steal", Worker: m.id, Addr: m.addr, JobID: jobID, Products: len(shard), Err: err})
+				return err
+			}
+			emit(ShardEvent{Type: "done", Worker: m.id, Addr: m.addr, JobID: jobID, Products: len(shard)})
+			return nil
+		case <-poll.C:
+			if !c.alive(m.id) {
+				cancel()
+				<-done
+				err := errDeadWorker
+				emit(ShardEvent{Type: "steal", Worker: m.id, Addr: m.addr, JobID: jobID, Products: len(shard), Err: err})
+				return err
+			}
+		case <-stealCh:
+			cancel()
+			<-done
+			// Best-effort cancel so the straggler stops burning its own
+			// CPU; its job finishing anyway cannot double-count (dedup by
+			// content key, atomic last-wins publication).
+			cctx, ccancel := context.WithTimeout(context.Background(), time.Second)
+			_ = m.peer.CancelJob(cctx, jobID)
+			ccancel()
+			err := errStraggler
+			emit(ShardEvent{Type: "steal", Worker: m.id, Addr: m.addr, JobID: jobID, Products: len(shard), Err: err})
+			return err
+		case <-ctx.Done():
+			<-done
+			return ctx.Err()
+		}
+	}
+}
+
+// Sentinel shard-steal causes (reported in ShardEvent.Err).
+var (
+	errDeadWorker = contextError("fleet: worker lease lapsed mid-shard")
+	errStraggler  = contextError("fleet: shard exceeded StealAfter; stolen from straggler")
+)
+
+// contextError is a trivial constant error type.
+type contextError string
+
+func (e contextError) Error() string { return string(e) }

@@ -7,6 +7,7 @@ package results
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
@@ -122,6 +123,28 @@ type Store struct {
 	// every table on every call.
 	mu        sync.Mutex
 	listCache map[string]listCached
+
+	// fetch, when set, is the read-through hook Load consults on a local
+	// miss before reporting absence (see SetFetch).
+	fetch Fetcher
+}
+
+// Fetcher retrieves the raw stored bytes of a content key from a remote
+// peer: ok is false on a plain miss, err only on infrastructure failure
+// (both make Load fall back to local compute — remote reads are an
+// optimisation, never a correctness dependency). The returned bytes must
+// be a whole stored file, integrity footer included; Load verifies the
+// CRC32-C footer and the table identity before trusting them.
+type Fetcher func(key string) (data []byte, ok bool, err error)
+
+// SetFetch installs the read-through fetcher consulted by Load on local
+// misses. The fleet wires a coordinator's store to fetch from its
+// workers (and each worker's store to fetch from the coordinator), so
+// any node can serve any table whichever node computed it.
+func (s *Store) SetFetch(f Fetcher) {
+	s.mu.Lock()
+	s.fetch = f
+	s.mu.Unlock()
 }
 
 // listCached is one memoized List entry with the stat that validated it.
@@ -334,7 +357,7 @@ func (s *Store) Load(proto IPCTable) (*IPCTable, bool, error) {
 	path := s.path(proto.Key())
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, false, nil
+		return s.loadRemote(proto)
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("results: %w", err)
@@ -345,24 +368,115 @@ func (s *Store) Load(proto IPCTable) (*IPCTable, bool, error) {
 	payload, hasFooter, valid := splitFooter(data)
 	if hasFooter && !valid {
 		s.quarantine(path)
-		return nil, false, nil
+		return s.loadRemote(proto)
 	}
 	var t IPCTable
 	if err := json.Unmarshal(payload, &t); err != nil {
 		s.quarantine(path)
-		return nil, false, nil
+		return s.loadRemote(proto)
 	}
 	if err := t.Validate(); err != nil {
 		s.quarantine(path)
-		return nil, false, nil
+		return s.loadRemote(proto)
 	}
 	if !t.sameIdentity(&proto) {
 		// Not corruption: sanitize collapses distinct source names onto
 		// one filename, and this file is the *other* source's valid
 		// table. Report a miss; the recompute will overwrite it.
-		return nil, false, nil
+		return s.loadRemote(proto)
 	}
 	return &t, true, nil
+}
+
+// loadRemote consults the read-through fetcher after a local miss. Every
+// failure mode — no fetcher, remote miss, transport error, bad checksum,
+// identity mismatch — reports a plain miss so the caller recomputes
+// locally: the fleet fabric is an optimisation, never a correctness
+// dependency. A verified fetch is republished locally (best-effort)
+// through the same staged fsync-rename path as Save, so the next load is
+// a local hit.
+//
+// Fault-injection site: "results.fetch.write" (tear the local republish).
+func (s *Store) loadRemote(proto IPCTable) (*IPCTable, bool, error) {
+	s.mu.Lock()
+	fetch := s.fetch
+	s.mu.Unlock()
+	if fetch == nil {
+		return nil, false, nil
+	}
+	key := proto.Key()
+	data, ok, err := fetch(key)
+	if err != nil || !ok {
+		return nil, false, nil
+	}
+	// Stricter than local loads: ReadRaw stamps a footer on every wire
+	// response, so footer-less remote bytes are not legacy files — they
+	// are truncation or a non-store response, and are rejected.
+	payload, hasFooter, valid := splitFooter(data)
+	if !hasFooter || !valid {
+		return nil, false, nil
+	}
+	var t IPCTable
+	if err := json.Unmarshal(payload, &t); err != nil {
+		return nil, false, nil
+	}
+	if t.Validate() != nil || !t.sameIdentity(&proto) {
+		return nil, false, nil
+	}
+	s.publish(key+"-*.tmp", s.path(key), data, "results.fetch.write")
+	return &t, true, nil
+}
+
+// ErrBadKey reports a ReadRaw key outside the store's filename-safe
+// alphabet (an HTTP handler maps it to 400, distinct from a 404 miss).
+var ErrBadKey = errors.New("results: invalid key")
+
+// validKey reports whether key is a plausible store key: non-empty and
+// confined to the same alphabet sanitize emits, which by construction
+// excludes path separators and dot-traversal.
+func validKey(key string) bool {
+	if key == "" || key == "." || key == ".." {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ReadRaw returns the stored bytes of key exactly as a remote peer must
+// receive them: payload plus integrity footer. It is strictly local — it
+// never consults the read-through fetcher — so two stores fetching from
+// each other cannot loop. Legacy footer-less files are stamped with a
+// footer on the way out, keeping every wire response verifiable; a file
+// with a present-but-wrong footer is quarantined and reported absent.
+func (s *Store) ReadRaw(key string) ([]byte, bool, error) {
+	if !validKey(key) {
+		return nil, false, ErrBadKey
+	}
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("results: %w", err)
+	}
+	payload, hasFooter, valid := splitFooter(data)
+	if hasFooter && !valid {
+		s.quarantine(path)
+		return nil, false, nil
+	}
+	if !hasFooter {
+		return appendFooter(payload), true, nil
+	}
+	return data, true, nil
 }
 
 // sameIdentity compares the raw identity fields, not the filename-safe

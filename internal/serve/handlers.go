@@ -62,9 +62,16 @@ type Health struct {
 	// JobTimeout is the per-job wall-clock bound ("0s" when unbounded).
 	JobTimeout string `json:"job_timeout,omitempty"`
 	Jobs       Stats  `json:"jobs"`
+	// Sweeps counts the full population sweeps this node actually ran
+	// (cache and fabric hits excluded); summed across a fleet it pins
+	// fleet-wide dedup.
+	Sweeps SweepCounts `json:"sweeps"`
+	// Fleet is this node's fleet role, when it has one.
+	Fleet *FleetHealth `json:"fleet,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	badco, detailed := s.lab.SweepCounts()
 	writeJSON(w, http.StatusOK, Health{
 		OK:         true,
 		Build:      s.build,
@@ -75,6 +82,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Workers:    s.workers,
 		JobTimeout: s.jobTimeoutString(),
 		Jobs:       s.mgr.snapshotStats(),
+		Sweeps:     SweepCounts{Badco: badco, Detailed: detailed},
+		Fleet:      s.fleetHealth(),
 	})
 }
 
@@ -356,6 +365,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.HandleFunc("GET /benches", s.handleBenches)
 	mux.HandleFunc("GET /cache", s.handleCache)
+	mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("POST /fleet/join", s.handleFleetJoin)
+	mux.HandleFunc("POST /fleet/heartbeat", s.handleFleetHeartbeat)
+	mux.HandleFunc("POST /fleet/leave", s.handleFleetLeave)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)

@@ -99,6 +99,9 @@ type JobResult struct {
 	Text  string       `json:"text,omitempty"`
 	// Results is set for simulate/sweep jobs.
 	Results []SimResult `json:"results,omitempty"`
+	// Warmed is set for warm jobs: the number of distinct products the
+	// plan named (the tables themselves live in the persistent cache).
+	Warmed int `json:"warmed,omitempty"`
 }
 
 // job is the manager's internal job record.
@@ -526,6 +529,27 @@ func (m *manager) execute(ctx context.Context, j *job) (result *JobResult, err e
 		return nil, err
 	}
 	return m.run(ctx, j)
+}
+
+// activeWarmJobs counts the warm jobs currently queued or running — the
+// fleet shards this node presently owns, reported by /healthz. The
+// nested job-lock acquisition under the manager lock mirrors submit's
+// coalesce path, so the lock order is consistent.
+func (m *manager) activeWarmJobs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		if j.req.Kind != KindWarm {
+			continue
+		}
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
 }
 
 // snapshotStats returns the current counters.

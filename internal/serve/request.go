@@ -12,6 +12,7 @@ package serve
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
 
 	"mcbench/internal/bench"
@@ -29,6 +30,11 @@ const (
 	KindSimulate Kind = "simulate"
 	// KindSweep runs many ad-hoc workloads under one configuration.
 	KindSweep Kind = "sweep"
+	// KindWarm precomputes campaign products into the node's persistent
+	// cache without rendering a table. The fleet coordinator dispatches
+	// campaign shards to workers as warm jobs; the results converge
+	// through the content-addressed cache, not the job result.
+	KindWarm Kind = "warm"
 )
 
 // Engine names on the wire.
@@ -44,6 +50,22 @@ type SubmitRequest struct {
 	Experiment *ExperimentRequest `json:"experiment,omitempty"`
 	Simulate   *SimulateRequest   `json:"simulate,omitempty"`
 	Sweep      *SweepRequest      `json:"sweep,omitempty"`
+	Warm       *WarmRequest       `json:"warm,omitempty"`
+}
+
+// ProductRef names one campaign product on the wire (the serve form of
+// experiments.Request). Cores and Policy are meaningful per the
+// simulator, exactly as in the campaign planner.
+type ProductRef struct {
+	Sim    string `json:"sim"`
+	Cores  int    `json:"cores,omitempty"`
+	Policy string `json:"policy,omitempty"`
+}
+
+// WarmRequest asks a node to warm the named products into its lab (and
+// persistent cache, when configured).
+type WarmRequest struct {
+	Products []ProductRef `json:"products"`
 }
 
 // ExperimentRequest asks for one registered experiment.
@@ -169,9 +191,78 @@ func canonicalize(req SubmitRequest, src bench.Source, traceLen int) (SubmitRequ
 		}
 		return canon, key, nil
 
+	case KindWarm:
+		if req.Warm == nil {
+			return req, "", badRequest("serve: warm submission without payload")
+		}
+		wr := *req.Warm
+		if len(wr.Products) == 0 {
+			return req, "", badRequest("serve: empty warm plan")
+		}
+		seen := make(map[experiments.Request]bool, len(wr.Products))
+		var norm []experiments.Request
+		for _, p := range wr.Products {
+			r, err := canonProduct(p)
+			if err != nil {
+				return req, "", err
+			}
+			if !seen[r] {
+				seen[r] = true
+				norm = append(norm, r)
+			}
+		}
+		// Sorted products make the dedup key order-insensitive: two
+		// shards naming the same set coalesce regardless of plan order.
+		sort.Slice(norm, func(i, j int) bool {
+			a, b := norm[i], norm[j]
+			if a.Sim != b.Sim {
+				return a.Sim < b.Sim
+			}
+			if a.Cores != b.Cores {
+				return a.Cores < b.Cores
+			}
+			return a.Policy < b.Policy
+		})
+		products := make([]ProductRef, len(norm))
+		h := fnv.New64a()
+		for i, r := range norm {
+			products[i] = ProductRef{Sim: string(r.Sim), Cores: r.Cores, Policy: string(r.Policy)}
+			fmt.Fprintf(h, "%s|%d|%s\n", r.Sim, r.Cores, r.Policy)
+		}
+		wr.Products = products
+		canon := SubmitRequest{Kind: KindWarm, Warm: &wr}
+		return canon, fmt.Sprintf("warm|n%d|%016x", len(products), h.Sum64()), nil
+
 	default:
 		return req, "", badRequest("serve: unknown job kind %q", req.Kind)
 	}
+}
+
+// canonProduct validates one wire product and returns its normalized
+// campaign request.
+func canonProduct(p ProductRef) (experiments.Request, error) {
+	sim := experiments.Simulator(p.Sim)
+	switch sim {
+	case experiments.SimBadco, experiments.SimDetailed:
+		if p.Cores <= 0 {
+			return experiments.Request{}, badRequest("serve: product %q needs cores > 0", p.Sim)
+		}
+		if p.Policy == "" {
+			return experiments.Request{}, badRequest("serve: product %q needs a policy", p.Sim)
+		}
+		if _, err := cache.NewPolicy(cache.PolicyName(p.Policy), 0); err != nil {
+			return experiments.Request{}, badRequest("serve: %v", err)
+		}
+	case experiments.SimRef:
+		if p.Cores <= 0 {
+			return experiments.Request{}, badRequest("serve: product %q needs cores > 0", p.Sim)
+		}
+	case experiments.SimMPKI, experiments.SimModels:
+	default:
+		return experiments.Request{}, badRequest("serve: unknown product simulator %q", p.Sim)
+	}
+	r := experiments.Request{Sim: sim, Cores: p.Cores, Policy: cache.PolicyName(p.Policy)}
+	return r.Normalized(), nil
 }
 
 // checkWarmup rejects a warmup prefix that exceeds the measurement

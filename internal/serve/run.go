@@ -138,8 +138,34 @@ func (s *Server) runJob(ctx context.Context, j *job) (*JobResult, error) {
 		return s.runSimulate(ctx, j)
 	case KindSweep:
 		return s.runSweep(ctx, j)
+	case KindWarm:
+		return s.runWarm(ctx, j)
 	}
 	return nil, fmt.Errorf("serve: unknown job kind %q", j.req.Kind)
+}
+
+// runWarm precomputes the requested campaign products through the shared
+// lab. On a worker this is how fleet shards execute (each table persists
+// into the node's cache, where the fabric serves it); on a coordinator
+// the plan is itself fleet-dispatched first, making SubmitWarm a
+// distributed warm-up API.
+func (s *Server) runWarm(ctx context.Context, j *job) (*JobResult, error) {
+	refs := j.req.Warm.Products
+	plan := make([]experiments.Request, len(refs))
+	for i, p := range refs {
+		plan[i] = experiments.Request{
+			Sim: experiments.Simulator(p.Sim), Cores: p.Cores, Policy: cache.PolicyName(p.Policy),
+		}
+	}
+	j.emit("plan", fmt.Sprintf("%d products to warm", len(plan)), map[string]any{"products": len(plan)})
+	s.router.register(j, plan)
+	defer s.router.unregister(j, plan)
+	s.fleetWarm(ctx, j, plan)
+	n, err := s.lab.Warm(ctx, plan, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{ID: j.id, Kind: KindWarm, Warmed: n}, nil
 }
 
 // runExperiment warms the experiment's campaign plan through the shared
@@ -158,6 +184,10 @@ func (s *Server) runExperiment(ctx context.Context, j *job) (*JobResult, error) 
 		j.emit("plan", fmt.Sprintf("%d products to warm", len(plan)), map[string]any{"products": len(plan)})
 		s.router.register(j, plan)
 		defer s.router.unregister(j, plan)
+		// Fleet dispatch first (no-op when standalone): whatever the
+		// workers complete turns into read-through cache hits in the
+		// local warm below, which remains the correctness authority.
+		s.fleetWarm(ctx, j, plan)
 		if _, err := s.lab.Warm(ctx, plan, 0); err != nil {
 			return nil, err
 		}

@@ -20,8 +20,10 @@ import (
 	"sync"
 	"time"
 
+	"mcbench/internal/bench"
 	"mcbench/internal/buildinfo"
 	"mcbench/internal/experiments"
+	"mcbench/internal/fleet"
 	"mcbench/internal/results"
 )
 
@@ -50,6 +52,9 @@ type Config struct {
 	// the server refusing work, not the client withdrawing it). 0 means
 	// no bound.
 	JobTimeout time.Duration
+	// Fleet opts the server into the distributed lab (see FleetConfig);
+	// nil, or a nil Fleet.Dial, keeps it standalone.
+	Fleet *FleetConfig
 }
 
 // Server is the experiment service: a shared Lab, a job manager and the
@@ -69,6 +74,16 @@ type Server struct {
 	storeOnce sync.Once
 	store     *results.Store
 	storeErr  error
+
+	// Fleet state (see fleet.go). coord is non-nil on coordinators,
+	// coordPeer on workers; the agent is created once the listener is
+	// bound (its advertised address defaults to the bound one).
+	fleet     FleetConfig
+	coord     *fleet.Coordinator
+	coordPeer fleet.Peer
+	agentMu   sync.Mutex
+	agent     *fleet.Agent
+	fleetErr  error // worker dial failure, surfaced by ListenAndServe
 }
 
 // cacheStore returns the shared browsing store (nil with a nil error
@@ -104,6 +119,49 @@ func New(cfg Config) *Server {
 		}
 	} else {
 		labCfg.Observer = s.router.dispatch
+	}
+	// Normalize the source here (NewLab would anyway) so the fleet
+	// identity below and the lab agree on its name.
+	if labCfg.Source == nil {
+		labCfg.Source = bench.NewSuite()
+	}
+	if cfg.Fleet != nil && cfg.Fleet.Dial != nil {
+		s.fleet = *cfg.Fleet
+		if s.fleet.Join == "" {
+			// Coordinator: accept joins, and read through to the workers'
+			// caches (rendezvous-ranked) on local misses.
+			s.coord = fleet.NewCoordinator(fleet.Config{
+				Build:  s.build,
+				Source: labCfg.Source.Name(), TraceLen: labCfg.TraceLen,
+				Seed: labCfg.Seed, Warmup: labCfg.Warmup,
+				Heartbeat: s.fleet.Heartbeat, StealAfter: s.fleet.StealAfter,
+				Dial: s.fleet.Dial,
+			})
+			if labCfg.CacheDir != "" && labCfg.RemoteFetch == nil {
+				coord := s.coord
+				labCfg.RemoteFetch = func(key string) ([]byte, bool, error) {
+					ctx, cancel := context.WithTimeout(context.Background(), fetchTimeout)
+					defer cancel()
+					return coord.Fetch(ctx, key)
+				}
+			}
+		} else {
+			// Worker: read through to the coordinator's cache (which
+			// itself holds, or fetches, whatever any node computed).
+			peer, err := s.fleet.Dial(s.fleet.Join)
+			if err != nil {
+				s.fleetErr = err
+			} else {
+				s.coordPeer = peer
+				if labCfg.CacheDir != "" && labCfg.RemoteFetch == nil {
+					labCfg.RemoteFetch = func(key string) ([]byte, bool, error) {
+						ctx, cancel := context.WithTimeout(context.Background(), fetchTimeout)
+						defer cancel()
+						return peer.FetchCache(ctx, key)
+					}
+				}
+			}
+		}
 	}
 	s.lab = experiments.NewLab(labCfg)
 	s.mgr = newManager(cfg.Workers, cfg.QueueDepth, cfg.KeepJobs, cfg.JobTimeout, s.runJob)
@@ -146,6 +204,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, onReady func(a
 	if addr == "" {
 		addr = "127.0.0.1:8080"
 	}
+	if s.fleetErr != nil {
+		return s.fleetErr
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -163,10 +224,48 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, onReady func(a
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+	// A worker starts its membership agent once the listener is bound
+	// (the advertised address defaults to the bound one). The agent
+	// failing is fatal only when it means incompatibility — a clean nil
+	// return is the ctx-cancel path, folded into the drain below.
+	var agentErr chan error
+	if s.coordPeer != nil {
+		adv := s.fleet.Advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		a := fleet.NewAgent(fleet.AgentConfig{
+			Coordinator: s.coordPeer,
+			Join: fleet.JoinRequest{
+				Addr: adv, Build: s.build,
+				Source:   s.lab.Source().Name(),
+				TraceLen: s.lab.Config().TraceLen,
+				Seed:     s.lab.Config().Seed,
+				Warmup:   s.lab.Config().Warmup,
+			},
+		})
+		s.agentMu.Lock()
+		s.agent = a
+		s.agentMu.Unlock()
+		agentErr = make(chan error, 1)
+		go func() { agentErr <- a.Run(ctx) }()
+	}
 	select {
 	case err := <-serveErr:
 		s.Drain()
 		return err // listener failed outright
+	case err := <-agentErr:
+		if err != nil {
+			// Incompatible fleet: refuse to run rather than poison the
+			// shared cache with differently-built tables.
+			s.Drain()
+			shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+			defer cancel()
+			_ = hs.Shutdown(shutCtx)
+			<-serveErr
+			return err
+		}
+		<-ctx.Done() // agent exits nil only on ctx cancel
 	case <-ctx.Done():
 	}
 	s.Drain()

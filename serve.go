@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"mcbench/internal/fleet"
 	"mcbench/internal/results"
 	"mcbench/internal/serve"
 )
@@ -34,6 +35,27 @@ type ServeOptions struct {
 	// OnReady, when non-nil, is called once with the bound address as
 	// soon as the server is listening.
 	OnReady func(addr string)
+
+	// Join, when set, runs this server as a fleet worker: it registers
+	// with the coordinator at that address ("host:port" or a full
+	// http(s) URL), heartbeats, and serves the campaign shards the
+	// coordinator dispatches. Empty means the server is itself a
+	// coordinator — campaigns submitted to it are sharded across
+	// whatever workers have joined (none joined: plain single-node
+	// serving). A worker whose build or lab configuration differs from
+	// the coordinator's is rejected at join and Serve returns the error.
+	Join string
+	// Advertise is the address fleet peers should reach this server at;
+	// empty defaults to the bound listen address.
+	Advertise string
+	// FleetHeartbeat is the worker heartbeat interval the coordinator
+	// grants (default 5s); a worker missing three consecutive beats is
+	// considered dead and its unfinished shards are re-issued.
+	FleetHeartbeat time.Duration
+	// StealAfter bounds how long a dispatched shard may run before the
+	// coordinator steals it from the straggling worker and re-issues it
+	// (0: steal only when a worker's heartbeat lease lapses).
+	StealAfter time.Duration
 }
 
 // Serve runs the experiment service until ctx is cancelled, then drains
@@ -48,10 +70,21 @@ type ServeOptions struct {
 // submissions coalesce onto one job, and M clients asking for the same
 // sweep cost one computation. See Client for the matching API consumer,
 // and the README's "Serving" section for the HTTP surface.
+// When fleet options are set, Serve is also one node of a distributed
+// lab: run one coordinator and any number of `Join`ed workers, submit
+// campaigns to the coordinator, and the expensive population sweeps
+// shard across the fleet by content key, converging through the shared
+// result fabric (GET /cache/{key} with checksum-verified read-through).
+// See the README's "Distributed lab" section for a 3-node quickstart.
 func Serve(ctx context.Context, cfg Config, opts ServeOptions) error {
 	srv := serve.New(serve.Config{
 		Lab: cfg, Workers: opts.Workers, QueueDepth: opts.QueueDepth,
 		KeepJobs: opts.KeepJobs, JobTimeout: opts.JobTimeout,
+		Fleet: &serve.FleetConfig{
+			Join: opts.Join, Advertise: opts.Advertise,
+			Heartbeat: opts.FleetHeartbeat, StealAfter: opts.StealAfter,
+			Dial: dialPeer,
+		},
 	})
 	return srv.ListenAndServe(ctx, opts.Addr, opts.OnReady)
 }
@@ -77,6 +110,19 @@ type (
 	ServeExperimentInfo = serve.ExperimentInfo
 	// BenchInfo is one /benches catalogue entry.
 	BenchInfo = serve.BenchInfo
+	// ProductRef names one campaign product in a warm submission
+	// (POST /jobs with kind "warm").
+	ProductRef = serve.ProductRef
+	// SweepCounts reports how many full population sweeps a node
+	// actually ran (/healthz "sweeps"); fleet dedup tests sum it.
+	SweepCounts = serve.SweepCounts
+	// FleetHealth is the fleet section of /healthz.
+	FleetHealth = serve.FleetHealth
+	// FleetJoinRequest is a worker's registration handshake
+	// (POST /fleet/join).
+	FleetJoinRequest = fleet.JoinRequest
+	// FleetJoinResponse grants fleet membership.
+	FleetJoinResponse = fleet.JoinResponse
 )
 
 // Job lifecycle states.

@@ -279,8 +279,8 @@ func TestPopulationHelpers(t *testing.T) {
 // never internal/.
 func TestExamplesUsePublicAPIOnly(t *testing.T) {
 	mains, err := filepath.Glob(filepath.Join("examples", "*", "main.go"))
-	if err != nil || len(mains) < 8 {
-		t.Fatalf("found %d examples (err %v), want 8", len(mains), err)
+	if err != nil || len(mains) < 9 {
+		t.Fatalf("found %d examples (err %v), want 9", len(mains), err)
 	}
 	fset := token.NewFileSet()
 	for _, path := range mains {
@@ -405,5 +405,119 @@ func TestLabOverScaledSource(t *testing.T) {
 	if _, err := l.Simulate(apiCtx, []string{l.Benchmarks()[0]},
 		mcbench.WithSuite(src)); err == nil {
 		t.Error("Lab.Simulate accepted WithSuite")
+	}
+}
+
+func TestSimulateSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	workload := []string{"mcf", "povray"}
+	r, err := mcbench.Simulate(apiCtx, workload,
+		mcbench.WithSampling(4000, 1000, 500),
+		mcbench.WithTraceLen(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Windows != 5 {
+		t.Errorf("windows = %d, want 5 (20000/4000)", r.Windows)
+	}
+	if len(r.CIHalf) != 2 || len(r.CV) != 2 {
+		t.Fatalf("CI/CV shape %d/%d, want 2/2", len(r.CIHalf), len(r.CV))
+	}
+	for i := range r.IPC {
+		if r.IPC[i] <= 0 || r.IPC[i] > 4 {
+			t.Errorf("IPC[%d] = %g implausible", i, r.IPC[i])
+		}
+		if r.CIHalf[i] <= 0 || r.CV[i] <= 0 {
+			t.Errorf("core %d: CI %g cv %g, want positive", i, r.CIHalf[i], r.CV[i])
+		}
+	}
+	// An exact run reports no interval.
+	exact, err := mcbench.Simulate(apiCtx, workload, mcbench.WithTraceLen(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.CIHalf != nil || exact.CV != nil || exact.Windows != 0 {
+		t.Error("exact run carries sampling fields")
+	}
+	// Sweep agrees with Simulate on the same spec.
+	swept, err := mcbench.Sweep(apiCtx, [][]string{workload},
+		mcbench.WithSampling(4000, 1000, 500),
+		mcbench.WithTraceLen(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range swept[0].IPC {
+		if swept[0].IPC[i] != r.IPC[i] || swept[0].CIHalf[i] != r.CIHalf[i] {
+			t.Errorf("sweep core %d: %g±%g, Simulate %g±%g",
+				i, swept[0].IPC[i], swept[0].CIHalf[i], r.IPC[i], r.CIHalf[i])
+		}
+	}
+	// The bounded-warming dial changes the estimate but keeps the shape.
+	warm, err := mcbench.Simulate(apiCtx, workload,
+		mcbench.WithSampling(4000, 1000, 500),
+		mcbench.WithSamplingWarm(1000),
+		mcbench.WithTraceLen(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Windows != r.Windows {
+		t.Errorf("bounded warming changed the window count: %d vs %d", warm.Windows, r.Windows)
+	}
+}
+
+func TestSimulateSampledValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []mcbench.Option
+	}{
+		{"badco engine", []mcbench.Option{
+			mcbench.WithSampling(4000, 1000, 500),
+			mcbench.WithSimulator(mcbench.BADCO)}},
+		{"with warmup", []mcbench.Option{
+			mcbench.WithSampling(4000, 1000, 500),
+			mcbench.WithWarmup(100)}},
+		{"overfull unit", []mcbench.Option{
+			mcbench.WithSampling(1000, 800, 300)}},
+		{"warm alone", []mcbench.Option{
+			mcbench.WithSamplingWarm(1000)}},
+		{"warm beyond gap", []mcbench.Option{
+			mcbench.WithSampling(4000, 1000, 500),
+			mcbench.WithSamplingWarm(2501)}},
+	}
+	for _, c := range cases {
+		if _, err := mcbench.Simulate(apiCtx, []string{"mcf"}, c.opts...); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestLabSimulateSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	cfg := tinyConfig()
+	cfg.TraceLen = 20000
+	lab := mcbench.NewLab(cfg)
+	r, err := lab.Simulate(apiCtx, []string{"gcc", "soplex"},
+		mcbench.WithSampling(5000, 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Windows != 4 || len(r.CIHalf) != 2 {
+		t.Fatalf("windows %d CI len %d", r.Windows, len(r.CIHalf))
+	}
+	// The lab route and the package route agree on identical inputs.
+	pkg, err := mcbench.Simulate(apiCtx, []string{"gcc", "soplex"},
+		mcbench.WithSampling(5000, 1000, 1000),
+		mcbench.WithTraceLen(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.IPC {
+		if r.IPC[i] != pkg.IPC[i] {
+			t.Errorf("core %d: lab %g pkg %g", i, r.IPC[i], pkg.IPC[i])
+		}
 	}
 }

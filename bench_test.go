@@ -371,3 +371,56 @@ func BenchmarkCophaseRun(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Sampled vs exact detailed simulation on 10×-length traces — the regime
+// systematic sampling exists for. The pair shares one trace set so
+// scripts/bench.sh can report their ratio as the mix sampled-vs-exact
+// speedup (a 2-core heterogeneous mix, the estimator's hardest case for
+// accuracy but a fair timing A/B). The error side of the frontier comes
+// from the sampling-accuracy experiment, which bench.sh also runs.
+
+func benchLongTraces(b *testing.B) (multicore.TraceMap, multicore.Workload) {
+	b.Helper()
+	traces := multicore.TraceMap{}
+	w := multicore.Workload{"mcf", "povray"}
+	for _, name := range w {
+		p, ok := trace.ByName(name)
+		if !ok {
+			b.Fatalf("no suite benchmark %q", name)
+		}
+		tr, err := trace.Generate(p, 200000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		traces[name] = tr
+	}
+	return traces, w
+}
+
+func BenchmarkExactDetailed2Core10x(b *testing.B) {
+	traces, w := benchLongTraces(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multicore.Detailed(bctx, w, traces, cache.LRU, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampledDetailed2Core10x(b *testing.B) {
+	traces, w := benchLongTraces(b)
+	spec := multicore.SamplingSpec{Unit: 10000, Window: 2000, Warmup: 2000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := multicore.DetailedSampled(bctx, w, traces, cache.LRU, spec, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Windows != 20 {
+			b.Fatalf("windows = %d, want 20", r.Windows)
+		}
+	}
+}

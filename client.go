@@ -330,8 +330,10 @@ func (c *Client) SubmitExperiment(ctx context.Context, name string, cores int) (
 }
 
 // SubmitSimulate submits one ad-hoc workload. The options mirror
-// Simulate: WithPolicy, WithSimulator, WithQuota, WithCores.
-// WithTraceLen and WithSuite are rejected — the server's lab fixes both.
+// Simulate: WithPolicy, WithSimulator, WithQuota, WithWarmup, WithCores
+// and WithSampling (the server rejects invalid combinations exactly as
+// the local driver would). WithTraceLen and WithSuite are rejected — the
+// server's lab fixes both.
 func (c *Client) SubmitSimulate(ctx context.Context, workload []string, opts ...Option) (*JobStatus, error) {
 	o, err := serverOptions(opts)
 	if err != nil {
@@ -341,7 +343,8 @@ func (c *Client) SubmitSimulate(ctx context.Context, workload []string, opts ...
 		Kind: serve.KindSimulate,
 		Simulate: &serve.SimulateRequest{
 			Workload: workload, Policy: string(o.policy), Engine: o.engine.String(),
-			Quota: o.quota, Cores: o.cores,
+			Quota: o.quota, Warmup: o.warmup, Cores: o.cores,
+			Sampling: o.wireSampling(),
 		},
 	})
 }
@@ -356,7 +359,8 @@ func (c *Client) SubmitSweep(ctx context.Context, workloads [][]string, opts ...
 		Kind: serve.KindSweep,
 		Sweep: &serve.SweepRequest{
 			Workloads: workloads, Policy: string(o.policy), Engine: o.engine.String(),
-			Quota: o.quota, Cores: o.cores,
+			Quota: o.quota, Warmup: o.warmup, Cores: o.cores,
+			Sampling: o.wireSampling(),
 		},
 	})
 }

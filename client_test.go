@@ -151,3 +151,40 @@ func TestNewClientValidation(t *testing.T) {
 		t.Errorf("valid URL rejected: %v", err)
 	}
 }
+
+// TestClientSampledJob submits a sampled simulation through the public
+// client and checks the estimate comes back with its confidence columns.
+func TestClientSampledJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	c, cancel, _ := startServer(t, tinyConfig())
+	defer cancel()
+	ctx := context.Background()
+
+	st, err := c.SubmitSimulate(ctx, []string{"mcf", "povray"},
+		mcbench.WithSampling(1000, 200, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 1 {
+		t.Fatalf("results %+v", res)
+	}
+	r := res.Results[0]
+	if r.Windows != 4 { // tinyConfig: 4000-µop traces, 1000-µop units
+		t.Errorf("windows = %d, want 4", r.Windows)
+	}
+	if len(r.CIHalf) != 2 || len(r.CV) != 2 || r.Sampling == nil {
+		t.Fatalf("sampled result lacks confidence columns: %+v", r)
+	}
+	// The server rejects invalid sampling combinations up front.
+	if _, err := c.SubmitSimulate(ctx, []string{"mcf"},
+		mcbench.WithSampling(1000, 200, 200),
+		mcbench.WithSimulator(mcbench.BADCO)); err == nil {
+		t.Error("sampled BADCO submission accepted")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -276,16 +277,38 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 }
 
 // simUsage is the sim subcommand synopsis.
-const simUsage = "usage: mcbench sim [-warmup N] [-quota N] <policy> <bench,bench,...>"
+const simUsage = "usage: mcbench sim [-warmup N] [-quota N] [-sample U:D:W[:F]] <policy> <bench,bench,...>"
+
+// parseSampleSpec parses the -sample flag: colon-separated
+// unit:window:warmup µops with an optional fourth bounded-warming field.
+func parseSampleSpec(s string) (multicore.SamplingSpec, error) {
+	var spec multicore.SamplingSpec
+	parts := strings.Split(s, ":")
+	if len(parts) < 3 || len(parts) > 4 {
+		return spec, fmt.Errorf("-sample wants unit:window:warmup[:warm], got %q", s)
+	}
+	dst := []*uint64{&spec.Unit, &spec.Window, &spec.Warmup, &spec.Warm}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("-sample field %d: %v", i+1, err)
+		}
+		*dst[i] = v
+	}
+	return spec, spec.Validate()
+}
 
 // simulate runs one named workload under one policy with both simulators
 // and prints the per-thread IPCs: mcbench sim DRRIP mcf,povray
 // Benchmark names resolve through the -suite source. With -warmup each
-// thread commits N µops before the measurement window opens.
+// thread commits N µops before the measurement window opens. With
+// -sample the detailed simulator runs under systematic sampling and the
+// IPCs become estimates with a 95% confidence column.
 func simulate(ctx context.Context, cfg experiments.Config, args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
 	warmup := fs.Uint64("warmup", 0, "µops committed per thread before measurement (warms caches and predictors)")
 	quota := fs.Uint64("quota", 0, "µops measured per thread (default: one trace length)")
+	sample := fs.String("sample", "", "sampled detailed run: unit:window:warmup[:warm] µops (prints IPC ± 95% CI)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), simUsage)
 		fs.PrintDefaults()
@@ -316,6 +339,27 @@ func simulate(ctx context.Context, cfg experiments.Config, args []string) error 
 	}
 	w := multicore.Workload(names)
 	prov := bench.At(src, cfg.TraceLen)
+
+	if *sample != "" {
+		spec, err := parseSampleSpec(*sample)
+		if err != nil {
+			return err
+		}
+		if *warmup > 0 {
+			return fmt.Errorf("-warmup and -sample are mutually exclusive (the sample spec's warmup field plays that role per window)")
+		}
+		r, err := multicore.DetailedSampled(ctx, w, prov, policy, spec, *quota)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload %s under %s (sampled %s, %d windows of %d µops)\n",
+			w, policy, spec, r.Windows, spec.Window)
+		fmt.Printf("%-12s  %10s  %10s  %8s\n", "thread", "IPC(est)", "±95% CI", "cv")
+		for i, n := range names {
+			fmt.Printf("%-12s  %10.4f  %10.4f  %8.3f\n", n, r.IPC[i], r.CIHalf[i], r.CV[i])
+		}
+		return nil
+	}
 
 	det, err := multicore.DetailedWithWarmup(ctx, w, prov, policy, *warmup, *quota)
 	if err != nil {
@@ -376,7 +420,7 @@ func listExperiments(w io.Writer) {
 	printGroup(w, experiments.GroupExtension)
 	fmt.Fprintln(w, "\ncommands:")
 	printEntry(w, "all", "every paper experiment above, in order")
-	printEntry(w, "sim", "simulate one workload: mcbench sim [-warmup N] <policy> <bench,bench,...>")
+	printEntry(w, "sim", "simulate one workload: mcbench sim [-warmup N] [-sample U:D:W] <policy> <bench,bench,...>")
 	printEntry(w, "benches", "list the active -suite source's benchmarks")
 	printEntry(w, "serve", "run the experiment service: mcbench serve [-addr HOST:PORT]")
 	printEntry(w, "version", "print the build identity")
@@ -406,7 +450,7 @@ experiments:
 	printEntry(os.Stderr, "all", "everything above")
 	fmt.Fprint(os.Stderr, "\nextensions (beyond the paper):\n")
 	printGroup(os.Stderr, experiments.GroupExtension)
-	printEntry(os.Stderr, "sim", "simulate one workload: mcbench sim [-warmup N] <policy> <bench,bench,...>")
+	printEntry(os.Stderr, "sim", "simulate one workload: mcbench sim [-warmup N] [-sample U:D:W] <policy> <bench,bench,...>")
 	printEntry(os.Stderr, "benches", "list the active -suite source's benchmarks")
 	printEntry(os.Stderr, "serve", "run the experiment service: mcbench serve [-addr HOST:PORT]")
 	printEntry(os.Stderr, "version", "print the build identity")

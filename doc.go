@@ -33,6 +33,25 @@
 // warmup once instead of k times — see the README's "Checkpointed
 // sweeps" section for the equivalence argument and measured speedups.
 //
+// WithSampling trades exactness for time on long traces: the detailed
+// engine measures one window per sampling unit (SMARTS-style systematic
+// sampling), fast-forwards the rest functionally — caches and
+// predictors stay warm, the out-of-order pipeline is skipped — and the
+// per-window CPIs fold into a steady-state IPC estimate with a 0.95
+// Student-t confidence interval:
+//
+//	r, err := mcbench.Simulate(ctx, []string{"mcf"},
+//	    mcbench.WithSampling(10000, 2000, 2000),
+//	    mcbench.WithTraceLen(10*mcbench.DefaultTraceLen))
+//	// r.IPC[0] ± r.CIHalf[0] over r.Windows windows; r.CV
+//
+// Sampling requires the Detailed engine and is mutually exclusive with
+// WithWarmup; the estimate deliberately excludes the cold-start
+// transient a full run from reset includes. See the README's "Sampled
+// simulation" section for the speed/accuracy frontier and the known
+// bias modes (heterogeneous mixes fast-forward in lockstep, so singles
+// and homogeneous mixes are the reliable regime).
+//
 // # Benchmark sources
 //
 // Workload names resolve through a Source — a named, lazily-memoized
@@ -188,8 +207,9 @@
 // checkpoint layer behind WithWarmup's shared-warmup sweeps and the
 // results store's crash-resume checkpoints; golden tests pin
 // snapshot→restore→run bit-identical to the uninterrupted run. See
-// README.md's Performance and "Checkpointed sweeps" sections, with
-// measured speedups in BENCH_2.json and BENCH_6.json (scripts/bench.sh).
+// README.md's Performance, "Checkpointed sweeps" and "Sampled
+// simulation" sections, with measured speedups in BENCH_2.json,
+// BENCH_6.json and BENCH_9.json (scripts/bench.sh).
 //
 // See DESIGN.md for the system inventory and substitutions, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in

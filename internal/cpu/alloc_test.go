@@ -26,3 +26,20 @@ func TestStepAllocationFree(t *testing.T) {
 		}
 	}
 }
+
+// TestFastForwardAllocationFree pins the functional-warming path at zero
+// steady-state allocations: sampled simulation fast-forwards billions of
+// µops through it, so it must be as clean as Step.
+func TestFastForwardAllocationFree(t *testing.T) {
+	traces := trace.GenerateSuite(5000)
+	for _, bench := range []string{"mcf", "povray", "gcc"} {
+		tr := traces[bench]
+		unc := uncore.MustNew(uncore.ConfigFor(1, "LRU"))
+		c := MustNew(0, DefaultConfig(), tr, unc)
+		// One full iteration grows the shadow RAS to steady state.
+		c.FastForward(uint64(tr.Len()))
+		if avg := testing.AllocsPerRun(2000, func() { c.FastForward(1) }); avg != 0 {
+			t.Errorf("%s: steady-state FastForward allocates %.2f times per µop, want 0", bench, avg)
+		}
+	}
+}

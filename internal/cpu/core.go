@@ -136,6 +136,14 @@ type Core struct {
 	dl1Miss  [maxDL1MSHRs]mshrEntry
 	dl1MissN int
 
+	// MSHR-pressure prefetch-drop calibration (see ffPrefetchObserve):
+	// the detailed path counts proposals reaching its pressure check and
+	// those that issue; the fast-forward replays the observed rate
+	// through the ffPfAcc accumulator.
+	pfCand   uint64
+	pfIssued uint64
+	ffPfAcc  float64
+
 	// pfBuf detaches DL1 prefetch proposals from the prefetcher's reused
 	// buffer before they are issued (dl1Prefetch feeds the uncore, whose
 	// own prefetchers have their own buffers, so pfBuf is never reused
@@ -583,10 +591,13 @@ func (c *Core) dl1Prefetch(pc, line uint64, t uint64) {
 		return
 	}
 	// Prefetches only use spare MSHR capacity: demand traffic keeps
-	// priority under pressure.
+	// priority under pressure. The candidate/issued counts calibrate the
+	// fast-forward path's replay of this drop rate.
+	c.pfCand++
 	if c.dl1MissN >= c.cfg.DL1MSHRs/2 {
 		return
 	}
+	c.pfIssued++
 	done := c.mem.Access(c.id, pc, line, false, true, t)
 	c.record(UncoreRequest{OpIndex: c.pos, VAddr: line, PC: pc, Kind: ReqData, Prefetch: true, Issue: t, Complete: done})
 	c.stats.UncorePref++

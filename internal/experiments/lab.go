@@ -96,6 +96,18 @@ type Config struct {
 	// file — bit-identical to previous versions.
 	Warmup int
 
+	// Sampling, when enabled, runs every detailed-simulator sweep under
+	// SMARTS-style systematic sampling (multicore.DetailedSampled)
+	// instead of exactly: per spec.Unit µops one window of spec.Window
+	// µops is measured in detail after spec.Warmup detailed warmup µops,
+	// with the gap fast-forwarded under functional warming. The
+	// resulting tables are estimates — they persist under distinct cache
+	// keys carrying the spec, with per-workload confidence half-widths
+	// and cv columns alongside the IPC. Mutually exclusive with Warmup
+	// (the sampled driver owns its own warmup structure). The zero spec
+	// keeps every sweep, key and persisted file exactly as before.
+	Sampling multicore.SamplingSpec
+
 	// Observer, when non-nil, receives a ProductEvent whenever an
 	// expensive memoized product is computed (or loaded from the
 	// persistent cache): sweeps starting and finishing, models and
@@ -556,6 +568,14 @@ func (l *Lab) DetailedIPC(ctx context.Context, cores int, policy cache.PolicyNam
 		}
 		ev := ProductEvent{Sim: "detailed", Cores: cores, Policy: string(policy)}
 		return observeRun(l, ev, func(t [][]float64) int { return len(t) }, func() ([][]float64, error) {
+			if l.cfg.Sampling.Enabled() {
+				table, ci, cv, err := l.detailedSampledSweep(ctx, cores, policy)
+				if err != nil {
+					return nil, err
+				}
+				l.saveCachedSampled("detailed", cores, policy, table, ci, cv, universe)
+				return table, nil
+			}
 			table, err := l.detailedSweep(ctx, cores, policy)
 			if err != nil {
 				return nil, err
@@ -564,6 +584,34 @@ func (l *Lab) DetailedIPC(ctx context.Context, cores int, policy cache.PolicyNam
 			return table, nil
 		})
 	})
+}
+
+// detailedSampledSweep computes one sampled detailed IPC table plus its
+// confidence and cv columns (see Config.Sampling).
+func (l *Lab) detailedSampledSweep(ctx context.Context, cores int, policy cache.PolicyName) (table, ci, cv [][]float64, err error) {
+	if l.cfg.Warmup > 0 {
+		return nil, nil, nil, fmt.Errorf("experiments: sampling and warmup are mutually exclusive (the sampled driver owns its warmup structure)")
+	}
+	l.detSweeps.Add(1)
+	pop := l.Population(cores)
+	sample := l.DetSample(cores)
+	ws := make([]multicore.Workload, len(sample))
+	for i, wi := range sample {
+		ws[i] = l.toMulticore(pop.Workloads[wi])
+	}
+	results, err := multicore.SweepDetailedSampled(ctx, ws, l.Provider(), policy, l.cfg.Sampling, 0)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiments: sampled detailed sweep (%d cores, %s, %s): %w", cores, policy, l.cfg.Sampling, err)
+	}
+	table = make([][]float64, len(results))
+	ci = make([][]float64, len(results))
+	cv = make([][]float64, len(results))
+	for i, r := range results {
+		table[i] = r.IPC
+		ci[i] = r.CIHalf
+		cv[i] = r.CV
+	}
+	return table, ci, cv, nil
 }
 
 // detailedSweep computes one detailed IPC table. With a zero warmup it
@@ -656,6 +704,25 @@ func (l *Lab) detailedSharedSweep(ctx context.Context, cores int, pols []cache.P
 	return tables, nil
 }
 
+// cacheIdentity builds the identity half of a persisted IPC table. The
+// sampling spec is folded in only for the detailed simulator — BADCO and
+// reference tables never run sampled, and stamping them would fragment
+// their caches for no reason.
+func (l *Lab) cacheIdentity(sim string, cores int, policy cache.PolicyName, population, universe int) results.IPCTable {
+	t := results.IPCTable{
+		Simulator: sim, Cores: cores, Policy: string(policy),
+		TraceLen: l.cfg.TraceLen, Population: population, Seed: l.cfg.Seed,
+		Universe: universe, Source: l.sourceKey(), Warmup: l.cfg.Warmup,
+	}
+	if sim == "detailed" && l.cfg.Sampling.Enabled() {
+		t.SampleUnit = int(l.cfg.Sampling.Unit)
+		t.SampleWindow = int(l.cfg.Sampling.Window)
+		t.SampleWarmup = int(l.cfg.Sampling.Warmup)
+		t.SampleWarm = int(l.cfg.Sampling.Warm)
+	}
+	return t
+}
+
 // loadCached fetches a persisted IPC table if CacheDir is configured.
 // universe is non-zero when the table covers a sample of a larger
 // population (see DetailedIPC).
@@ -664,11 +731,7 @@ func (l *Lab) loadCached(sim string, cores int, policy cache.PolicyName, populat
 	if store == nil {
 		return nil, false
 	}
-	t, ok, err := store.Load(results.IPCTable{
-		Simulator: sim, Cores: cores, Policy: string(policy),
-		TraceLen: l.cfg.TraceLen, Population: population, Seed: l.cfg.Seed,
-		Universe: universe, Source: l.sourceKey(), Warmup: l.cfg.Warmup,
-	})
+	t, ok, err := store.Load(l.cacheIdentity(sim, cores, policy, population, universe))
 	if err != nil || !ok {
 		return nil, false
 	}
@@ -682,12 +745,21 @@ func (l *Lab) saveCached(sim string, cores int, policy cache.PolicyName, table [
 	if store == nil {
 		return
 	}
-	_ = store.Save(&results.IPCTable{
-		Simulator: sim, Cores: cores, Policy: string(policy),
-		TraceLen: l.cfg.TraceLen, Population: len(table), Seed: l.cfg.Seed,
-		Universe: universe, Source: l.sourceKey(), Warmup: l.cfg.Warmup,
-		IPC: table,
-	})
+	t := l.cacheIdentity(sim, cores, policy, len(table), universe)
+	t.IPC = table
+	_ = store.Save(&t)
+}
+
+// saveCachedSampled persists a sampled IPC table together with its
+// confidence and cv columns; like saveCached, failures are non-fatal.
+func (l *Lab) saveCachedSampled(sim string, cores int, policy cache.PolicyName, table, ci, cv [][]float64, universe int) {
+	store := l.resultStore()
+	if store == nil {
+		return
+	}
+	t := l.cacheIdentity(sim, cores, policy, len(table), universe)
+	t.IPC, t.CI, t.CV = table, ci, cv
+	_ = store.Save(&t)
 }
 
 // RefIPC returns the per-benchmark single-thread reference IPC on the

@@ -254,5 +254,6 @@ func ExtensionExperiments() []string {
 		"ablation-strata", "ablation-classes", "ablation-metrics",
 		"speedup", "guideline", "methods", "cophase", "predictors",
 		"normality", "profiles", "policies", "population-scaling",
+		"sampling-accuracy",
 	}
 }

@@ -25,13 +25,15 @@ type Config struct {
 	// Build is the coordinator's own build identity; joins must match it
 	// exactly.
 	Build buildinfo.Info
-	// Source, TraceLen, Seed and Warmup pin the lab identity joins must
-	// match (nodes with different lab configs compute different bytes
-	// for the same key).
+	// Source, TraceLen, Seed, Warmup and Sampling pin the lab identity
+	// joins must match (nodes with different lab configs compute
+	// different bytes for the same key). Sampling is the canonical
+	// string of the lab's sampling spec ("exact" when disabled).
 	Source   string
 	TraceLen int
 	Seed     int64
 	Warmup   int
+	Sampling string
 	// Heartbeat is the interval granted to joining workers (0 →
 	// DefaultHeartbeat). A member missing missedBeats consecutive
 	// intervals is reaped.
@@ -69,6 +71,9 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = DefaultHeartbeat
 	}
+	if cfg.Sampling == "" {
+		cfg.Sampling = "exact"
+	}
 	return &Coordinator{cfg: cfg, members: make(map[string]*member)}
 }
 
@@ -85,11 +90,15 @@ func (c *Coordinator) Join(req JoinRequest) (*JoinResponse, error) {
 		return nil, fmt.Errorf("%w: worker build %s, coordinator build %s",
 			ErrIncompatible, req.Build, c.cfg.Build)
 	}
+	if req.Sampling == "" {
+		req.Sampling = "exact"
+	}
 	if req.Source != c.cfg.Source || req.TraceLen != c.cfg.TraceLen ||
-		req.Seed != c.cfg.Seed || req.Warmup != c.cfg.Warmup {
-		return nil, fmt.Errorf("%w: worker lab (source=%q trace=%d seed=%d warmup=%d), coordinator lab (source=%q trace=%d seed=%d warmup=%d)",
-			ErrIncompatible, req.Source, req.TraceLen, req.Seed, req.Warmup,
-			c.cfg.Source, c.cfg.TraceLen, c.cfg.Seed, c.cfg.Warmup)
+		req.Seed != c.cfg.Seed || req.Warmup != c.cfg.Warmup ||
+		req.Sampling != c.cfg.Sampling {
+		return nil, fmt.Errorf("%w: worker lab (source=%q trace=%d seed=%d warmup=%d sampling=%s), coordinator lab (source=%q trace=%d seed=%d warmup=%d sampling=%s)",
+			ErrIncompatible, req.Source, req.TraceLen, req.Seed, req.Warmup, req.Sampling,
+			c.cfg.Source, c.cfg.TraceLen, c.cfg.Seed, c.cfg.Warmup, c.cfg.Sampling)
 	}
 	if req.Addr == "" {
 		return nil, fmt.Errorf("fleet: join without an advertised address")

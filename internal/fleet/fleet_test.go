@@ -222,6 +222,20 @@ func TestJoinCompatibility(t *testing.T) {
 		t.Errorf("lab mismatch: got %v, want ErrIncompatible", err)
 	}
 
+	bad = joinReq("w1:1")
+	bad.Sampling = "u10000d2000w2000"
+	if _, err := c.Join(bad); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("sampling mismatch: got %v, want ErrIncompatible", err)
+	}
+
+	// An explicit "exact" and the legacy empty field are the same
+	// identity: both mean an unsampled lab.
+	ok := joinReq("w1:1")
+	ok.Sampling = "exact"
+	if _, err := c.Join(ok); err != nil {
+		t.Errorf("explicit exact sampling rejected: %v", err)
+	}
+
 	bad = joinReq("")
 	if _, err := c.Join(bad); err == nil || errors.Is(err, ErrIncompatible) {
 		t.Errorf("empty addr: got %v, want a plain error", err)
@@ -595,4 +609,44 @@ func TestAgentFatalOnIncompatible(t *testing.T) {
 	if _, lastErr := a.Status(); !errors.Is(lastErr, ErrIncompatible) {
 		t.Errorf("Status lastErr = %v, want ErrIncompatible", lastErr)
 	}
+}
+
+// BenchmarkFleetCampaign measures the coordinator's pure orchestration
+// cost — rendezvous partitioning, shard dispatch, event fan-out and the
+// steal timers — over in-process peers that complete instantly, so the
+// reported time is the fabric's per-campaign overhead, not simulation.
+func BenchmarkFleetCampaign(b *testing.B) {
+	ws := []*fakeWorker{{addr: "w1:1"}, {addr: "w2:2"}, {addr: "w3:3"}, {addr: "w4:4"}}
+	byAddr := map[string]*fakeWorker{}
+	for _, w := range ws {
+		byAddr[w.addr] = w
+	}
+	c := NewCoordinator(Config{
+		Build: testBuild, Source: "suite", TraceLen: 1000, Seed: 42,
+		Heartbeat: time.Hour, // no reaping mid-benchmark
+		Dial: func(addr string) (Peer, error) {
+			w, ok := byAddr[addr]
+			if !ok {
+				return nil, fmt.Errorf("unknown addr %s", addr)
+			}
+			return w, nil
+		},
+	})
+	for _, w := range ws {
+		if _, err := c.Join(joinReq(w.addr)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const products = 32
+	plan := keyed(products)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := c.WarmFleet(ctx, plan, func(ShardEvent) {})
+		if rep.Unassigned != 0 || rep.Products != products || rep.Stolen != 0 {
+			b.Fatalf("report %+v", rep)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*products), "ns/product")
 }

@@ -70,12 +70,14 @@ type JoinRequest struct {
 	// coordinator.
 	Addr  string         `json:"addr"`
 	Build buildinfo.Info `json:"build"`
-	// Lab identity: the benchmark source name, trace length, seed and
-	// warmup the worker's lab is configured with.
+	// Lab identity: the benchmark source name, trace length, seed,
+	// warmup and sampling spec (canonical string, "exact" when disabled)
+	// the worker's lab is configured with.
 	Source   string `json:"source"`
 	TraceLen int    `json:"trace_len"`
 	Seed     int64  `json:"seed"`
 	Warmup   int    `json:"warmup"`
+	Sampling string `json:"sampling,omitempty"`
 }
 
 // JoinResponse grants fleet membership.

@@ -1,0 +1,432 @@
+// Sampled detailed simulation (SMARTS-style systematic sampling). A
+// full detailed run of a long trace is unaffordable; sampling measures
+// only a short detailed window out of every sampling unit and
+// fast-forwards the gap under the functional-warming mode of the
+// detailed core (state updates without timing). Each thread's unit is
+// laid out end-aligned:
+//
+//	|--- fast-forward U-W-D ---|-- warmup W --|-- measure D --|
+//
+// so the measured window ends exactly at a unit boundary. The warmup
+// stretch runs the full detailed model to refill the timing state
+// (pipeline occupancy, MSHRs, bus bookings) that fast-forwarding does
+// not maintain; the per-window IPCs then aggregate into a mean with a
+// Student-t confidence interval and coefficient of variation — an
+// estimate with stated precision instead of an exact-but-unaffordable
+// number. This is the repo's third simulation fidelity, between
+// exact-detailed and BADCO.
+package multicore
+
+import (
+	"context"
+	"fmt"
+
+	"mcbench/internal/cache"
+	"mcbench/internal/cpu"
+	"mcbench/internal/stats"
+)
+
+// SampledConfidence is the confidence level of the interval reported by
+// sampled runs.
+const SampledConfidence = 0.95
+
+// SamplingSpec configures systematic sampling. The zero value means
+// "exact run, no sampling" (Enabled reports false), so it can ride
+// along every existing params/request struct without changing their
+// meaning. The struct is comparable and participates in memo and dedup
+// identities: a sampled result must never satisfy a request for an
+// exact one, or vice versa.
+type SamplingSpec struct {
+	// Unit is the sampling unit U: one window is measured out of every
+	// Unit µops per thread. Zero disables sampling.
+	Unit uint64
+	// Window is the detailed measurement window D (µops per thread).
+	Window uint64
+	// Warmup is the detailed warmup W run before each window (µops per
+	// thread) to refill the timing state the fast-forward path skips.
+	Warmup uint64
+	// Warm bounds the functional-warming stretch per gap: only the last
+	// Warm µops of each inter-sample gap run under the functional path;
+	// everything earlier is skipped outright with no state updates
+	// (Core.Skip, O(1) whatever the distance). Zero warms the entire gap
+	// — the most accurate setting, but its cost still scales with trace
+	// length. A bounded Warm makes the work per sampling unit constant,
+	// which is where the sublinear long-trace speedup comes from; the
+	// caches tolerate it because a window's hit rate is governed by
+	// recency, and the warming stretch re-establishes the recent
+	// insertions while older cache contents survive the skip untouched.
+	Warm uint64
+}
+
+// Enabled reports whether the spec asks for sampling.
+func (s SamplingSpec) Enabled() bool { return s.Unit > 0 }
+
+// Validate checks the spec's internal consistency. The zero (disabled)
+// spec is valid.
+func (s SamplingSpec) Validate() error {
+	if !s.Enabled() {
+		if s.Window != 0 || s.Warmup != 0 || s.Warm != 0 {
+			return fmt.Errorf("multicore: sampling window/warmup set without a unit")
+		}
+		return nil
+	}
+	if s.Window == 0 {
+		return fmt.Errorf("multicore: sampling window must be positive")
+	}
+	if s.Warmup+s.Window > s.Unit {
+		return fmt.Errorf("multicore: sampling warmup %d + window %d exceed unit %d", s.Warmup, s.Window, s.Unit)
+	}
+	if s.Warm > s.Unit-s.Warmup-s.Window {
+		return fmt.Errorf("multicore: sampling warm %d exceeds gap %d", s.Warm, s.Unit-s.Warmup-s.Window)
+	}
+	return nil
+}
+
+// String formats the spec compactly (also its identity form in cache
+// keys): "u<unit>d<window>w<warmup>" plus "f<warm>" when the warming
+// stretch is bounded, or "exact" when disabled.
+func (s SamplingSpec) String() string {
+	if !s.Enabled() {
+		return "exact"
+	}
+	if s.Warm > 0 {
+		return fmt.Sprintf("u%dd%dw%df%d", s.Unit, s.Window, s.Warmup, s.Warm)
+	}
+	return fmt.Sprintf("u%dd%dw%d", s.Unit, s.Window, s.Warmup)
+}
+
+// SampledResult is the outcome of a sampled detailed run. The embedded
+// Result reports the estimate: IPC per core is the inverse of the mean
+// per-window CPI — every window measures the same µop count, so the
+// mean CPI is exactly total measured cycles over total measured µops,
+// the unbiased ratio estimate (averaging per-window IPCs directly
+// would be Jensen-biased upward). Instructions is the µops measured in
+// detail per thread (windows × window length), Cycles the per-core
+// detailed cycles spent measuring them.
+type SampledResult struct {
+	Result
+	// Spec is the sampling configuration that produced the estimate.
+	Spec SamplingSpec
+	// Windows is the number of measured windows per thread.
+	Windows int
+	// CIHalf is the per-core half-width of the SampledConfidence
+	// interval around IPC: the Student-t interval on the mean window
+	// CPI, mapped to the IPC scale by the delta method. Zero when only
+	// one window was measured.
+	CIHalf []float64
+	// CV is the per-core coefficient of variation of the per-window
+	// CPIs (the cv SMARTS-style sampling reports).
+	CV []float64
+	// Samples holds the raw per-window IPCs, indexed [core][window].
+	Samples [][]float64
+}
+
+// DetailedSampled runs the workload under systematic sampling: per
+// sampling unit of spec.Unit µops, fast-forward the gap functionally,
+// warm spec.Warmup µops and measure spec.Window µops in full detail.
+// A zero quota defaults to the first trace's length; quota/spec.Unit
+// full units are sampled (a partial tail unit is not simulated at
+// all — that is where the speedup comes from). The estimate and its
+// confidence interval are over the per-window IPCs.
+func DetailedSampled(ctx context.Context, w Workload, traces TraceSource, policy cache.PolicyName, spec SamplingSpec, quota uint64) (SampledResult, error) {
+	if !spec.Enabled() {
+		return SampledResult{}, fmt.Errorf("multicore: sampling spec disabled (use Detailed for exact runs)")
+	}
+	if err := spec.Validate(); err != nil {
+		return SampledResult{}, err
+	}
+	_, cores, quota, err := buildDetailed(ctx, w, traces, policy, quota)
+	if err != nil {
+		return SampledResult{}, err
+	}
+	windows := quota / spec.Unit
+	if windows == 0 {
+		return SampledResult{}, fmt.Errorf("multicore: sampling unit %d exceeds quota %d", spec.Unit, quota)
+	}
+	steppers := asSteppers(cores)
+	n := len(cores)
+	gap := spec.Unit - spec.Warmup - spec.Window
+
+	samples := make([][]float64, n)
+	for i := range samples {
+		samples[i] = make([]float64, 0, windows)
+	}
+	totalCycles := make([]uint64, n)
+	clocks := make([]uint64, n)   // reused per-window clock baseline
+	cross := make([]uint64, n)    // per-window boundary-crossing clocks
+	weights := make([]float64, n) // recent per-core speed, drives ffInterleaved
+
+	// Calibration prologue: one window-equivalent of detailed execution
+	// at the trace start, before the first fast-forward. The functional
+	// path replays the detailed path's observed prefetch-drop rate, and
+	// that rate only exists once some detailed execution has run — an
+	// uncalibrated first gap would issue every trained proposal and
+	// over-warm the shared cache in a way later windows never recover
+	// from (the LLC is far too large for a warmup stretch to
+	// renormalize). The prologue's per-core wall-cycles also seed the
+	// speed weights for the first fast-forward's interleaving.
+	if prologue := min(spec.Warmup+spec.Window, gap); prologue > 0 {
+		if err := runToBoundary(ctx, steppers, prologue); err != nil {
+			return SampledResult{}, err
+		}
+		for i, c := range steppers {
+			if now := c.Now(); now > 0 {
+				weights[i] = float64(prologue) / float64(now)
+			}
+		}
+	}
+
+	// The warmup phase drives the cores to an exact committed-count
+	// boundary with the halt-at-boundary discipline (runToBoundary); the
+	// measure phase uses the overshoot discipline of the exact run
+	// (runWindowOvershoot): a core that crosses the unit boundary keeps
+	// running — timed, into its own next gap — so the stragglers' window
+	// tails see the same shared-hierarchy contention a full detailed run
+	// would produce, halting before the next warmup region so the window
+	// layout stays aligned. Overshot µops are simply skipped by the next
+	// fast-forward.
+	for k := uint64(0); k < windows; k++ {
+		if err := ctx.Err(); err != nil {
+			return SampledResult{}, err
+		}
+		base := k * spec.Unit
+		// A bounded warming stretch skips the gap's prefix outright (no
+		// state updates, O(1)) and warms only the last spec.Warm µops.
+		if spec.Warm > 0 && spec.Warm < gap {
+			skipTo := base + gap - spec.Warm
+			for _, c := range cores {
+				if cm := c.Committed(); cm < skipTo {
+					c.Skip(skipTo - cm)
+				}
+			}
+		}
+		// Fast-forward the rest of the gap (functional warming, clocks
+		// frozen), interleaved in speed-proportional chunks: the shared
+		// cache has no notion of time on this path, so insertion *order*
+		// is the only lever for approximating the per-cycle mixing of a
+		// timed execution — sequential whole-gap runs would weight a slow
+		// core's pollution as heavily as a fast core's.
+		ffInterleaved(cores, weights, base+gap)
+		// Resynchronize the local clocks before timing resumes: the shared
+		// uncore books bus/DRAM slots in absolute time, so a core whose
+		// clock fell behind would otherwise pay the skew as fake queueing
+		// behind the other cores' bookings.
+		syncClocks(cores, steppers)
+		// Detailed warmup to the window start.
+		if spec.Warmup > 0 {
+			if err := runToBoundary(ctx, steppers, base+gap+spec.Warmup); err != nil {
+				return SampledResult{}, err
+			}
+			// Warmups cost different wall-cycles per core (a slow core's
+			// warmup runs long after the fast ones halted), so the clocks
+			// have drifted apart again; re-sync so every core measures from
+			// a common time origin.
+			syncClocks(cores, steppers)
+		}
+		// Measure the window: per-core cycles from its own clock at the
+		// window start to its crossing of the unit boundary.
+		for i, c := range steppers {
+			clocks[i] = c.Now()
+		}
+		if err := runWindowOvershoot(ctx, steppers, base+spec.Unit, base+spec.Unit+gap, cross); err != nil {
+			return SampledResult{}, err
+		}
+		for i := range steppers {
+			cyc := cross[i] - clocks[i]
+			totalCycles[i] += cyc
+			ipc := 0.0
+			if cyc > 0 {
+				ipc = float64(spec.Window) / float64(cyc)
+				weights[i] = ipc
+			}
+			samples[i] = append(samples[i], ipc)
+		}
+	}
+
+	res := SampledResult{
+		Result: Result{
+			Workload:     append(Workload(nil), w...),
+			Policy:       policy,
+			IPC:          make([]float64, n),
+			Cycles:       totalCycles,
+			Instructions: windows * spec.Window,
+		},
+		Spec:    spec,
+		Windows: int(windows),
+		CIHalf:  make([]float64, n),
+		CV:      make([]float64, n),
+		Samples: samples,
+	}
+	cpis := make([]float64, windows)
+	for i := range samples {
+		for k, ipc := range samples[i] {
+			cpi := 0.0
+			if ipc > 0 {
+				cpi = 1 / ipc
+			}
+			cpis[k] = cpi
+		}
+		meanCPI, halfCPI := stats.MeanCI(cpis, SampledConfidence)
+		res.IPC[i] = 1 / meanCPI
+		res.CIHalf[i] = halfCPI / (meanCPI * meanCPI)
+		res.CV[i] = stats.CoefVar(cpis)
+	}
+	return res, nil
+}
+
+// syncClocks advances every core's local clock to the fleet maximum.
+func syncClocks(cores []*cpu.Core, steppers []stepper) {
+	var sync uint64
+	for _, c := range steppers {
+		if now := c.Now(); now > sync {
+			sync = now
+		}
+	}
+	for _, c := range cores {
+		c.SyncClock(sync)
+	}
+}
+
+// ffChunk is the fast-forward batch size of the fastest core in a
+// speed-weighted interleaving round; slower cores advance in
+// proportionally smaller batches (at least one µop, so every core makes
+// progress each round).
+const ffChunk = 256
+
+// ffInterleaved advances every core to tgt committed µops under
+// functional warming, round-robin in chunks proportional to each core's
+// recent timed speed. The functional path is clockless, so the order of
+// shared-cache insertions is the only fidelity lever: per-µop
+// alternation would weight every core equally, but a timed execution
+// interleaves per-*cycle* — a core running 8× slower contributes 8×
+// fewer insertions per unit time. Chunking by speed reproduces that
+// mixture. Cores with no speed estimate (a zero weight) advance at the
+// fastest core's pace.
+func ffInterleaved(cores []*cpu.Core, weights []float64, tgt uint64) {
+	wmax := 0.0
+	for _, w := range weights {
+		if w > wmax {
+			wmax = w
+		}
+	}
+	for {
+		active := false
+		for i, c := range cores {
+			cm := c.Committed()
+			if cm >= tgt {
+				continue
+			}
+			n := uint64(ffChunk)
+			if w := weights[i]; w > 0 && wmax > 0 {
+				n = uint64(ffChunk*w/wmax + 0.5)
+				if n == 0 {
+					n = 1
+				}
+			}
+			if n > tgt-cm {
+				n = tgt - cm
+			}
+			c.FastForward(n)
+			if c.Committed() < tgt {
+				active = true
+			}
+		}
+		if !active {
+			return
+		}
+	}
+}
+
+// runWindowOvershoot advances the cores on the smallest-local-clock-first
+// discipline until each has committed at least target µops, recording
+// each core's local clock at its crossing in cross. Unlike runToBoundary,
+// a core that crosses does not halt: it keeps running — timed — so the
+// stragglers' window tails see the same shared-hierarchy contention the
+// measured full run produces (whose cores overshoot their quota for
+// exactly this reason). Overshooters consume their own next inter-sample
+// gap, so they are capped at cap (the next warmup region's start) and
+// the following fast-forward skips whatever they already executed.
+func runWindowOvershoot(ctx context.Context, cores []stepper, target, cap uint64, cross []uint64) error {
+	n := len(cores)
+	done := ctx.Done()
+	halted := make([]bool, n)
+	reached := make([]bool, n)
+	clocks := make([]uint64, n)
+	remaining := 0
+	for i, c := range cores {
+		clocks[i] = c.Now()
+		cross[i] = clocks[i]
+		if c.Committed() >= target {
+			reached[i] = true
+		} else {
+			remaining++
+		}
+		halted[i] = c.Committed() >= cap
+	}
+	for batch := 0; remaining > 0; batch++ {
+		if done != nil && batch&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		// Lowest-index minimum over the active cores; o is the runner-up.
+		m, o := -1, -1
+		for i := 0; i < n; i++ {
+			if halted[i] {
+				continue
+			}
+			switch {
+			case m < 0 || clocks[i] < clocks[m]:
+				m, o = i, m
+			case o < 0 || clocks[i] < clocks[o]:
+				o = i
+			}
+		}
+		if m < 0 {
+			break
+		}
+		limit := clocks[m] + soloChunkCycles
+		if o >= 0 {
+			limit = clocks[o]
+			if m < o {
+				limit++
+			}
+		}
+		c := cores[m]
+		quota := target
+		if reached[m] {
+			quota = cap
+		}
+		c.StepUntil(limit, quota)
+		clocks[m] = c.Now()
+		if !reached[m] && c.Committed() >= target {
+			reached[m] = true
+			cross[m] = clocks[m]
+			remaining--
+		}
+		if reached[m] && c.Committed() >= cap {
+			halted[m] = true
+		}
+	}
+	return nil
+}
+
+// SweepDetailedSampled runs DetailedSampled over many workloads in
+// parallel (see SweepDetailed for the residency contract).
+func SweepDetailedSampled(ctx context.Context, workloads []Workload, traces TraceSource, policy cache.PolicyName, spec SamplingSpec, quota uint64) ([]SampledResult, error) {
+	results := make([]SampledResult, len(workloads))
+	errs := make([]error, len(workloads))
+	if err := RunBounded(ctx, len(workloads), func(i int) {
+		results[i], errs[i] = DetailedSampled(ctx, workloads[i], traces, policy, spec, quota)
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

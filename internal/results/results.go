@@ -45,8 +45,23 @@ type IPCTable struct {
 	// measurement began (see experiments.Config.Warmup). 0 — measurement
 	// from reset — leaves keys identical to pre-warmup versions, so
 	// existing cache files stay loadable.
-	Warmup int         `json:"warmup,omitempty"`
-	IPC    [][]float64 `json:"ipc"`
+	Warmup int `json:"warmup,omitempty"`
+	// SampleUnit/SampleWindow/SampleWarmup/SampleWarm record the
+	// systematic-sampling spec the sweep ran under
+	// (multicore.SamplingSpec); all zero means an exact sweep, keeping
+	// pre-sampling keys and files unchanged. A sampled table is an
+	// *estimate*, so the spec is identity: an exact and a sampled sweep
+	// of the same configuration must never share a cache entry.
+	SampleUnit   int         `json:"sample_unit,omitempty"`
+	SampleWindow int         `json:"sample_window,omitempty"`
+	SampleWarmup int         `json:"sample_warmup,omitempty"`
+	SampleWarm   int         `json:"sample_warm,omitempty"`
+	IPC          [][]float64 `json:"ipc"`
+	// CI and CV carry the per-workload per-core confidence half-interval
+	// and coefficient of variation of sampled sweeps (same shape as IPC);
+	// both are empty for exact sweeps, whose IPC is not an estimate.
+	CI [][]float64 `json:"ci,omitempty"`
+	CV [][]float64 `json:"cv,omitempty"`
 }
 
 // Key returns the table's filename-safe identity. Non-default sources
@@ -62,6 +77,12 @@ func (t *IPCTable) Key() string {
 	}
 	if t.Warmup > 0 {
 		key += fmt.Sprintf("-w%d", t.Warmup)
+	}
+	if t.SampleUnit > 0 {
+		key += fmt.Sprintf("-smpu%dd%dw%d", t.SampleUnit, t.SampleWindow, t.SampleWarmup)
+		if t.SampleWarm > 0 {
+			key += fmt.Sprintf("f%d", t.SampleWarm)
+		}
 	}
 	if t.Source != "" {
 		h := fnv.New32a()
@@ -107,6 +128,40 @@ func (t *IPCTable) Validate() error {
 		for k, v := range row {
 			if v <= 0 {
 				return fmt.Errorf("results: non-positive IPC at [%d][%d]", i, k)
+			}
+		}
+	}
+	if t.SampleUnit < 0 || t.SampleWindow < 0 || t.SampleWarmup < 0 || t.SampleWarm < 0 {
+		return fmt.Errorf("results: negative sampling field")
+	}
+	if t.SampleUnit > 0 {
+		if t.SampleWindow == 0 {
+			return fmt.Errorf("results: sampled table without a window")
+		}
+		if t.SampleWindow+t.SampleWarmup > t.SampleUnit {
+			return fmt.Errorf("results: sampling window %d + warmup %d exceed unit %d",
+				t.SampleWindow, t.SampleWarmup, t.SampleUnit)
+		}
+		if t.SampleWarm > t.SampleUnit-t.SampleWindow-t.SampleWarmup {
+			return fmt.Errorf("results: sampling warm %d exceeds gap %d",
+				t.SampleWarm, t.SampleUnit-t.SampleWindow-t.SampleWarmup)
+		}
+	} else if t.SampleWindow != 0 || t.SampleWarmup != 0 || t.SampleWarm != 0 {
+		return fmt.Errorf("results: sampling window/warmup set without a unit")
+	}
+	for name, col := range map[string][][]float64{"ci": t.CI, "cv": t.CV} {
+		if len(col) == 0 {
+			continue
+		}
+		if t.SampleUnit == 0 {
+			return fmt.Errorf("results: %s column on an exact table", name)
+		}
+		if len(col) != t.Population {
+			return fmt.Errorf("results: %d %s rows for population %d", len(col), name, t.Population)
+		}
+		for i, row := range col {
+			if len(row) != t.Cores {
+				return fmt.Errorf("results: %s row %d has %d cores, want %d", name, i, len(row), t.Cores)
 			}
 		}
 	}
@@ -488,7 +543,9 @@ func (t *IPCTable) sameIdentity(o *IPCTable) bool {
 		t.Policy == o.Policy && t.TraceLen == o.TraceLen &&
 		t.Population == o.Population && t.Seed == o.Seed &&
 		t.Universe == o.Universe && t.Source == o.Source &&
-		t.Warmup == o.Warmup
+		t.Warmup == o.Warmup &&
+		t.SampleUnit == o.SampleUnit && t.SampleWindow == o.SampleWindow &&
+		t.SampleWarmup == o.SampleWarmup && t.SampleWarm == o.SampleWarm
 }
 
 // Entry describes one stored table for listings: the filename key plus
@@ -521,14 +578,19 @@ type Entry struct {
 // rows, so listing a store never materialises the (potentially
 // multi-megabyte) row arrays of every table it describes.
 type tableIdentity struct {
-	Simulator  string `json:"simulator"`
-	Cores      int    `json:"cores"`
-	Policy     string `json:"policy"`
-	TraceLen   int    `json:"trace_len"`
-	Population int    `json:"population"`
-	Seed       int64  `json:"seed"`
-	Universe   int    `json:"universe,omitempty"`
-	Source     string `json:"source,omitempty"`
+	Simulator    string `json:"simulator"`
+	Cores        int    `json:"cores"`
+	Policy       string `json:"policy"`
+	TraceLen     int    `json:"trace_len"`
+	Population   int    `json:"population"`
+	Seed         int64  `json:"seed"`
+	Universe     int    `json:"universe,omitempty"`
+	Source       string `json:"source,omitempty"`
+	Warmup       int    `json:"warmup,omitempty"`
+	SampleUnit   int    `json:"sample_unit,omitempty"`
+	SampleWindow int    `json:"sample_window,omitempty"`
+	SampleWarmup int    `json:"sample_warmup,omitempty"`
+	SampleWarm   int    `json:"sample_warm,omitempty"`
 }
 
 // List returns one identity-preserving entry per stored table, sorted by
@@ -623,7 +685,9 @@ func (e *Entry) decodeIdentity(path string) {
 		t = IPCTable{
 			Simulator: id.Simulator, Cores: id.Cores, Policy: id.Policy,
 			TraceLen: id.TraceLen, Population: id.Population, Seed: id.Seed,
-			Universe: id.Universe, Source: id.Source,
+			Universe: id.Universe, Source: id.Source, Warmup: id.Warmup,
+			SampleUnit: id.SampleUnit, SampleWindow: id.SampleWindow,
+			SampleWarmup: id.SampleWarmup, SampleWarm: id.SampleWarm,
 		}
 	}
 	if t.Simulator == "" || t.Key() != e.Key {

@@ -87,6 +87,14 @@ type SimResult struct {
 	// Warmup is the per-thread warmup prefix the measurement excluded
 	// (0 when the run measured from reset).
 	Warmup uint64 `json:"warmup,omitempty"`
+	// Sampling echoes the sampling schedule of a sampled run, with the
+	// per-core 95% confidence half-width and coefficient of variation of
+	// the window IPCs and the number of detailed windows measured. All
+	// four are absent on exact runs.
+	Sampling *SampleSpec `json:"sampling,omitempty"`
+	CIHalf   []float64   `json:"ci_half,omitempty"`
+	CV       []float64   `json:"cv,omitempty"`
+	Windows  int         `json:"windows,omitempty"`
 }
 
 // JobResult is a completed job's payload: a table (experiment jobs) or

@@ -18,6 +18,7 @@ import (
 	"mcbench/internal/bench"
 	"mcbench/internal/cache"
 	"mcbench/internal/experiments"
+	"mcbench/internal/multicore"
 )
 
 // Kind classifies a job.
@@ -96,16 +97,42 @@ type SimulateRequest struct {
 	// Cores replicates a single-benchmark workload; 0 keeps the
 	// workload's own width.
 	Cores int `json:"cores,omitempty"`
+	// Sampling, when set, runs the detailed simulation under systematic
+	// sampling (multicore.DetailedSampled): the returned IPCs become
+	// steady-state estimates with confidence and cv columns. Requires
+	// the detailed engine and is mutually exclusive with Warmup.
+	Sampling *SampleSpec `json:"sampling,omitempty"`
+}
+
+// SampleSpec is the wire form of a systematic-sampling schedule (see
+// multicore.SamplingSpec): per Unit µops one Window of detailed
+// measurement after Warmup detailed warmup µops, the gap fast-forwarded
+// under functional warming (bounded to the last Warm µops when Warm is
+// non-zero).
+type SampleSpec struct {
+	Unit   uint64 `json:"unit"`
+	Window uint64 `json:"window"`
+	Warmup uint64 `json:"warmup,omitempty"`
+	Warm   uint64 `json:"warm,omitempty"`
+}
+
+// spec converts the wire form to the kernel's.
+func (s *SampleSpec) spec() multicore.SamplingSpec {
+	if s == nil {
+		return multicore.SamplingSpec{}
+	}
+	return multicore.SamplingSpec{Unit: s.Unit, Window: s.Window, Warmup: s.Warmup, Warm: s.Warm}
 }
 
 // SweepRequest is SimulateRequest over many workloads at once.
 type SweepRequest struct {
-	Workloads [][]string `json:"workloads"`
-	Policy    string     `json:"policy,omitempty"`
-	Engine    string     `json:"engine,omitempty"`
-	Quota     uint64     `json:"quota,omitempty"`
-	Warmup    uint64     `json:"warmup,omitempty"`
-	Cores     int        `json:"cores,omitempty"`
+	Workloads [][]string  `json:"workloads"`
+	Policy    string      `json:"policy,omitempty"`
+	Engine    string      `json:"engine,omitempty"`
+	Quota     uint64      `json:"quota,omitempty"`
+	Warmup    uint64      `json:"warmup,omitempty"`
+	Cores     int         `json:"cores,omitempty"`
+	Sampling  *SampleSpec `json:"sampling,omitempty"`
 }
 
 // submitError is a validation failure; the handler maps it to 400.
@@ -153,11 +180,17 @@ func canonicalize(req SubmitRequest, src bench.Source, traceLen int) (SubmitRequ
 		if err := checkWarmup(s.Warmup, s.Quota, traceLen); err != nil {
 			return req, "", err
 		}
+		if err := checkSampling(s.Sampling, engine, s.Warmup); err != nil {
+			return req, "", err
+		}
 		s.Workload, s.Policy, s.Engine = w[0], policy, engine
 		canon := SubmitRequest{Kind: KindSimulate, Simulate: &s}
 		key := fmt.Sprintf("sim|%s|%s|q%d|%s", engine, policy, s.Quota, strings.Join(s.Workload, ","))
 		if s.Warmup > 0 {
 			key += fmt.Sprintf("|w%d", s.Warmup)
+		}
+		if s.Sampling != nil {
+			key += "|smp" + s.Sampling.spec().String()
 		}
 		return canon, key, nil
 
@@ -176,6 +209,9 @@ func canonicalize(req SubmitRequest, src bench.Source, traceLen int) (SubmitRequ
 		if err := checkWarmup(s.Warmup, s.Quota, traceLen); err != nil {
 			return req, "", err
 		}
+		if err := checkSampling(s.Sampling, engine, s.Warmup); err != nil {
+			return req, "", err
+		}
 		s.Workloads, s.Policy, s.Engine = w, policy, engine
 		canon := SubmitRequest{Kind: KindSweep, Sweep: &s}
 		// Workload lists can be large; the key carries a digest plus the
@@ -188,6 +224,9 @@ func canonicalize(req SubmitRequest, src bench.Source, traceLen int) (SubmitRequ
 		key := fmt.Sprintf("sweep|%s|%s|q%d|n%d|%016x", engine, policy, s.Quota, len(s.Workloads), h.Sum64())
 		if s.Warmup > 0 {
 			key += fmt.Sprintf("|w%d", s.Warmup)
+		}
+		if s.Sampling != nil {
+			key += "|smp" + s.Sampling.spec().String()
 		}
 		return canon, key, nil
 
@@ -263,6 +302,29 @@ func canonProduct(p ProductRef) (experiments.Request, error) {
 	}
 	r := experiments.Request{Sim: sim, Cores: p.Cores, Policy: cache.PolicyName(p.Policy)}
 	return r.Normalized(), nil
+}
+
+// checkSampling rejects an unusable sampling schedule before it is
+// enqueued: the spec itself must validate, only the detailed engine can
+// be sampled, and a whole-run warmup cannot combine with it (the spec's
+// own warmup field plays that role per window).
+func checkSampling(s *SampleSpec, engine string, warmup uint64) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.spec().Validate(); err != nil {
+		return badRequest("serve: %v", err)
+	}
+	if !s.spec().Enabled() {
+		return badRequest("serve: empty sampling spec (omit the field for an exact run)")
+	}
+	if engine != EngineDetailed {
+		return badRequest("serve: sampling requires the %q engine", EngineDetailed)
+	}
+	if warmup > 0 {
+		return badRequest("serve: warmup and sampling are mutually exclusive (the sampling spec's warmup field warms each window)")
+	}
+	return nil
 }
 
 // checkWarmup rejects a warmup prefix that exceeds the measurement

@@ -174,3 +174,77 @@ func TestCanonicalizeWarmupKeys(t *testing.T) {
 		t.Errorf("sweep key %q lacks warmup suffix", keySweep)
 	}
 }
+
+func TestCanonicalizeSamplingKeys(t *testing.T) {
+	src := suiteSrc()
+	smp := &SampleSpec{Unit: 4000, Window: 1000, Warmup: 500}
+	// A sampled request computes estimates, not the exact numbers: it
+	// must never dedup onto an exact job.
+	_, keySmp, err := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{
+			Workload: []string{"mcf", "povray"}, Sampling: smp,
+		},
+	}, src, testTraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(keySmp, "|smpu4000d1000w500") {
+		t.Errorf("sampled key %q lacks spec suffix", keySmp)
+	}
+	_, keyExact, _ := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{Workload: []string{"mcf", "povray"}},
+	}, src, testTraceLen)
+	if keySmp == keyExact {
+		t.Error("sampled and exact requests share a key")
+	}
+	// The bounded-warming dial is part of the identity too.
+	_, keyWarm, err := canonicalize(SubmitRequest{
+		Kind: KindSimulate, Simulate: &SimulateRequest{
+			Workload: []string{"mcf", "povray"},
+			Sampling: &SampleSpec{Unit: 4000, Window: 1000, Warmup: 500, Warm: 2000},
+		},
+	}, src, testTraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyWarm == keySmp || !strings.HasSuffix(keyWarm, "f2000") {
+		t.Errorf("bounded-warm key %q does not extend %q", keyWarm, keySmp)
+	}
+	// Sweeps carry the same suffix.
+	_, keySweep, err := canonicalize(SubmitRequest{
+		Kind: KindSweep, Sweep: &SweepRequest{
+			Workloads: [][]string{{"mcf", "gcc"}}, Sampling: smp,
+		},
+	}, src, testTraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(keySweep, "|smpu4000d1000w500") {
+		t.Errorf("sampled sweep key %q lacks spec suffix", keySweep)
+	}
+}
+
+func TestCanonicalizeSamplingRejections(t *testing.T) {
+	src := suiteSrc()
+	cases := []struct {
+		name string
+		req  SimulateRequest
+	}{
+		{"badco engine", SimulateRequest{Workload: []string{"mcf"}, Engine: EngineBadco,
+			Sampling: &SampleSpec{Unit: 4000, Window: 1000}}},
+		{"with warmup", SimulateRequest{Workload: []string{"mcf"}, Warmup: 100,
+			Sampling: &SampleSpec{Unit: 4000, Window: 1000}}},
+		{"overfull unit", SimulateRequest{Workload: []string{"mcf"},
+			Sampling: &SampleSpec{Unit: 1000, Window: 800, Warmup: 300}}},
+		{"empty spec", SimulateRequest{Workload: []string{"mcf"}, Sampling: &SampleSpec{}}},
+		{"warm beyond gap", SimulateRequest{Workload: []string{"mcf"},
+			Sampling: &SampleSpec{Unit: 4000, Window: 1000, Warmup: 500, Warm: 2501}}},
+	}
+	for _, c := range cases {
+		req := c.req
+		_, _, err := canonicalize(SubmitRequest{Kind: KindSimulate, Simulate: &req}, src, testTraceLen)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

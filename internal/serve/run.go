@@ -206,7 +206,7 @@ func (s *Server) runExperiment(ctx context.Context, j *job) (*JobResult, error) 
 // runSimulate executes one ad-hoc workload at the lab's trace length.
 func (s *Server) runSimulate(ctx context.Context, j *job) (*JobResult, error) {
 	req := j.req.Simulate
-	results, err := s.adhocSweep(ctx, j, [][]string{req.Workload}, req.Policy, req.Engine, req.Quota, req.Warmup)
+	results, err := s.adhocSweep(ctx, j, [][]string{req.Workload}, req.Policy, req.Engine, req.Quota, req.Warmup, req.Sampling)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +216,7 @@ func (s *Server) runSimulate(ctx context.Context, j *job) (*JobResult, error) {
 // runSweep executes many ad-hoc workloads under one configuration.
 func (s *Server) runSweep(ctx context.Context, j *job) (*JobResult, error) {
 	req := j.req.Sweep
-	results, err := s.adhocSweep(ctx, j, req.Workloads, req.Policy, req.Engine, req.Quota, req.Warmup)
+	results, err := s.adhocSweep(ctx, j, req.Workloads, req.Policy, req.Engine, req.Quota, req.Warmup, req.Sampling)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +227,7 @@ func (s *Server) runSweep(ctx context.Context, j *job) (*JobResult, error) {
 // through the lab's memoized source, BADCO models are built for the
 // distinct benchmarks the request touches, and the multicore sweeps
 // parallelise across the process-wide simulation budget.
-func (s *Server) adhocSweep(ctx context.Context, j *job, workloads [][]string, policy, engine string, quota, warmup uint64) ([]SimResult, error) {
+func (s *Server) adhocSweep(ctx context.Context, j *job, workloads [][]string, policy, engine string, quota, warmup uint64, sampling *SampleSpec) ([]SimResult, error) {
 	src := s.lab.Source()
 	distinct, err := bench.CheckNames(src, workloads)
 	if err != nil {
@@ -239,6 +239,32 @@ func (s *Server) adhocSweep(ctx context.Context, j *job, workloads [][]string, p
 		ws[i] = multicore.Workload(w)
 	}
 	pol := cache.PolicyName(policy)
+	if spec := sampling.spec(); spec.Enabled() {
+		// Sampled runs are detailed-only (canonicalize enforced it).
+		sampled, err := multicore.SweepDetailedSampled(ctx, ws, prov, pol, spec, quota)
+		for _, n := range distinct {
+			prov.Release(n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out := make([]SimResult, len(sampled))
+		for i, r := range sampled {
+			out[i] = SimResult{
+				Workload:     append([]string(nil), r.Workload...),
+				Policy:       string(r.Policy),
+				Engine:       engine,
+				IPC:          r.IPC,
+				Cycles:       r.Cycles,
+				Instructions: r.Instructions,
+				Sampling:     sampling,
+				CIHalf:       r.CIHalf,
+				CV:           r.CV,
+				Windows:      r.Windows,
+			}
+		}
+		return out, nil
+	}
 	var results []multicore.Result
 	switch engine {
 	case EngineBadco:

@@ -134,6 +134,7 @@ func New(cfg Config) *Server {
 				Build:  s.build,
 				Source: labCfg.Source.Name(), TraceLen: labCfg.TraceLen,
 				Seed: labCfg.Seed, Warmup: labCfg.Warmup,
+				Sampling:  labCfg.Sampling.String(),
 				Heartbeat: s.fleet.Heartbeat, StealAfter: s.fleet.StealAfter,
 				Dial: s.fleet.Dial,
 			})
@@ -242,6 +243,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, onReady func(a
 				TraceLen: s.lab.Config().TraceLen,
 				Seed:     s.lab.Config().Seed,
 				Warmup:   s.lab.Config().Warmup,
+				Sampling: s.lab.Config().Sampling.String(),
 			},
 		})
 		s.agentMu.Lock()

@@ -576,3 +576,49 @@ func TestGracefulDrainPersistsAndResumes(t *testing.T) {
 		t.Fatalf("restart result %+v", result)
 	}
 }
+
+// TestAdhocSampledJob drives a sampled simulate job end to end: the
+// result must carry the confidence columns, and a sampled submission
+// must not dedup onto an exact one.
+func TestAdhocSampledJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	s := newTestServer(t, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	smp := &SampleSpec{Unit: 500, Window: 100, Warmup: 100}
+	st := submit(t, ts.URL, SubmitRequest{Kind: KindSimulate, Simulate: &SimulateRequest{
+		Workload: []string{"mcf", "povray"}, Sampling: smp,
+	}})
+	exact := submit(t, ts.URL, SubmitRequest{Kind: KindSimulate, Simulate: &SimulateRequest{
+		Workload: []string{"mcf", "povray"},
+	}})
+	if st.ID == exact.ID {
+		t.Fatal("sampled submission deduped onto an exact job")
+	}
+	if _, final := waitTerminal(t, ts.URL, st.ID, 60*time.Second); final != StateDone {
+		t.Fatalf("sampled job state %q", final)
+	}
+	var result JobResult
+	getJSON(t, ts.URL+"/jobs/"+st.ID+"/result", &result)
+	if len(result.Results) != 1 {
+		t.Fatalf("results %+v", result)
+	}
+	r := result.Results[0]
+	if r.Windows != 4 { // 2000-µop test traces, 500-µop units
+		t.Errorf("windows = %d, want 4", r.Windows)
+	}
+	if len(r.CIHalf) != 2 || len(r.CV) != 2 || r.Sampling == nil {
+		t.Fatalf("sampled result lacks confidence columns: %+v", r)
+	}
+	for i := range r.IPC {
+		if r.IPC[i] <= 0 || r.CIHalf[i] <= 0 {
+			t.Errorf("core %d: ipc %g ci %g", i, r.IPC[i], r.CIHalf[i])
+		}
+	}
+	if got := bench.Resident(s.Lab().Source()); got != 0 {
+		t.Errorf("%d traces resident after sampled job, want 0", got)
+	}
+}

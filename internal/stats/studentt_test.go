@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNormalInvRoundTrip checks NormalInv against NormalCDF across the
+// domain, including both rational-approximation tail branches.
+func TestNormalInvRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-6, 0.001, 0.02, 0.025, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999, 1 - 1e-6} {
+		x := NormalInv(p)
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-8 {
+			t.Errorf("NormalCDF(NormalInv(%g)) = %g", p, got)
+		}
+	}
+	if z := NormalInv(0.975); math.Abs(z-1.959964) > 1e-5 {
+		t.Errorf("NormalInv(0.975) = %g, want 1.959964", z)
+	}
+}
+
+// TestTQuantileTable pins the 95% two-sided critical values against the
+// standard t-table.
+func TestTQuantileTable(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706},
+		{2, 4.303},
+		{4, 2.776},
+		{10, 2.228},
+		{30, 2.042},
+		{120, 1.980},
+	}
+	for _, c := range cases {
+		got := TQuantile(0.95, c.df)
+		if math.Abs(got-c.want)/c.want > 1e-3 {
+			t.Errorf("TQuantile(0.95, %d) = %g, want %g", c.df, got, c.want)
+		}
+	}
+	// 99% level, df=10: 3.169.
+	if got := TQuantile(0.99, 10); math.Abs(got-3.169)/3.169 > 1e-3 {
+		t.Errorf("TQuantile(0.99, 10) = %g, want 3.169", got)
+	}
+	// Large df converges on the normal quantile.
+	if got := TQuantile(0.95, 100000); math.Abs(got-1.95996) > 1e-3 {
+		t.Errorf("TQuantile(0.95, 1e5) = %g, want ≈1.960", got)
+	}
+}
+
+// TestMeanCI checks the CI helper on a worked example and the
+// single-sample degenerate case.
+func TestMeanCI(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	mean, half := MeanCI(xs, 0.95)
+	if mean != 3 {
+		t.Fatalf("mean = %g, want 3", mean)
+	}
+	// s = sqrt(2.5), t(0.95, 4) = 2.776 → half = 2.776*sqrt(2.5/5) ≈ 1.963.
+	want := 2.776 * math.Sqrt(2.5/5)
+	if math.Abs(half-want)/want > 1e-3 {
+		t.Errorf("half = %g, want %g", half, want)
+	}
+	if _, h := MeanCI([]float64{7}, 0.95); h != 0 {
+		t.Errorf("single-sample half-width = %g, want 0", h)
+	}
+}

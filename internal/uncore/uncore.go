@@ -107,6 +107,14 @@ type Uncore struct {
 	// is free. The fixed arrays keep the hot path free of map traffic.
 	mshrLine []uint64
 	mshrDone []uint64
+
+	// MSHR-pressure prefetch-drop calibration (see prefetchFunctional):
+	// the timed path counts proposals reaching its pressure check and
+	// those that issue; the functional path replays the observed rate
+	// through the ffPfAcc accumulator.
+	pfCand   uint64
+	pfIssued uint64
+	ffPfAcc  float64
 	// mshrMax is the latest completion time ever booked: once "now"
 	// passes it the file is provably empty, and the lookup scans (which
 	// run on every LLC hit) short-circuit.
@@ -429,10 +437,13 @@ func (u *Uncore) prefetchMiss(line, now uint64) uint64 {
 		return done
 	}
 	// Prefetches only use spare MSHR capacity: they are dropped rather
-	// than allowed to starve demand misses.
+	// than allowed to starve demand misses. The candidate/issued counts
+	// calibrate the functional path's replay of this drop rate.
+	u.pfCand++
 	if count >= u.cfg.MSHRs/2 {
 		return now // dropped
 	}
+	u.pfIssued++
 	u.stats.PrefetchIssued++
 	return u.scheduleFill(line, false, true, now+u.cfg.LLCLatency)
 }

@@ -146,6 +146,13 @@ func (l *Lab) Simulate(ctx context.Context, workload []string, opts ...Option) (
 		}
 		return convert(r, BADCO), nil
 	default:
+		if o.sampling.Enabled() {
+			r, err := multicore.DetailedSampled(ctx, multicore.Workload(w), l.lab.Provider(), o.policy, o.sampling, o.quota)
+			if err != nil {
+				return nil, err
+			}
+			return convertSampled(r), nil
+		}
 		r, err := multicore.DetailedWithWarmup(ctx, multicore.Workload(w), l.lab.Provider(), o.policy, o.warmup, o.quota)
 		if err != nil {
 			return nil, err

@@ -5,12 +5,19 @@
 #   scripts/bench.sh [-baseline FILE | -interleave TESTBIN] [-out BENCH.json] [-reps N]
 #
 # Runs the per-µop simulator benchmarks (BenchmarkDetailedSimulator2Core,
-# BenchmarkBadcoSimulator2Core, BenchmarkBadcoSimulator8Core and the
-# BenchmarkPolicySweep{SharedWarmup,ColdWarmup} pair, each with
-# -benchtime 3x, and BenchmarkPopulationSweep with -benchtime 1x), REPS
-# times each, and reports the MINIMUM ns/op per benchmark — the standard
-# way to measure on a noisy shared host, since noise only ever adds time.
-# Allocations per op (from -benchmem) come from the last run.
+# BenchmarkBadcoSimulator2Core, BenchmarkBadcoSimulator8Core, the
+# BenchmarkPolicySweep{SharedWarmup,ColdWarmup} pair and the
+# Benchmark{Exact,Sampled}Detailed2Core10x sampled-simulation pair, each
+# with -benchtime 3x, and BenchmarkPopulationSweep with -benchtime 1x),
+# REPS times each, and reports the MINIMUM ns/op per benchmark — the
+# standard way to measure on a noisy shared host, since noise only ever
+# adds time. Allocations per op (from -benchmem) come from the last run.
+#
+# It then runs the sampling-accuracy experiment once (full scale,
+# 1M-µop traces) and records its speed/accuracy frontier — per sampling
+# spec, the mean IPC error vs a warmed exact run, the CI coverage and
+# the wall-clock speedup over cold full runs — alongside the mix timing
+# A/B above.
 #
 # The raw `go test -bench` lines are appended to <out>.raw.txt. Two ways
 # to compare against a baseline:
@@ -26,7 +33,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE=""
 INTERLEAVE=""
-OUT="BENCH_6.json"
+OUT="BENCH_9.json"
 REPS=5
 while [ $# -gt 0 ]; do
 	case "$1" in
@@ -40,7 +47,7 @@ done
 
 RAW="$OUT.raw.txt"
 : >"$RAW"
-SIMS='BenchmarkDetailedSimulator2Core$|BenchmarkBadcoSimulator2Core$|BenchmarkBadcoSimulator8Core$|BenchmarkPolicySweepSharedWarmup$|BenchmarkPolicySweepColdWarmup$'
+SIMS='BenchmarkDetailedSimulator2Core$|BenchmarkBadcoSimulator2Core$|BenchmarkBadcoSimulator8Core$|BenchmarkPolicySweepSharedWarmup$|BenchmarkPolicySweepColdWarmup$|BenchmarkExactDetailed2Core10x$|BenchmarkSampledDetailed2Core10x$'
 POP='BenchmarkPopulationSweep$'
 
 if [ -n "$INTERLEAVE" ]; then
@@ -105,12 +112,45 @@ if [ -n "$shared" ] && [ -n "$cold" ]; then
 	SWEEP_SPEEDUP=$(awk -v c="$cold" -v s="$shared" 'BEGIN { printf "%.2f", c / s }')
 fi
 
+# Sampled vs exact detailed simulation on the 10×-length mix, same
+# binary, same traces: the cycle-proportional cost a cold low-IPC run
+# pays and sampling avoids. (Accuracy on heterogeneous mixes is the
+# estimator's weak spot — see the frontier below and the README.)
+SAMPLED_SPEEDUP=""
+exact10=$(awk '$1 == "BenchmarkExactDetailed2Core10x" { print $2 }' "$RAW.sum")
+sampled10=$(awk '$1 == "BenchmarkSampledDetailed2Core10x" { print $2 }' "$RAW.sum")
+if [ -n "$exact10" ] && [ -n "$sampled10" ]; then
+	SAMPLED_SPEEDUP=$(awk -v e="$exact10" -v s="$sampled10" 'BEGIN { printf "%.2f", e / s }')
+fi
+
+# The sampling-accuracy experiment: full campaign scale (1M-µop traces),
+# singles ensemble, one row per sampling spec. Parsed into the report as
+# the speed/accuracy frontier — the error side of the A/B above.
+FRONTIER=$(mktemp /tmp/mcbench.XXXXXX.frontier)
+MCB=$(mktemp /tmp/mcbench.XXXXXX.cli)
+trap 'rm -f "$BIN" "$MCB" "$FRONTIER"' EXIT
+go build $PGO -o "$MCB" ./cmd/mcbench
+"$MCB" sampling-accuracy | awk '/^u[0-9]/ {
+	sub(/%$/, "", $3); sub(/%$/, "", $4); sub(/x$/, "", $6)
+	printf "    {\"spec\": \"%s\", \"windows\": %s, \"detailed_pct\": %s, \"mean_err_pct\": %s, \"ci_cover\": \"%s\", \"speedup_vs_cold\": %s}\n", \
+		$1, $2, $3, $4, $5, $6
+}' >"$FRONTIER"
+
 {
 	echo '{'
 	echo '  "protocol": "min ns/op over '"$REPS"' runs (sim benchmarks: -benchtime 3x; population sweep: -benchtime 1x, fresh process per run), -benchmem",'
 	echo '  "walltime_seconds": '$((END - START))','
 	if [ -n "$SWEEP_SPEEDUP" ]; then
 		echo '  "policy_sweep_shared_warmup_speedup": '"$SWEEP_SPEEDUP"','
+	fi
+	if [ -n "$SAMPLED_SPEEDUP" ]; then
+		echo '  "sampled_vs_exact_speedup": '"$SAMPLED_SPEEDUP"','
+	fi
+	if [ -s "$FRONTIER" ]; then
+		echo '  "sampling_frontier_note": "singles ensemble on 1M-µop traces; error vs warmed exact run (steady-state referent), speedup vs cold full runs; f-suffixed spec bounds functional warming (speed dial, larger bias)",'
+		echo '  "sampling_frontier": ['
+		sed '$!s/$/,/' "$FRONTIER"
+		echo '  ],'
 	fi
 	echo '  "benchmarks": ['
 	first=1

@@ -16,6 +16,8 @@ go test -run '^$' -bench 'BenchmarkPopulationSweep$' -benchtime 1x \
 	-cpuprofile "$TMP/pop.prof" . >/dev/null
 go test -run '^$' -bench 'BenchmarkPolicySweepSharedWarmup$' -benchtime 8x \
 	-cpuprofile "$TMP/sweep.prof" . >/dev/null
+go test -run '^$' -bench 'BenchmarkSampledDetailed2Core10x$' -benchtime 8x \
+	-cpuprofile "$TMP/sampled.prof" . >/dev/null
 
-go tool pprof -proto "$TMP/det.prof" "$TMP/badco.prof" "$TMP/pop.prof" "$TMP/sweep.prof" >default.pgo
+go tool pprof -proto "$TMP/det.prof" "$TMP/badco.prof" "$TMP/pop.prof" "$TMP/sweep.prof" "$TMP/sampled.prof" >default.pgo
 echo "wrote default.pgo"

@@ -68,6 +68,14 @@ type Result struct {
 	Cycles []uint64
 	// Instructions is the per-thread quota.
 	Instructions uint64
+	// CIHalf, CV and Windows are populated only by sampled runs
+	// (WithSampling): the per-core 95% confidence half-width and
+	// coefficient of variation of the per-window IPCs, and the number
+	// of detailed windows measured. Exact runs leave CIHalf and CV nil
+	// and Windows 0.
+	CIHalf  []float64
+	CV      []float64
+	Windows int
 }
 
 // options collects the functional options of Simulate and Sweep.
@@ -80,6 +88,7 @@ type options struct {
 	cores    int
 	suite    Source
 	fixedLen bool // WithTraceLen given (Lab.Simulate rejects it)
+	sampling multicore.SamplingSpec
 }
 
 // Option configures Simulate and Sweep.
@@ -195,6 +204,17 @@ func (o options) validate(workload []string) ([]string, error) {
 	if q := o.effectiveQuota(); o.warmup > q {
 		return nil, fmt.Errorf("mcbench: warmup %d exceeds the instruction quota %d", o.warmup, q)
 	}
+	if o.sampling.Enabled() || o.sampling != (multicore.SamplingSpec{}) {
+		if err := o.sampling.Validate(); err != nil {
+			return nil, fmt.Errorf("mcbench: %w", err)
+		}
+		if o.engine != Detailed {
+			return nil, fmt.Errorf("mcbench: WithSampling requires the Detailed engine (BADCO is already fast; sample the slow simulator)")
+		}
+		if o.warmup > 0 {
+			return nil, fmt.Errorf("mcbench: WithSampling and WithWarmup are mutually exclusive (the sampled run owns its warmup structure; see WithSampling's warmup argument)")
+		}
+	}
 	return resolveWorkload(workload, o.cores)
 }
 
@@ -242,6 +262,13 @@ func Simulate(ctx context.Context, workload []string, opts ...Option) (*Result, 
 		}
 		return convert(r, BADCO), nil
 	default:
+		if o.sampling.Enabled() {
+			r, err := multicore.DetailedSampled(ctx, multicore.Workload(w), prov, o.policy, o.sampling, o.quota)
+			if err != nil {
+				return nil, err
+			}
+			return convertSampled(r), nil
+		}
 		r, err := multicore.DetailedWithWarmup(ctx, multicore.Workload(w), prov, o.policy, o.warmup, o.quota)
 		if err != nil {
 			return nil, err
@@ -292,6 +319,17 @@ func Sweep(ctx context.Context, workloads [][]string, opts ...Option) ([]*Result
 			return nil, err
 		}
 	default:
+		if o.sampling.Enabled() {
+			sampled, err := multicore.SweepDetailedSampled(ctx, ws, prov, o.policy, o.sampling, o.quota)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]*Result, len(sampled))
+			for i, r := range sampled {
+				out[i] = convertSampled(r)
+			}
+			return out, nil
+		}
 		if o.warmup > 0 {
 			results, err = sweepWarmed(ctx, ws, func(ctx context.Context, w multicore.Workload) (multicore.Result, error) {
 				return multicore.DetailedWithWarmup(ctx, w, prov, o.policy, o.warmup, o.quota)

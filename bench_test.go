@@ -18,6 +18,7 @@ import (
 	"mcbench/internal/multicore"
 	"mcbench/internal/profile"
 	"mcbench/internal/sampling"
+	"mcbench/internal/telemetry"
 	"mcbench/internal/trace"
 )
 
@@ -31,6 +32,16 @@ import (
 // results report.
 
 var bctx = context.Background()
+
+// simCtx carries a telemetry span the way the lab's product runs do, so
+// the simulator micro-benchmarks time the instrumented kernel path (the
+// span is built once, outside the timed loop). scripts/bench.sh diffs
+// these against a MCBENCH_TELEMETRY=off pass to bound the recording
+// overhead; without the span the instrumented run would measure the
+// disabled fast path and the A/B would be vacuous.
+func simCtx() context.Context {
+	return telemetry.NewContext(context.Background(), telemetry.StartSpan())
+}
 
 var (
 	benchOnce sync.Once
@@ -135,10 +146,11 @@ func benchTracesAndModels(b *testing.B) (multicore.TraceMap, map[string]*badco.M
 func BenchmarkDetailedSimulator2Core(b *testing.B) {
 	traces, _ := benchTracesAndModels(b)
 	w := multicore.Workload{"mcf", "povray"}
+	ctx := simCtx()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := multicore.Detailed(bctx, w, traces, cache.LRU, 0); err != nil {
+		if _, err := multicore.Detailed(ctx, w, traces, cache.LRU, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -147,10 +159,11 @@ func BenchmarkDetailedSimulator2Core(b *testing.B) {
 func BenchmarkBadcoSimulator2Core(b *testing.B) {
 	_, models := benchTracesAndModels(b)
 	w := multicore.Workload{"mcf", "povray"}
+	ctx := simCtx()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := multicore.Approximate(bctx, w, models, cache.LRU, 0); err != nil {
+		if _, err := multicore.Approximate(ctx, w, models, cache.LRU, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -159,10 +172,11 @@ func BenchmarkBadcoSimulator2Core(b *testing.B) {
 func BenchmarkBadcoSimulator8Core(b *testing.B) {
 	_, models := benchTracesAndModels(b)
 	w := multicore.Workload{"mcf", "povray", "gcc", "libquantum", "hmmer", "soplex", "astar", "bzip2"}
+	ctx := simCtx()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := multicore.Approximate(bctx, w, models, cache.LRU, 0); err != nil {
+		if _, err := multicore.Approximate(ctx, w, models, cache.LRU, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -400,10 +414,11 @@ func benchLongTraces(b *testing.B) (multicore.TraceMap, multicore.Workload) {
 
 func BenchmarkExactDetailed2Core10x(b *testing.B) {
 	traces, w := benchLongTraces(b)
+	ctx := simCtx()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := multicore.Detailed(bctx, w, traces, cache.LRU, 0); err != nil {
+		if _, err := multicore.Detailed(ctx, w, traces, cache.LRU, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -412,10 +427,11 @@ func BenchmarkExactDetailed2Core10x(b *testing.B) {
 func BenchmarkSampledDetailed2Core10x(b *testing.B) {
 	traces, w := benchLongTraces(b)
 	spec := multicore.SamplingSpec{Unit: 10000, Window: 2000, Warmup: 2000}
+	ctx := simCtx()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := multicore.DetailedSampled(bctx, w, traces, cache.LRU, spec, 0)
+		r, err := multicore.DetailedSampled(ctx, w, traces, cache.LRU, spec, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

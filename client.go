@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mcbench/internal/serve"
+	"mcbench/internal/telemetry"
 )
 
 // Client talks to an mcbench serve instance: submit experiment,
@@ -34,6 +35,52 @@ type Client struct {
 	hc         *http.Client
 	maxRetries int
 	baseDelay  time.Duration
+
+	// Transport telemetry, snapshotted by Stats. Standalone instruments
+	// (registered in no registry — a client is not a scrape target):
+	// every HTTP attempt counts and times itself, the retry loops count
+	// re-attempts and honoured Retry-After hints, and exchanges that
+	// exhaust their retries count as failures.
+	reqCount   telemetry.Counter
+	reqLatency telemetry.Histogram
+	retries    telemetry.Counter
+	retryAfter telemetry.Counter
+	failures   telemetry.Counter
+}
+
+// ClientStats is a snapshot of a Client's transport counters (see
+// Client.Stats). Latency quantiles are in seconds, over every HTTP
+// attempt the client made (retries included).
+type ClientStats struct {
+	// Requests counts HTTP attempts (each retry is its own attempt).
+	Requests int64 `json:"requests"`
+	// Retries counts re-attempts after a retryable failure.
+	Retries int64 `json:"retries"`
+	// RetryAfterHonored counts retry pauses that used a server
+	// Retry-After hint instead of computed backoff.
+	RetryAfterHonored int64 `json:"retry_after_honored"`
+	// Failures counts exchanges that returned an error to the caller
+	// (retries exhausted, non-retryable status, or context death).
+	Failures   int64   `json:"failures"`
+	LatencyP50 float64 `json:"latency_p50_seconds"`
+	LatencyP95 float64 `json:"latency_p95_seconds"`
+	LatencyP99 float64 `json:"latency_p99_seconds"`
+}
+
+// Stats snapshots the client's transport counters: how many HTTP
+// attempts it made, how many were retries, whether server backpressure
+// hints (503 + Retry-After) were honoured, and the attempt latency
+// distribution. Safe for concurrent use with in-flight calls.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Requests:          c.reqCount.Value(),
+		Retries:           c.retries.Value(),
+		RetryAfterHonored: c.retryAfter.Value(),
+		Failures:          c.failures.Value(),
+		LatencyP50:        c.reqLatency.Quantile(0.50) * 1e-9,
+		LatencyP95:        c.reqLatency.Quantile(0.95) * 1e-9,
+		LatencyP99:        c.reqLatency.Quantile(0.99) * 1e-9,
+	}
 }
 
 // ClientOptions tunes a Client's resilience. The zero value means
@@ -190,6 +237,7 @@ func retryable(method string, err error) bool {
 func (c *Client) retryDelay(n int, lastErr error) time.Duration {
 	var ae *APIError
 	if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
+		c.retryAfter.Inc()
 		return ae.RetryAfter
 	}
 	d := c.baseDelay << (n - 1)
@@ -225,7 +273,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
+			c.retries.Inc()
 			if err := sleepCtx(ctx, c.retryDelay(attempt, lastErr)); err != nil {
+				c.failures.Inc()
 				return lastErr
 			}
 		}
@@ -235,6 +285,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		lastErr = err
 		if attempt >= c.maxRetries || !retryable(method, err) || ctx.Err() != nil {
+			c.failures.Inc()
 			return err
 		}
 	}
@@ -253,6 +304,11 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	start := time.Now()
+	defer func() {
+		c.reqCount.Inc()
+		c.reqLatency.ObserveDuration(time.Since(start))
+	}()
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return &connError{err}
@@ -272,6 +328,30 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		return fmt.Errorf("mcbench: decoding %s: %w", path, err)
 	}
 	return nil
+}
+
+// Metrics fetches the server's telemetry snapshot
+// (GET /metrics?format=json): job counters, queue gauges, sweep counts,
+// per-endpoint request latencies, lab phase breakdowns. For the
+// Prometheus text form, scrape GET /metrics directly.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	var snap MetricsSnapshot
+	if err := c.do(ctx, http.MethodGet, "/metrics?format=json", nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// FleetMetrics fetches a coordinator's aggregated per-worker telemetry
+// view (GET /fleet/metrics): each live worker's queue depth, sweep
+// counts and throughput, scraped by the coordinator in parallel. A 404
+// means the server is not a fleet coordinator.
+func (c *Client) FleetMetrics(ctx context.Context) (*FleetMetricsView, error) {
+	var fm FleetMetricsView
+	if err := c.do(ctx, http.MethodGet, "/fleet/metrics", nil, &fm); err != nil {
+		return nil, err
+	}
+	return &fm, nil
 }
 
 // Health fetches /healthz: build identity, uptime, source, job stats.
@@ -452,7 +532,9 @@ func (c *Client) getRaw(ctx context.Context, path string) (int, []byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
+			c.retries.Inc()
 			if err := sleepCtx(ctx, c.retryDelay(attempt, lastErr)); err != nil {
+				c.failures.Inc()
 				return 0, nil, lastErr
 			}
 		}
@@ -462,6 +544,7 @@ func (c *Client) getRaw(ctx context.Context, path string) (int, []byte, error) {
 		}
 		lastErr = err
 		if attempt >= c.maxRetries || !retryable(http.MethodGet, err) || ctx.Err() != nil {
+			c.failures.Inc()
 			return 0, nil, err
 		}
 	}
@@ -474,6 +557,11 @@ func (c *Client) onceRaw(ctx context.Context, path string) (int, []byte, error) 
 	if err != nil {
 		return 0, nil, fmt.Errorf("mcbench: %w", err)
 	}
+	start := time.Now()
+	defer func() {
+		c.reqCount.Inc()
+		c.reqLatency.ObserveDuration(time.Since(start))
+	}()
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, nil, &connError{err}

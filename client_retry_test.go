@@ -253,3 +253,50 @@ func TestEventsFollowerReconnects(t *testing.T) {
 		t.Errorf("events seen %v, want [1 2 3] exactly once each", seen)
 	}
 }
+
+// TestClientStatsVisibility pins Client.Stats: a 503+Retry-After storm
+// is visible as attempts, retries and honoured backpressure, a
+// non-retryable failure counts once, and the latency quantiles are fed
+// by every attempt.
+func TestClientStatsVisibility(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/jobs/nope" {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"no such job"}`)
+			return
+		}
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"busy"}`)
+			return
+		}
+		healthOK.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	c := fastClient(t, ts.URL)
+
+	if st := c.Stats(); st.Requests != 0 || st.Retries != 0 || st.Failures != 0 {
+		t.Fatalf("fresh client stats %+v, want zeros", st)
+	}
+	if _, err := c.Health(t.Context()); err != nil {
+		t.Fatalf("Health through 2 503s: %v", err)
+	}
+	st := c.Stats()
+	if st.Requests != 3 || st.Retries != 2 || st.RetryAfterHonored != 2 || st.Failures != 0 {
+		t.Errorf("after 503 storm: %+v, want 3 requests / 2 retries / 2 honoured / 0 failures", st)
+	}
+	if st.LatencyP50 <= 0 || st.LatencyP95 < st.LatencyP50 {
+		t.Errorf("latency quantiles p50=%g p95=%g, want positive and ordered", st.LatencyP50, st.LatencyP95)
+	}
+
+	// A 404 is non-retryable: one more attempt, one failure, no retry.
+	if _, err := c.Job(t.Context(), "nope"); !mcbench.IsNotFound(err) {
+		t.Fatalf("Job(nope) = %v, want 404", err)
+	}
+	st = c.Stats()
+	if st.Requests != 4 || st.Retries != 2 || st.Failures != 1 {
+		t.Errorf("after 404: %+v, want 4 requests / 2 retries / 1 failure", st)
+	}
+}

@@ -9,7 +9,8 @@
 //	mcbench list
 //	mcbench benches
 //	mcbench sim <policy> <bench,bench,...>
-//	mcbench serve [-addr HOST:PORT] [-workers N] [-queue N] [-join HOST:PORT]
+//	mcbench serve [-addr HOST:PORT] [-workers N] [-queue N] [-join HOST:PORT] [-pprof]
+//	mcbench top [-addr URL] [-interval D] [-n N]
 //	mcbench version
 //
 // Experiments are dispatched through the registry in
@@ -68,6 +69,7 @@ func realMain() int {
 	plotFlag := flag.Bool("plot", false, "render figures as text charts in addition to tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (pprof)")
+	timing := flag.Bool("timing", false, "print the per-phase simulation timing breakdown after the campaign")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -122,6 +124,8 @@ func realMain() int {
 		return 0
 	case "serve":
 		return serveCmd(ctx, cfg, args[1:])
+	case "top":
+		return topCmd(ctx, args[1:])
 	case "sim":
 		if err := simulate(ctx, cfg, args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "mcbench:", err)
@@ -171,6 +175,9 @@ func realMain() int {
 			}
 		}
 	}
+	if *timing {
+		printTiming(os.Stdout)
+	}
 	return 0
 }
 
@@ -207,6 +214,7 @@ func serveCmd(ctx context.Context, cfg experiments.Config, args []string) int {
 	advertise := fs.String("advertise", "", "address fleet peers reach this server at (default: the bound listen address)")
 	heartbeat := fs.Duration("heartbeat", 0, "fleet worker heartbeat interval (0 = coordinator default, 5s)")
 	stealAfter := fs.Duration("steal-after", 0, "re-issue a dispatched shard after this long on one worker (0 = only on lease lapse)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap profiles, goroutine dumps)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mcbench [-quick] [-suite SPEC] [-cache DIR] serve [-addr HOST:PORT] [-workers N] [-queue N] [-job-timeout D] [-join HOST:PORT] [-advertise HOST:PORT]")
 		fs.PrintDefaults()
@@ -232,6 +240,7 @@ func serveCmd(ctx context.Context, cfg experiments.Config, args []string) int {
 		KeepJobs: *keep, JobTimeout: *jobTimeout, OnReady: onReady,
 		Join: *join, Advertise: *advertise,
 		FleetHeartbeat: *heartbeat, StealAfter: *stealAfter,
+		Pprof: *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcbench serve:", err)
@@ -423,6 +432,7 @@ func listExperiments(w io.Writer) {
 	printEntry(w, "sim", "simulate one workload: mcbench sim [-warmup N] [-sample U:D:W] <policy> <bench,bench,...>")
 	printEntry(w, "benches", "list the active -suite source's benchmarks")
 	printEntry(w, "serve", "run the experiment service: mcbench serve [-addr HOST:PORT]")
+	printEntry(w, "top", "live telemetry view of a server: mcbench top [-addr URL] [-interval D]")
 	printEntry(w, "version", "print the build identity")
 	printEntry(w, "list", "this catalogue")
 }
@@ -453,11 +463,13 @@ experiments:
 	printEntry(os.Stderr, "sim", "simulate one workload: mcbench sim [-warmup N] [-sample U:D:W] <policy> <bench,bench,...>")
 	printEntry(os.Stderr, "benches", "list the active -suite source's benchmarks")
 	printEntry(os.Stderr, "serve", "run the experiment service: mcbench serve [-addr HOST:PORT]")
+	printEntry(os.Stderr, "top", "live telemetry view of a server: mcbench top [-addr URL] [-interval D]")
 	printEntry(os.Stderr, "version", "print the build identity")
 	fmt.Fprint(os.Stderr, `
 commands: list enumerates the catalogue with one line per experiment
 flags: -suite selects the benchmark source (suite | scaled:B[:seed] | dir:PATH)
        -plot renders figures as text charts in addition to tables
+       -timing prints the per-phase simulation timing breakdown after the run
        -cpuprofile/-memprofile write pprof profiles for performance work
 `)
 }

@@ -142,6 +142,30 @@
 //	if errors.As(err, &ae) && ae.StatusCode == 503 { ... }
 //	if mcbench.IsNotFound(err) { ... } // job ID gone (e.g. server restarted)
 //
+// # Observability
+//
+// The whole stack is instrumented through a dependency-free telemetry
+// registry (internal/telemetry): lab products record end-to-end latency
+// and a per-phase breakdown (trace load, model build, warmup,
+// fast-forward, measure, store save) via context-carried spans, and the
+// persistent store counts its saves, hits, misses and quarantines.
+// Telemetry() snapshots the process-wide registry; a server exports its
+// own at GET /metrics (Prometheus text exposition, or JSON via
+// Client.Metrics), a fleet coordinator aggregates its workers at
+// GET /fleet/metrics (Client.FleetMetrics), and ServeOptions.Pprof
+// mounts net/http/pprof opt-in:
+//
+//	snap, err := c.Metrics(ctx)
+//	fmt.Println(snap.Counter("mcbench_jobs_completed_total"))
+//	st := c.Stats() // the client's own attempts/retries/latency
+//
+// `mcbench top` renders the live view in a terminal; `mcbench -timing`
+// prints the phase table after a batch campaign. Recording is zero-alloc
+// on the hot path, bounded ≤ 1% of simulator time (the
+// MCBENCH_TELEMETRY=off A/B in scripts/bench.sh), and disabled entirely
+// by that switch. See the README's "Observability" section for the
+// metric catalogue.
+//
 // All entry points take a context.Context; cancellation aborts in-flight
 // simulations promptly, and completed products stay memoized, so an
 // interrupted campaign resumes where it stopped. The analysis machinery

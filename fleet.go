@@ -18,6 +18,7 @@ import (
 	"mcbench/internal/experiments"
 	"mcbench/internal/fleet"
 	"mcbench/internal/serve"
+	"mcbench/internal/telemetry"
 )
 
 // FleetJoin registers a worker with a coordinator (POST /fleet/join).
@@ -116,6 +117,12 @@ func (p clientPeer) CancelJob(ctx context.Context, jobID string) error {
 
 func (p clientPeer) FetchCache(ctx context.Context, key string) ([]byte, bool, error) {
 	return p.c.CacheGet(ctx, key)
+}
+
+// FetchMetrics implements fleet.MetricsFetcher: the coordinator's
+// /fleet/metrics aggregation scrapes each worker through it.
+func (p clientPeer) FetchMetrics(ctx context.Context) (*telemetry.Snapshot, error) {
+	return p.c.Metrics(ctx)
 }
 
 // dialPeer opens a fleet peer for an advertised address, accepting both

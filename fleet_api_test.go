@@ -175,4 +175,46 @@ func TestFleetPublicAPI(t *testing.T) {
 	if _, ok, err := coord.CacheGet(ctx, "no-such-key"); ok || err != nil {
 		t.Errorf("CacheGet(absent) = ok=%v err=%v, want plain miss", ok, err)
 	}
+
+	// Fleet-wide telemetry: the coordinator scrapes both workers through
+	// the Client-backed peer path and aggregates the sweeps it just
+	// refused to run itself.
+	fm, err := coord.FleetMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.WorkersScraped != 2 || fm.WorkersFailed != 0 {
+		t.Fatalf("fleet metrics scraped %d / failed %d, want 2 / 0: %+v", fm.WorkersScraped, fm.WorkersFailed, fm)
+	}
+	if int(fm.TotalSweeps) != len(products) {
+		t.Errorf("fleet TotalSweeps = %.0f, want %d", fm.TotalSweeps, len(products))
+	}
+	for _, wm := range fm.Workers {
+		if wm.ID == "" || wm.Addr == "" || wm.Error != "" {
+			t.Errorf("worker metrics row %+v", wm)
+		}
+		if wm.UptimeSeconds <= 0 {
+			t.Errorf("worker %s uptime %.3fs, want > 0", wm.ID, wm.UptimeSeconds)
+		}
+	}
+
+	// Each worker's own /metrics agrees with its /healthz sweep count,
+	// and /fleet/metrics on a non-coordinator is a plain 404.
+	var metricSweeps float64
+	for _, w := range workers {
+		snap, err := w.Metrics(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metricSweeps += snap.Counter("mcbench_sweeps_total")
+		if up := snap.Gauge("mcbench_uptime_seconds"); up <= 0 {
+			t.Errorf("worker uptime gauge %.3f, want > 0", up)
+		}
+	}
+	if int(metricSweeps) != len(products) {
+		t.Errorf("workers' /metrics report %.0f sweeps, want %d", metricSweeps, len(products))
+	}
+	if _, err := workers[0].FleetMetrics(ctx); !mcbench.IsNotFound(err) {
+		t.Errorf("FleetMetrics on a worker = %v, want a 404 not-found", err)
+	}
 }

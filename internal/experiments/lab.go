@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"mcbench/internal/multicore"
 	"mcbench/internal/profile"
 	"mcbench/internal/results"
+	"mcbench/internal/telemetry"
 	"mcbench/internal/trace"
 	"mcbench/internal/workload"
 )
@@ -116,6 +118,16 @@ type Config struct {
 	// was already observed when it was built. The callback runs on the
 	// computing goroutine and must not block.
 	Observer func(ProductEvent)
+
+	// Metrics, when non-nil, is the telemetry registry the lab records
+	// into: product latencies, per-phase timing breakdowns (trace load,
+	// model build, warmup, fast-forward, measured window, store save),
+	// persistent-cache hit/miss counters and the store's operation
+	// counters. nil records into telemetry.Default(), the process-wide
+	// registry that mcbench.Metrics() snapshots; the serve subsystem
+	// passes a per-server registry so co-resident servers don't mix
+	// series.
+	Metrics *telemetry.Registry
 }
 
 // ProductEvent reports the lifecycle of one expensive Lab product. Sim
@@ -320,18 +332,71 @@ func (l *Lab) observe(ev ProductEvent) {
 	}
 }
 
-// observeRun brackets a product computation with start/done events.
-func observeRun[V any](l *Lab, ev ProductEvent, rows func(V) int, compute func() (V, error)) (V, error) {
+// metrics returns the registry the lab's instrumentation records into.
+func (l *Lab) metrics() *telemetry.Registry {
+	if l.cfg.Metrics != nil {
+		return l.cfg.Metrics
+	}
+	return telemetry.Default()
+}
+
+// cacheHit and cacheMiss count persistent-cache outcomes per simulator —
+// the lab-level view of whether an IPC table request fell through to a
+// full population sweep.
+func (l *Lab) cacheHit(sim string) {
+	l.metrics().Counter("mcbench_lab_cache_hits_total",
+		"IPC tables served from the persistent results cache",
+		telemetry.L("sim", sim)).Inc()
+}
+
+func (l *Lab) cacheMiss(sim string) {
+	l.metrics().Counter("mcbench_lab_cache_misses_total",
+		"IPC table cache misses that fell through to a full sweep",
+		telemetry.L("sim", sim)).Inc()
+}
+
+// observeRun brackets a product computation with start/done events and a
+// telemetry span. The span rides the context into the simulation kernel,
+// which charges each phase (trace load, model build, warmup,
+// fast-forward, measured window, store save) as it crosses the boundary;
+// on success the breakdown and the end-to-end latency are recorded into
+// the lab's registry.
+func observeRun[V any](l *Lab, ctx context.Context, ev ProductEvent, rows func(V) int, compute func(context.Context) (V, error)) (V, error) {
 	ev.Phase = "start"
 	l.observe(ev)
+	sp := telemetry.StartSpan()
 	start := time.Now()
-	v, err := compute()
+	v, err := compute(telemetry.NewContext(ctx, sp))
 	ev.Phase, ev.Err, ev.Elapsed = "done", err, time.Since(start)
 	if err == nil {
 		ev.Rows = rows(v)
+		l.recordProduct(ev, sp)
 	}
 	l.observe(ev)
 	return v, err
+}
+
+// recordProduct files one successful product computation into the lab
+// registry: total latency keyed by the product identity, plus one
+// observation per span phase totalling the time that product spent in it.
+func (l *Lab) recordProduct(ev ProductEvent, sp *telemetry.Span) {
+	r := l.metrics()
+	sampling := "exact"
+	if ev.Sim == "detailed" && l.cfg.Sampling.Enabled() {
+		sampling = "sampled"
+	}
+	r.Histogram("mcbench_lab_product_seconds",
+		"end-to-end latency of expensive lab products",
+		telemetry.L("sim", ev.Sim),
+		telemetry.L("cores", strconv.Itoa(ev.Cores)),
+		telemetry.L("policy", ev.Policy),
+		telemetry.L("sampling", sampling)).ObserveDuration(ev.Elapsed)
+	for _, ph := range sp.Breakdown() {
+		r.Histogram("mcbench_lab_phase_seconds",
+			"time spent per simulation phase within a product computation",
+			telemetry.L("sim", ev.Sim),
+			telemetry.L("phase", ph.Name)).Observe(int64(ph.Total))
+	}
 }
 
 // NewLab creates a Lab with the given configuration. A nil Config.Source
@@ -383,9 +448,9 @@ func (l *Lab) Names() []string {
 // that makes paper-scale populations (B up to 512) fit a small host.
 func (l *Lab) Models(ctx context.Context) (map[string]*badco.Model, error) {
 	return l.models.get(ctx, func() (map[string]*badco.Model, error) {
-		return observeRun(l, ProductEvent{Sim: "models"},
+		return observeRun(l, ctx, ProductEvent{Sim: "models"},
 			func(m map[string]*badco.Model) int { return len(m) },
-			func() (map[string]*badco.Model, error) {
+			func(ctx context.Context) (map[string]*badco.Model, error) {
 				return multicore.BuildModels(ctx, l.Provider(), l.Names(), badco.DefaultBuildConfig())
 			})
 	})
@@ -402,6 +467,7 @@ func (l *Lab) resultStore() *results.Store {
 			if l.cfg.RemoteFetch != nil {
 				s.SetFetch(results.Fetcher(l.cfg.RemoteFetch))
 			}
+			s.Instrument(l.metrics())
 			l.store = s
 		}
 	})
@@ -480,12 +546,14 @@ func (l *Lab) BadcoIPC(ctx context.Context, cores int, policy cache.PolicyName) 
 	return l.badcoIPC.do(ctx, ipcKey{cores, policy}, func() ([][]float64, error) {
 		pop := l.Population(cores)
 		if table, ok := l.loadCached("badco", cores, policy, pop.Size(), 0); ok {
+			l.cacheHit("badco")
 			l.observe(ProductEvent{Sim: "badco", Cores: cores, Policy: string(policy),
 				Phase: "done", Cached: true, Rows: len(table)})
 			return table, nil
 		}
+		l.cacheMiss("badco")
 		ev := ProductEvent{Sim: "badco", Cores: cores, Policy: string(policy)}
-		return observeRun(l, ev, func(t [][]float64) int { return len(t) }, func() ([][]float64, error) {
+		return observeRun(l, ctx, ev, func(t [][]float64) int { return len(t) }, func(ctx context.Context) ([][]float64, error) {
 			models, err := l.Models(ctx)
 			if err != nil {
 				return nil, err
@@ -521,7 +589,9 @@ func (l *Lab) BadcoIPC(ctx context.Context, cores int, policy cache.PolicyName) 
 			for i, r := range results {
 				table[i] = r.IPC
 			}
+			stop := telemetry.FromContext(ctx).Time("store_save")
 			l.saveCached("badco", cores, policy, table, 0)
+			stop()
 			return table, nil
 		})
 	})
@@ -562,25 +632,31 @@ func (l *Lab) DetailedIPC(ctx context.Context, cores int, policy cache.PolicyNam
 		// by versions that never read them back — permanently unloadable.
 		universe := pop.Size()
 		if table, ok := l.loadCached("detailed", cores, policy, len(sample), universe); ok {
+			l.cacheHit("detailed")
 			l.observe(ProductEvent{Sim: "detailed", Cores: cores, Policy: string(policy),
 				Phase: "done", Cached: true, Rows: len(table)})
 			return table, nil
 		}
+		l.cacheMiss("detailed")
 		ev := ProductEvent{Sim: "detailed", Cores: cores, Policy: string(policy)}
-		return observeRun(l, ev, func(t [][]float64) int { return len(t) }, func() ([][]float64, error) {
+		return observeRun(l, ctx, ev, func(t [][]float64) int { return len(t) }, func(ctx context.Context) ([][]float64, error) {
 			if l.cfg.Sampling.Enabled() {
 				table, ci, cv, err := l.detailedSampledSweep(ctx, cores, policy)
 				if err != nil {
 					return nil, err
 				}
+				stop := telemetry.FromContext(ctx).Time("store_save")
 				l.saveCachedSampled("detailed", cores, policy, table, ci, cv, universe)
+				stop()
 				return table, nil
 			}
 			table, err := l.detailedSweep(ctx, cores, policy)
 			if err != nil {
 				return nil, err
 			}
+			stop := telemetry.FromContext(ctx).Time("store_save")
 			l.saveCached("detailed", cores, policy, table, universe)
+			stop()
 			return table, nil
 		})
 	})
@@ -767,9 +843,9 @@ func (l *Lab) saveCachedSampled(sim string, cores int, policy cache.PolicyName, 
 // speedup metrics WSU and HSU.
 func (l *Lab) RefIPC(ctx context.Context, cores int) ([]float64, error) {
 	return l.refIPC.do(ctx, cores, func() ([]float64, error) {
-		return observeRun(l, ProductEvent{Sim: "ref", Cores: cores},
+		return observeRun(l, ctx, ProductEvent{Sim: "ref", Cores: cores},
 			func(v []float64) int { return len(v) },
-			func() ([]float64, error) { return l.refIPCCompute(ctx, cores) })
+			func(ctx context.Context) ([]float64, error) { return l.refIPCCompute(ctx, cores) })
 	})
 }
 
@@ -903,9 +979,9 @@ func (l *Lab) BadcoDiffsAt(ctx context.Context, cores int, m metrics.Metric, x, 
 // LRU configuration (the Table IV measurement).
 func (l *Lab) MPKI(ctx context.Context) ([]float64, error) {
 	return l.mpki.get(ctx, func() ([]float64, error) {
-		return observeRun(l, ProductEvent{Sim: "mpki"},
+		return observeRun(l, ctx, ProductEvent{Sim: "mpki"},
 			func(v []float64) int { return len(v) },
-			func() ([]float64, error) { return l.mpkiCompute(ctx) })
+			func(ctx context.Context) ([]float64, error) { return l.mpkiCompute(ctx) })
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mcbench/internal/buildinfo"
+	"mcbench/internal/telemetry"
 )
 
 // Defaults for the coordinator's timing knobs.
@@ -189,6 +190,73 @@ func (c *Coordinator) addStolen(n int64) {
 	c.mu.Lock()
 	c.stolen += n
 	c.mu.Unlock()
+}
+
+// MetricsFetcher is the optional Peer extension the coordinator's
+// telemetry aggregation uses: a peer that can fetch the remote node's
+// metrics snapshot (GET /metrics?format=json in production). Optional —
+// asserted at scrape time — so Peer test doubles that predate it keep
+// compiling; a peer without it scrapes as "not exposed", never an error.
+type MetricsFetcher interface {
+	FetchMetrics(ctx context.Context) (*telemetry.Snapshot, error)
+}
+
+// WorkerScrape is one worker's row of a fleet metrics scrape. Snapshot
+// is nil when the peer does not implement MetricsFetcher or when Err is
+// set (the scrape failed).
+type WorkerScrape struct {
+	ID           string
+	Addr         string
+	HeartbeatAge time.Duration
+	Snapshot     *telemetry.Snapshot
+	Err          error
+}
+
+// Scrape fetches every registered worker's metrics snapshot, in
+// parallel, and returns the rows sorted by member id. Membership is
+// snapshotted once under the lock (heartbeat ages included) and the
+// network fan-out happens outside it, so a slow worker never blocks
+// joins or beats. Dead-but-unreaped members appear with their stale
+// heartbeat age — the caller sees the staleness rather than a silently
+// shorter list.
+func (c *Coordinator) Scrape(ctx context.Context) []WorkerScrape {
+	now := time.Now()
+	c.mu.Lock()
+	rows := make([]WorkerScrape, 0, len(c.members))
+	peers := make([]Peer, 0, len(c.members))
+	for _, m := range c.members {
+		rows = append(rows, WorkerScrape{ID: m.id, Addr: m.addr, HeartbeatAge: now.Sub(m.lastBeat)})
+		peers = append(peers, m.peer)
+	}
+	c.mu.Unlock()
+	sort.Sort(&scrapeSort{rows, peers})
+	var wg sync.WaitGroup
+	for i := range rows {
+		mf, ok := peers[i].(MetricsFetcher)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(row *WorkerScrape, mf MetricsFetcher) {
+			defer wg.Done()
+			row.Snapshot, row.Err = mf.FetchMetrics(ctx)
+		}(&rows[i], mf)
+	}
+	wg.Wait()
+	return rows
+}
+
+// scrapeSort orders scrape rows (and their parallel peer slice) by id.
+type scrapeSort struct {
+	rows  []WorkerScrape
+	peers []Peer
+}
+
+func (s *scrapeSort) Len() int           { return len(s.rows) }
+func (s *scrapeSort) Less(i, j int) bool { return s.rows[i].ID < s.rows[j].ID }
+func (s *scrapeSort) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.peers[i], s.peers[j] = s.peers[j], s.peers[i]
 }
 
 // Fetch retrieves the raw stored bytes of a content key from the fleet,

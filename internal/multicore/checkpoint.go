@@ -26,6 +26,7 @@ import (
 	"mcbench/internal/badco"
 	"mcbench/internal/cache"
 	"mcbench/internal/cpu"
+	"mcbench/internal/telemetry"
 	"mcbench/internal/uncore"
 )
 
@@ -310,7 +311,10 @@ func DetailedWarmup(ctx context.Context, w Workload, traces TraceSource, policy 
 		return nil, err
 	}
 	steppers := asSteppers(cores)
-	if err := runToBoundary(ctx, steppers, warmup); err != nil {
+	stop := telemetry.FromContext(ctx).Time(phaseWarmup)
+	err = runToBoundary(ctx, steppers, warmup)
+	stop()
+	if err != nil {
 		return nil, err
 	}
 	cp := &Checkpoint{}
@@ -390,7 +394,10 @@ func measureFrom(ctx context.Context, cp *Checkpoint, cores []stepper, policy ca
 	}
 	reached := make([]bool, n)
 	quotaCycle := make([]uint64, n)
-	if err := runInterleavedFrom(ctx, cores, targets, reached, quotaCycle, 0, nil); err != nil {
+	stop := telemetry.FromContext(ctx).Time(phaseMeasure)
+	err := runInterleavedFrom(ctx, cores, targets, reached, quotaCycle, 0, nil)
+	stop()
+	if err != nil {
 		return Result{}, err
 	}
 	cycles := make([]uint64, n)
@@ -414,7 +421,10 @@ func DetailedWithWarmup(ctx context.Context, w Workload, traces TraceSource, pol
 		return Result{}, err
 	}
 	steppers := asSteppers(cores)
-	if err := runToBoundary(ctx, steppers, warmup); err != nil {
+	stop := telemetry.FromContext(ctx).Time(phaseWarmup)
+	err = runToBoundary(ctx, steppers, warmup)
+	stop()
+	if err != nil {
 		return Result{}, err
 	}
 	cp := &Checkpoint{}
@@ -541,7 +551,10 @@ func ApproximateWarmup(ctx context.Context, w Workload, models map[string]*badco
 	for i, ma := range machines {
 		steppers[i] = badcoStepper{ma}
 	}
-	if err := runToBoundary(ctx, steppers, warmup); err != nil {
+	stop := telemetry.FromContext(ctx).Time(phaseWarmup)
+	err = runToBoundary(ctx, steppers, warmup)
+	stop()
+	if err != nil {
 		return nil, err
 	}
 	cp := &Checkpoint{}
@@ -593,7 +606,10 @@ func ApproximateWithWarmup(ctx context.Context, w Workload, models map[string]*b
 	for i, ma := range machines {
 		steppers[i] = badcoStepper{ma}
 	}
-	if err := runToBoundary(ctx, steppers, warmup); err != nil {
+	stop := telemetry.FromContext(ctx).Time(phaseWarmup)
+	err = runToBoundary(ctx, steppers, warmup)
+	stop()
+	if err != nil {
 		return Result{}, err
 	}
 	cp := &Checkpoint{}

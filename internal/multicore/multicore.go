@@ -19,8 +19,22 @@ import (
 	"mcbench/internal/badco"
 	"mcbench/internal/cache"
 	"mcbench/internal/cpu"
+	"mcbench/internal/telemetry"
 	"mcbench/internal/trace"
 	"mcbench/internal/uncore"
+)
+
+// Phase names charged to a telemetry span carried by the context (see
+// telemetry.NewContext). Hooks sit at phase boundaries — trace
+// resolution, model building, warmup, fast-forward, the measured
+// window — never inside the per-µop loops, so an attached span costs
+// a mutex op per phase and an absent one (nil) costs a context lookup.
+const (
+	phaseTraceLoad   = "trace_load"
+	phaseModelBuild  = "model_build"
+	phaseWarmup      = "warmup"
+	phaseFastForward = "fast_forward"
+	phaseMeasure     = "measure"
 )
 
 // TraceSource resolves benchmark names to traces at the simulation
@@ -256,7 +270,9 @@ func detailedWith(ctx context.Context, w Workload, traces TraceSource, policy ca
 	if err != nil {
 		return Result{}, err
 	}
+	stop := telemetry.FromContext(ctx).Time(phaseMeasure)
 	cycles, err := drive(ctx, asSteppers(cores), quota)
+	stop()
 	if err != nil {
 		return Result{}, err
 	}
@@ -276,8 +292,11 @@ func buildDetailed(ctx context.Context, w Workload, traces TraceSource, policy c
 		return nil, nil, 0, err
 	}
 	cores := make([]*cpu.Core, len(w))
+	sp := telemetry.FromContext(ctx)
 	for i, name := range w {
+		stop := sp.Time(phaseTraceLoad)
 		tr, err := traces.Trace(ctx, name)
+		stop()
 		if err != nil {
 			return nil, nil, 0, err
 		}
@@ -326,7 +345,9 @@ func approximateWith(ctx context.Context, w Workload, models map[string]*badco.M
 	for i, ma := range machines {
 		cores[i] = badcoStepper{ma}
 	}
+	stop := telemetry.FromContext(ctx).Time(phaseMeasure)
 	cycles, err := drive(ctx, cores, quota)
+	stop()
 	if err != nil {
 		return Result{}, err
 	}
@@ -504,13 +525,17 @@ func RunBounded(ctx context.Context, n int, fn func(int)) error {
 func BuildModels(ctx context.Context, traces TraceSource, names []string, cfg badco.BuildConfig) (map[string]*badco.Model, error) {
 	built := make([]*badco.Model, len(names))
 	errs := make([]error, len(names))
+	sp := telemetry.FromContext(ctx)
 	if err := RunBounded(ctx, len(names), func(i int) {
+		stop := sp.Time(phaseTraceLoad)
 		tr, err := traces.Trace(ctx, names[i])
+		stop()
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		defer traces.Release(names[i])
+		defer sp.Time(phaseModelBuild)()
 		built[i], errs[i] = badco.Build(tr, cfg)
 	}); err != nil {
 		return nil, err

@@ -24,6 +24,7 @@ import (
 	"mcbench/internal/cache"
 	"mcbench/internal/cpu"
 	"mcbench/internal/stats"
+	"mcbench/internal/telemetry"
 )
 
 // SampledConfidence is the confidence level of the interval reported by
@@ -165,8 +166,12 @@ func DetailedSampled(ctx context.Context, w Workload, traces TraceSource, policy
 	// from (the LLC is far too large for a warmup stretch to
 	// renormalize). The prologue's per-core wall-cycles also seed the
 	// speed weights for the first fast-forward's interleaving.
+	sp := telemetry.FromContext(ctx)
 	if prologue := min(spec.Warmup+spec.Window, gap); prologue > 0 {
-		if err := runToBoundary(ctx, steppers, prologue); err != nil {
+		stop := sp.Time(phaseWarmup)
+		err := runToBoundary(ctx, steppers, prologue)
+		stop()
+		if err != nil {
 			return SampledResult{}, err
 		}
 		for i, c := range steppers {
@@ -190,6 +195,7 @@ func DetailedSampled(ctx context.Context, w Workload, traces TraceSource, policy
 			return SampledResult{}, err
 		}
 		base := k * spec.Unit
+		stopFF := sp.Time(phaseFastForward)
 		// A bounded warming stretch skips the gap's prefix outright (no
 		// state updates, O(1)) and warms only the last spec.Warm µops.
 		if spec.Warm > 0 && spec.Warm < gap {
@@ -212,9 +218,13 @@ func DetailedSampled(ctx context.Context, w Workload, traces TraceSource, policy
 		// clock fell behind would otherwise pay the skew as fake queueing
 		// behind the other cores' bookings.
 		syncClocks(cores, steppers)
+		stopFF()
 		// Detailed warmup to the window start.
 		if spec.Warmup > 0 {
-			if err := runToBoundary(ctx, steppers, base+gap+spec.Warmup); err != nil {
+			stopW := sp.Time(phaseWarmup)
+			err := runToBoundary(ctx, steppers, base+gap+spec.Warmup)
+			stopW()
+			if err != nil {
 				return SampledResult{}, err
 			}
 			// Warmups cost different wall-cycles per core (a slow core's
@@ -228,7 +238,10 @@ func DetailedSampled(ctx context.Context, w Workload, traces TraceSource, policy
 		for i, c := range steppers {
 			clocks[i] = c.Now()
 		}
-		if err := runWindowOvershoot(ctx, steppers, base+spec.Unit, base+spec.Unit+gap, cross); err != nil {
+		stopM := sp.Time(phaseMeasure)
+		err := runWindowOvershoot(ctx, steppers, base+spec.Unit, base+spec.Unit+gap, cross)
+		stopM()
+		if err != nil {
 			return SampledResult{}, err
 		}
 		for i := range steppers {

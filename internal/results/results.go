@@ -17,9 +17,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcbench/internal/faultinject"
+	"mcbench/internal/telemetry"
 )
 
 // IPCTable is one sweep result: row per workload, column per core.
@@ -182,6 +184,39 @@ type Store struct {
 	// fetch, when set, is the read-through hook Load consults on a local
 	// miss before reporting absence (see SetFetch).
 	fetch Fetcher
+
+	// tel holds the store's operation counters (an atomic pointer so
+	// Instrument can rebind them without racing in-flight operations).
+	tel atomic.Pointer[storeMetrics]
+}
+
+// storeMetrics are the per-registry operation counters of one store.
+type storeMetrics struct {
+	saves       *telemetry.Counter
+	saveSeconds *telemetry.Histogram
+	loadHits    *telemetry.Counter
+	loadMisses  *telemetry.Counter
+	readThrough *telemetry.Counter
+	quarantines *telemetry.Counter
+}
+
+func newStoreMetrics(r *telemetry.Registry) *storeMetrics {
+	return &storeMetrics{
+		saves:       r.Counter("mcbench_store_saves_total", "Tables persisted by the results store."),
+		saveSeconds: r.Histogram("mcbench_store_save_seconds", "Latency of staged fsync-rename table saves."),
+		loadHits:    r.Counter("mcbench_store_load_hits_total", "Loads satisfied from the local store directory."),
+		loadMisses:  r.Counter("mcbench_store_load_misses_total", "Loads that found no usable table anywhere."),
+		readThrough: r.Counter("mcbench_store_fabric_readthrough_total", "Loads satisfied by the fleet's remote result fabric."),
+		quarantines: r.Counter("mcbench_store_quarantines_total", "Corrupt files moved into the quarantine directory."),
+	}
+}
+
+// Instrument rebinds the store's operation counters to the given
+// registry (they start on telemetry.Default). A serve node calls this
+// so its /metrics reflects its own store, isolated from any other
+// store in the process.
+func (s *Store) Instrument(r *telemetry.Registry) {
+	s.tel.Store(newStoreMetrics(r))
 }
 
 // Fetcher retrieves the raw stored bytes of a content key from a remote
@@ -224,6 +259,7 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("results: %w", err)
 	}
 	s := &Store{dir: dir}
+	s.tel.Store(newStoreMetrics(telemetry.Default()))
 	s.removeStaleTemp()
 	return s, nil
 }
@@ -303,6 +339,7 @@ const QuarantineDir = "quarantine"
 // generation of the same file. Best-effort: if the move fails the file
 // is removed outright — a corrupt file must never stay live.
 func (s *Store) quarantine(path string) {
+	s.tel.Load().quarantines.Inc()
 	qdir := filepath.Join(s.dir, QuarantineDir)
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
 		os.Remove(path)
@@ -357,7 +394,14 @@ func (s *Store) Save(t *IPCTable) error {
 	if err != nil {
 		return fmt.Errorf("results: %w", err)
 	}
-	return s.publish(t.Key()+"-*.tmp", s.path(t.Key()), appendFooter(data), "results.save.write")
+	start := time.Now()
+	if err := s.publish(t.Key()+"-*.tmp", s.path(t.Key()), appendFooter(data), "results.save.write"); err != nil {
+		return err
+	}
+	tel := s.tel.Load()
+	tel.saves.Inc()
+	tel.saveSeconds.ObserveDuration(time.Since(start))
+	return nil
 }
 
 // publish stages buf through a uniquely named temp file and renames it
@@ -440,6 +484,7 @@ func (s *Store) Load(proto IPCTable) (*IPCTable, bool, error) {
 		// table. Report a miss; the recompute will overwrite it.
 		return s.loadRemote(proto)
 	}
+	s.tel.Load().loadHits.Inc()
 	return &t, true, nil
 }
 
@@ -453,33 +498,45 @@ func (s *Store) Load(proto IPCTable) (*IPCTable, bool, error) {
 //
 // Fault-injection site: "results.fetch.write" (tear the local republish).
 func (s *Store) loadRemote(proto IPCTable) (*IPCTable, bool, error) {
+	t, ok := s.fetchRemote(proto)
+	tel := s.tel.Load()
+	if ok {
+		tel.readThrough.Inc()
+		return t, true, nil
+	}
+	tel.loadMisses.Inc()
+	return nil, false, nil
+}
+
+// fetchRemote is loadRemote's uncounted body: fetch, verify, republish.
+func (s *Store) fetchRemote(proto IPCTable) (*IPCTable, bool) {
 	s.mu.Lock()
 	fetch := s.fetch
 	s.mu.Unlock()
 	if fetch == nil {
-		return nil, false, nil
+		return nil, false
 	}
 	key := proto.Key()
 	data, ok, err := fetch(key)
 	if err != nil || !ok {
-		return nil, false, nil
+		return nil, false
 	}
 	// Stricter than local loads: ReadRaw stamps a footer on every wire
 	// response, so footer-less remote bytes are not legacy files — they
 	// are truncation or a non-store response, and are rejected.
 	payload, hasFooter, valid := splitFooter(data)
 	if !hasFooter || !valid {
-		return nil, false, nil
+		return nil, false
 	}
 	var t IPCTable
 	if err := json.Unmarshal(payload, &t); err != nil {
-		return nil, false, nil
+		return nil, false
 	}
 	if t.Validate() != nil || !t.sameIdentity(&proto) {
-		return nil, false, nil
+		return nil, false
 	}
 	s.publish(key+"-*.tmp", s.path(key), data, "results.fetch.write")
-	return &t, true, nil
+	return &t, true
 }
 
 // ErrBadKey reports a ReadRaw key outside the store's filename-safe

@@ -4,6 +4,8 @@ package serve
 // speaks Server-Sent Events when the client asks for text/event-stream.
 //
 //	GET  /healthz            server identity, uptime, job stats
+//	GET  /metrics            Prometheus text exposition (?format=json)
+//	GET  /fleet/metrics      per-worker aggregated view (coordinator)
 //	GET  /experiments        the registry catalogue
 //	GET  /benches            the active benchmark source
 //	GET  /cache              identity-preserving persistent-store listing
@@ -358,22 +360,31 @@ func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, j *job, after
 	}
 }
 
-// routes builds the mux.
+// routes builds the mux. Every endpoint is wrapped with per-endpoint
+// request/latency instrumentation keyed by the route pattern.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /experiments", s.handleExperiments)
-	mux.HandleFunc("GET /benches", s.handleBenches)
-	mux.HandleFunc("GET /cache", s.handleCache)
-	mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
-	mux.HandleFunc("POST /fleet/join", s.handleFleetJoin)
-	mux.HandleFunc("POST /fleet/heartbeat", s.handleFleetHeartbeat)
-	mux.HandleFunc("POST /fleet/leave", s.handleFleetLeave)
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleJobs)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /experiments", s.handleExperiments)
+	handle("GET /benches", s.handleBenches)
+	handle("GET /cache", s.handleCache)
+	handle("GET /cache/{key}", s.handleCacheGet)
+	handle("POST /fleet/join", s.handleFleetJoin)
+	handle("POST /fleet/heartbeat", s.handleFleetHeartbeat)
+	handle("POST /fleet/leave", s.handleFleetLeave)
+	handle("GET /fleet/metrics", s.handleFleetMetrics)
+	handle("POST /jobs", s.handleSubmit)
+	handle("GET /jobs", s.handleJobs)
+	handle("GET /jobs/{id}", s.handleJob)
+	handle("GET /jobs/{id}/result", s.handleResult)
+	handle("GET /jobs/{id}/events", s.handleEvents)
+	handle("POST /jobs/{id}/cancel", s.handleCancel)
+	if s.pprofOn {
+		pprofRoutes(mux)
+	}
 	return mux
 }

@@ -395,10 +395,7 @@ func (m *manager) cancelJob(id string) (JobStatus, bool) {
 	// but has not transitioned is settled here and skipped there.
 	if j.finishFrom(StateQueued, StateCanceled, "", "canceled before start") {
 		m.removePending(j)
-		m.settle(j, StateCanceled)
-		m.mu.Lock()
-		m.stats.Queued--
-		m.mu.Unlock()
+		m.settle(j, StateQueued, StateCanceled, false)
 		return j.status(), true
 	}
 	j.mu.Lock()
@@ -410,13 +407,24 @@ func (m *manager) cancelJob(id string) (JobStatus, bool) {
 	return j.status(), true
 }
 
-// settle moves a job out of the in-flight index, updates the final
-// counters and enforces the settled-job retention cap. The job's own
+// settle atomically retires a job: one critical section decrements the
+// from-state gauge (queued or running), bumps the terminal counter (and
+// the timeout sub-counter when the wall-clock bound fired), drops the
+// in-flight index entry and enforces the settled-job retention cap.
+// Folding the gauge and the counter into one section keeps every Stats
+// snapshot consistent — no /healthz reader can observe a job counted
+// done while still counted running, or the reverse. The job's own
 // terminal transition must already have happened (finishFrom).
-func (m *manager) settle(j *job, final State) {
+func (m *manager) settle(j *job, from, final State, timedOut bool) {
 	m.mu.Lock()
 	if m.inflight[j.key] == j {
 		delete(m.inflight, j.key)
+	}
+	switch from {
+	case StateQueued:
+		m.stats.Queued--
+	case StateRunning:
+		m.stats.Running--
 	}
 	switch final {
 	case StateDone:
@@ -425,6 +433,9 @@ func (m *manager) settle(j *job, final State) {
 		m.stats.Failed++
 	case StateCanceled:
 		m.stats.Canceled++
+	}
+	if timedOut {
+		m.stats.TimedOut++
 	}
 	m.settled = append(m.settled, j.id)
 	for len(m.settled) > m.keep {
@@ -486,15 +497,14 @@ func (m *manager) runOne(j *job) {
 	result, err := m.execute(runCtx, j)
 
 	final, errText, msg := StateDone, "", "job complete"
+	timedOut := false
 	switch {
 	case err == nil:
 	case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
 		// A timeout is a failure of the job, not a cancellation: the
 		// client asked for work the server's policy refused to finish.
 		final, errText, msg = StateFailed, fmt.Sprintf("job exceeded timeout %s", m.jobTimeout), ""
-		m.mu.Lock()
-		m.stats.TimedOut++
-		m.mu.Unlock()
+		timedOut = true
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		final, errText, msg = StateCanceled, err.Error(), ""
 	default:
@@ -508,10 +518,7 @@ func (m *manager) runOne(j *job) {
 		j.mu.Unlock()
 	}
 	j.finishFrom(StateRunning, final, errText, msg)
-	m.mu.Lock()
-	m.stats.Running--
-	m.mu.Unlock()
-	m.settle(j, final)
+	m.settle(j, StateRunning, final, timedOut)
 }
 
 // execute invokes the job body with panic isolation: a panicking
@@ -587,10 +594,7 @@ func (m *manager) drain() {
 	// Settle the backlog, then cut the running jobs.
 	for _, j := range backlog {
 		if j.finishFrom(StateQueued, StateCanceled, "", "server draining") {
-			m.settle(j, StateCanceled)
-			m.mu.Lock()
-			m.stats.Queued--
-			m.mu.Unlock()
+			m.settle(j, StateQueued, StateCanceled, false)
 		}
 	}
 	m.cancelBase()

@@ -1,0 +1,183 @@
+package serve
+
+// The server's telemetry surface. Every Server owns a private registry
+// (co-resident servers in tests must not mix series): the lab and the
+// persistent store record into it directly, the HTTP layer wraps each
+// endpoint with request/latency instrumentation, and the authoritative
+// job-manager counters are mirrored as scrape-time collectors — the
+// manager's Stats stay the single source of truth, the registry just
+// reads them when scraped, so the two can never drift apart.
+//
+//	GET /metrics                Prometheus text exposition 0.0.4
+//	GET /metrics?format=json    the same registry as a JSON snapshot
+//	GET /fleet/metrics          per-worker aggregation (coordinator only)
+//	GET /debug/pprof/...        net/http/pprof, opt-in via Config.Pprof
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"mcbench/internal/telemetry"
+)
+
+// registerMetrics installs the scrape-time mirrors of the server's
+// authoritative counters. Called once from New, after the manager exists.
+func (s *Server) registerMetrics() {
+	r := s.metrics
+	stat := func(f func(Stats) int64) func() float64 {
+		return func() float64 { return float64(f(s.mgr.snapshotStats())) }
+	}
+	r.CounterFunc("mcbench_jobs_submitted_total", "job submissions accepted (coalesced included)",
+		stat(func(st Stats) int64 { return st.Submitted }))
+	r.CounterFunc("mcbench_jobs_coalesced_total", "submissions deduplicated onto an in-flight job",
+		stat(func(st Stats) int64 { return st.Coalesced }))
+	r.CounterFunc("mcbench_jobs_executed_total", "jobs that actually started running",
+		stat(func(st Stats) int64 { return st.Executed }))
+	r.CounterFunc("mcbench_jobs_completed_total", "jobs finished successfully",
+		stat(func(st Stats) int64 { return st.Done }))
+	r.CounterFunc("mcbench_jobs_failed_total", "jobs finished in failure",
+		stat(func(st Stats) int64 { return st.Failed }))
+	r.CounterFunc("mcbench_jobs_canceled_total", "jobs canceled before completion",
+		stat(func(st Stats) int64 { return st.Canceled }))
+	r.CounterFunc("mcbench_jobs_panics_total", "jobs that died to a recovered panic",
+		stat(func(st Stats) int64 { return st.Panics }))
+	r.CounterFunc("mcbench_jobs_timeout_total", "jobs killed by the per-job wall-clock bound",
+		stat(func(st Stats) int64 { return st.TimedOut }))
+	r.GaugeFunc("mcbench_jobs_queued", "jobs accepted but not yet running",
+		stat(func(st Stats) int64 { return st.Queued }))
+	r.GaugeFunc("mcbench_jobs_running", "jobs currently executing",
+		stat(func(st Stats) int64 { return st.Running }))
+	r.CounterFunc("mcbench_sweeps_total", "full population sweeps actually executed (cache and fabric hits excluded)",
+		func() float64 { badco, _ := s.lab.SweepCounts(); return float64(badco) },
+		telemetry.L("sim", "badco"))
+	r.CounterFunc("mcbench_sweeps_total", "full population sweeps actually executed (cache and fabric hits excluded)",
+		func() float64 { _, detailed := s.lab.SweepCounts(); return float64(detailed) },
+		telemetry.L("sim", "detailed"))
+	r.GaugeFunc("mcbench_uptime_seconds", "seconds since the server started",
+		func() float64 { return time.Since(s.start).Seconds() })
+	if s.coord != nil {
+		// Coordinator-local fleet series only — the Prometheus scrape path
+		// must never do network I/O (the per-worker aggregation lives on
+		// /fleet/metrics, which fans out explicitly).
+		r.GaugeFunc("mcbench_fleet_peers", "live fleet workers",
+			func() float64 { return float64(s.coord.Peers()) })
+		r.CounterFunc("mcbench_fleet_shards_stolen_total", "shards re-issued after a worker death or straggle",
+			func() float64 { return float64(s.coord.Stolen()) })
+	}
+}
+
+// instrument wraps one endpoint's handler with a request counter and a
+// latency histogram, both labelled by the route pattern (never the raw
+// URL, so /jobs/{id} stays one series regardless of traffic).
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.metrics.Counter("mcbench_http_requests_total",
+		"HTTP requests served", telemetry.L("endpoint", endpoint))
+	lat := s.metrics.Histogram("mcbench_http_request_seconds",
+		"HTTP request latency", telemetry.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		reqs.Inc()
+		lat.ObserveDuration(time.Since(start))
+	}
+}
+
+// handleMetrics serves the registry: Prometheus text by default, the
+// JSON snapshot (the form mcbench.Client and the fleet scraper consume)
+// with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}
+
+// WorkerMetrics is one worker's row of the /fleet/metrics aggregation:
+// the coordinator scrapes each live worker's JSON snapshot and distils
+// the fleet-operations view (queue pressure, sweep throughput, liveness).
+type WorkerMetrics struct {
+	ID           string `json:"id"`
+	Addr         string `json:"addr"`
+	HeartbeatAge string `json:"heartbeat_age"`
+	// Error is set when the worker's scrape failed; the numeric fields
+	// are zero then.
+	Error          string  `json:"error,omitempty"`
+	Queued         float64 `json:"queued"`
+	Running        float64 `json:"running"`
+	JobsCompleted  float64 `json:"jobs_completed"`
+	SweepsBadco    float64 `json:"sweeps_badco"`
+	SweepsDetailed float64 `json:"sweeps_detailed"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	// SweepsPerSecond is total sweeps over uptime — the worker's
+	// campaign throughput since it started.
+	SweepsPerSecond float64 `json:"sweeps_per_second"`
+}
+
+// FleetMetrics is the /fleet/metrics payload.
+type FleetMetrics struct {
+	Workers []WorkerMetrics `json:"workers"`
+	// Totals sums the numeric columns over the scrapable workers.
+	TotalQueued    float64 `json:"total_queued"`
+	TotalRunning   float64 `json:"total_running"`
+	TotalSweeps    float64 `json:"total_sweeps"`
+	ShardsStolen   int64   `json:"shards_stolen"`
+	WorkersScraped int     `json:"workers_scraped"`
+	WorkersFailed  int     `json:"workers_failed"`
+}
+
+// handleFleetMetrics serves the coordinator's aggregated per-worker view.
+// Unlike /metrics this fans out over the network (one scrape per live
+// worker, in parallel), so it is its own endpoint rather than extra
+// series on the Prometheus path.
+func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.coord == nil {
+		writeError(w, http.StatusNotFound, "serve: not a fleet coordinator")
+		return
+	}
+	out := FleetMetrics{Workers: []WorkerMetrics{}, ShardsStolen: s.coord.Stolen()}
+	for _, sc := range s.coord.Scrape(r.Context()) {
+		wm := WorkerMetrics{
+			ID: sc.ID, Addr: sc.Addr,
+			HeartbeatAge: sc.HeartbeatAge.Round(time.Millisecond).String(),
+		}
+		switch {
+		case sc.Err != nil:
+			wm.Error = sc.Err.Error()
+			out.WorkersFailed++
+		case sc.Snapshot == nil:
+			wm.Error = "peer does not expose metrics"
+			out.WorkersFailed++
+		default:
+			snap := sc.Snapshot
+			wm.Queued = snap.Gauge("mcbench_jobs_queued")
+			wm.Running = snap.Gauge("mcbench_jobs_running")
+			wm.JobsCompleted = snap.Counter("mcbench_jobs_completed_total")
+			wm.SweepsBadco = snap.Counters[`mcbench_sweeps_total{sim="badco"}`]
+			wm.SweepsDetailed = snap.Counters[`mcbench_sweeps_total{sim="detailed"}`]
+			wm.UptimeSeconds = snap.Gauge("mcbench_uptime_seconds")
+			if wm.UptimeSeconds > 0 {
+				wm.SweepsPerSecond = (wm.SweepsBadco + wm.SweepsDetailed) / wm.UptimeSeconds
+			}
+			out.TotalQueued += wm.Queued
+			out.TotalRunning += wm.Running
+			out.TotalSweeps += wm.SweepsBadco + wm.SweepsDetailed
+			out.WorkersScraped++
+		}
+		out.Workers = append(out.Workers, wm)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// pprofRoutes mounts net/http/pprof on the mux. Opt-in (Config.Pprof):
+// profiles expose implementation detail and cost CPU, so a production
+// server only carries them when asked.
+func pprofRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -25,6 +25,7 @@ import (
 	"mcbench/internal/experiments"
 	"mcbench/internal/fleet"
 	"mcbench/internal/results"
+	"mcbench/internal/telemetry"
 )
 
 // Config configures a Server.
@@ -55,6 +56,9 @@ type Config struct {
 	// Fleet opts the server into the distributed lab (see FleetConfig);
 	// nil, or a nil Fleet.Dial, keeps it standalone.
 	Fleet *FleetConfig
+	// Pprof mounts net/http/pprof under /debug/pprof/ (opt-in: profiles
+	// expose implementation detail and cost CPU when scraped).
+	Pprof bool
 }
 
 // Server is the experiment service: a shared Lab, a job manager and the
@@ -67,6 +71,14 @@ type Server struct {
 	build   buildinfo.Info
 	start   time.Time
 	workers int
+	pprofOn bool
+
+	// metrics is this server's private telemetry registry: the lab, the
+	// persistent store and the HTTP layer all record into it, and
+	// GET /metrics scrapes it. Per-server (not telemetry.Default()) so
+	// co-resident servers — every httptest server in the suite — keep
+	// disjoint series.
+	metrics *telemetry.Registry
 
 	// storeOnce opens the /cache browsing store once, so repeated
 	// listings reuse its per-file memo instead of re-reading the
@@ -92,6 +104,9 @@ func (s *Server) cacheStore() (*results.Store, error) {
 	s.storeOnce.Do(func() {
 		if dir := s.lab.Config().CacheDir; dir != "" {
 			s.store, s.storeErr = results.Open(dir)
+			if s.store != nil {
+				s.store.Instrument(s.metrics)
+			}
 		}
 	})
 	return s.store, s.storeErr
@@ -110,8 +125,11 @@ func New(cfg Config) *Server {
 		build:   buildinfo.Read(),
 		start:   time.Now(),
 		workers: cfg.Workers,
+		pprofOn: cfg.Pprof,
+		metrics: telemetry.NewRegistry(),
 	}
 	labCfg := cfg.Lab
+	labCfg.Metrics = s.metrics
 	if prev := labCfg.Observer; prev != nil {
 		labCfg.Observer = func(ev experiments.ProductEvent) {
 			prev(ev)
@@ -166,9 +184,14 @@ func New(cfg Config) *Server {
 	}
 	s.lab = experiments.NewLab(labCfg)
 	s.mgr = newManager(cfg.Workers, cfg.QueueDepth, cfg.KeepJobs, cfg.JobTimeout, s.runJob)
+	s.registerMetrics()
 	s.mux = s.routes()
 	return s
 }
+
+// Metrics returns a point-in-time snapshot of the server's registry (the
+// same data GET /metrics?format=json serves).
+func (s *Server) Metrics() telemetry.Snapshot { return s.metrics.Snapshot() }
 
 // Lab returns the server's shared lab (tests assert on its sweep
 // counters; the CLI reports its configuration).

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span accumulates wall-clock time per named phase of one logical
+// operation (a lab product compute, say). It is carried through a
+// context so deep layers (the simulation kernel) can charge time to
+// phases without knowing who is listening, and it is safe for
+// concurrent use — a sweep runs many workloads at once against one
+// span, so Add serializes on a mutex. That cost is paid per phase
+// boundary (microseconds apart at worst), never per simulated µop.
+//
+// All methods are nil-receiver safe: FromContext returns nil when no
+// span is attached (or telemetry is disabled), and the instrumented
+// code need not check.
+type Span struct {
+	mu     sync.Mutex
+	order  []string
+	phases map[string]*Phase
+}
+
+// Phase is the accumulated time of one span phase.
+type Phase struct {
+	Name  string        `json:"name"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total"`
+}
+
+// StartSpan returns a new empty span, or nil when telemetry is
+// disabled (the nil span records nothing, at no cost).
+func StartSpan() *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return &Span{phases: make(map[string]*Phase)}
+}
+
+// nop is the closer returned by Time on a nil span; a shared func
+// value so the nil path does not allocate.
+var nop = func() {}
+
+// Time starts timing the named phase and returns a closer that
+// charges the elapsed time to it:
+//
+//	defer span.Time("model_build")()
+func (s *Span) Time(phase string) func() {
+	if s == nil {
+		return nop
+	}
+	start := time.Now()
+	return func() { s.Add(phase, time.Since(start)) }
+}
+
+// Add charges d to the named phase.
+func (s *Span) Add(phase string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	p, ok := s.phases[phase]
+	if !ok {
+		p = &Phase{Name: phase}
+		s.phases[phase] = p
+		s.order = append(s.order, phase)
+	}
+	p.Count++
+	p.Total += d
+	s.mu.Unlock()
+}
+
+// Breakdown returns the phases in first-use order.
+func (s *Span) Breakdown() []Phase {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Phase, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, *s.phases[name])
+	}
+	return out
+}
+
+type spanKey struct{}
+
+// NewContext returns ctx carrying the span. A nil span returns ctx
+// unchanged.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

@@ -19,6 +19,16 @@
 # the wall-clock speedup over cold full runs — alongside the mix timing
 # A/B above.
 #
+# Two more sections ride along:
+#   telemetry_overhead  the instrumented simulator benchmarks rerun with
+#                       MCBENCH_TELEMETRY=off in the same time window;
+#                       per benchmark, min-vs-min overhead in percent
+#                       (the budget is <= 1%).
+#   BenchmarkFleetCampaign  the fleet coordinator's per-product
+#                       orchestration cost over instant in-process
+#                       workers (internal/fleet), reported with the
+#                       other benchmarks.
+#
 # The raw `go test -bench` lines are appended to <out>.raw.txt. Two ways
 # to compare against a baseline:
 #   -baseline FILE     a previous raw file; speedups go into the report.
@@ -33,7 +43,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE=""
 INTERLEAVE=""
-OUT="BENCH_9.json"
+OUT="BENCH_10.json"
 REPS=5
 while [ $# -gt 0 ]; do
 	case "$1" in
@@ -49,6 +59,11 @@ RAW="$OUT.raw.txt"
 : >"$RAW"
 SIMS='BenchmarkDetailedSimulator2Core$|BenchmarkBadcoSimulator2Core$|BenchmarkBadcoSimulator8Core$|BenchmarkPolicySweepSharedWarmup$|BenchmarkPolicySweepColdWarmup$|BenchmarkExactDetailed2Core10x$|BenchmarkSampledDetailed2Core10x$'
 POP='BenchmarkPopulationSweep$'
+# The span-instrumented subset of SIMS: these run a second pass with
+# telemetry disabled for the overhead A/B (the sweep pair carries no
+# span, so it would only dilute the measurement).
+TELEM='BenchmarkDetailedSimulator2Core$|BenchmarkBadcoSimulator2Core$|BenchmarkBadcoSimulator8Core$|BenchmarkExactDetailed2Core10x$|BenchmarkSampledDetailed2Core10x$'
+FLEETB='BenchmarkFleetCampaign$'
 
 if [ -n "$INTERLEAVE" ]; then
 	BASELINE="$OUT.base.raw.txt"
@@ -63,7 +78,12 @@ PGO=""
 [ -f default.pgo ] && PGO="-pgo=default.pgo"
 BIN=$(mktemp /tmp/mcbench.XXXXXX.test)
 go test $PGO -c -o "$BIN" .
-trap 'rm -f "$BIN"' EXIT
+FLEETBIN=$(mktemp /tmp/mcbench.XXXXXX.fleet.test)
+go test -c -o "$FLEETBIN" ./internal/fleet
+trap 'rm -f "$BIN" "$FLEETBIN"' EXIT
+
+OFFRAW="$OUT.telemetry-off.raw.txt"
+: >"$OFFRAW"
 
 START=$(date +%s)
 i=0
@@ -76,6 +96,10 @@ while [ "$i" -lt "$REPS" ]; do
 		"$INTERLEAVE" -test.run '^$' -test.bench "$POP" -test.benchtime 1x -test.benchmem | grep '^Benchmark' >>"$BASELINE"
 	fi
 	"$BIN" -test.run '^$' -test.bench "$POP" -test.benchtime 1x -test.benchmem | grep '^Benchmark' >>"$RAW"
+	# Telemetry A/B: the same binary, same time window, recording stripped
+	# by the env gate — the difference bounds the instrumentation cost.
+	MCBENCH_TELEMETRY=off "$BIN" -test.run '^$' -test.bench "$TELEM" -test.benchtime 3x -test.benchmem | grep '^Benchmark' >>"$OFFRAW"
+	"$FLEETBIN" -test.run '^$' -test.bench "$FLEETB" -test.benchtime 100x -test.benchmem | grep '^Benchmark' >>"$RAW"
 	i=$((i + 1))
 done
 END=$(date +%s)
@@ -98,9 +122,21 @@ summarize() {
 }
 
 summarize "$RAW" >"$RAW.sum"
+summarize "$OFFRAW" >"$RAW.off.sum"
 if [ -n "$BASELINE" ]; then
 	summarize "$BASELINE" >"$RAW.base.sum"
 fi
+
+# Telemetry overhead per instrumented benchmark: min-vs-min of the
+# enabled (RAW) and MCBENCH_TELEMETRY=off (OFFRAW) passes.
+TELEM_JSON=$(mktemp /tmp/mcbench.XXXXXX.telem)
+while read -r name off _; do
+	on=$(awk -v n="$name" '$1 == n { print $2 }' "$RAW.sum")
+	[ -n "$on" ] || continue
+	pct=$(awk -v on="$on" -v off="$off" 'BEGIN { printf "%.2f", (on - off) * 100 / off }')
+	printf '    {"name": "%s", "on_ns_per_op": %s, "off_ns_per_op": %s, "overhead_pct": %s}\n' \
+		"$name" "$on" "$off" "$pct"
+done <"$RAW.off.sum" >"$TELEM_JSON"
 
 # Shared-warmup vs per-policy-warmup policy sweep, same binary and time
 # window: the checkpointed-sweep speedup. Both run sequentially, so the
@@ -128,7 +164,7 @@ fi
 # the speed/accuracy frontier — the error side of the A/B above.
 FRONTIER=$(mktemp /tmp/mcbench.XXXXXX.frontier)
 MCB=$(mktemp /tmp/mcbench.XXXXXX.cli)
-trap 'rm -f "$BIN" "$MCB" "$FRONTIER"' EXIT
+trap 'rm -f "$BIN" "$FLEETBIN" "$MCB" "$FRONTIER" "$TELEM_JSON"' EXIT
 go build $PGO -o "$MCB" ./cmd/mcbench
 "$MCB" sampling-accuracy | awk '/^u[0-9]/ {
 	sub(/%$/, "", $3); sub(/%$/, "", $4); sub(/x$/, "", $6)
@@ -138,13 +174,19 @@ go build $PGO -o "$MCB" ./cmd/mcbench
 
 {
 	echo '{'
-	echo '  "protocol": "min ns/op over '"$REPS"' runs (sim benchmarks: -benchtime 3x; population sweep: -benchtime 1x, fresh process per run), -benchmem",'
+	echo '  "protocol": "min ns/op over '"$REPS"' runs (sim benchmarks: -benchtime 3x; population sweep: -benchtime 1x; fleet campaign: -benchtime 100x; fresh process per run), -benchmem",'
 	echo '  "walltime_seconds": '$((END - START))','
 	if [ -n "$SWEEP_SPEEDUP" ]; then
 		echo '  "policy_sweep_shared_warmup_speedup": '"$SWEEP_SPEEDUP"','
 	fi
 	if [ -n "$SAMPLED_SPEEDUP" ]; then
 		echo '  "sampled_vs_exact_speedup": '"$SAMPLED_SPEEDUP"','
+	fi
+	if [ -s "$TELEM_JSON" ]; then
+		echo '  "telemetry_overhead_note": "instrumented simulator benchmarks vs the same binary with MCBENCH_TELEMETRY=off, min ns/op over the same reps in the same time window; budget <= 1% (negatives are host noise)",'
+		echo '  "telemetry_overhead": ['
+		sed '$!s/$/,/' "$TELEM_JSON"
+		echo '  ],'
 	fi
 	if [ -s "$FRONTIER" ]; then
 		echo '  "sampling_frontier_note": "singles ensemble on 1M-µop traces; error vs warmed exact run (steady-state referent), speedup vs cold full runs; f-suffixed spec bounds functional warming (speed dial, larger bias)",'
@@ -174,5 +216,5 @@ go build $PGO -o "$MCB" ./cmd/mcbench
 	echo '}'
 } >"$OUT"
 
-rm -f "$RAW.sum" "$RAW.base.sum"
+rm -f "$RAW.sum" "$RAW.base.sum" "$RAW.off.sum"
 echo "wrote $OUT (raw samples in $RAW)"

@@ -56,6 +56,11 @@ type ServeOptions struct {
 	// coordinator steals it from the straggling worker and re-issues it
 	// (0: steal only when a worker's heartbeat lease lapses).
 	StealAfter time.Duration
+
+	// Pprof mounts net/http/pprof under /debug/pprof/ — CPU and heap
+	// profiles, goroutine dumps, execution traces. Opt-in: profiling
+	// endpoints expose implementation detail and cost CPU when scraped.
+	Pprof bool
 }
 
 // Serve runs the experiment service until ctx is cancelled, then drains
@@ -80,6 +85,7 @@ func Serve(ctx context.Context, cfg Config, opts ServeOptions) error {
 	srv := serve.New(serve.Config{
 		Lab: cfg, Workers: opts.Workers, QueueDepth: opts.QueueDepth,
 		KeepJobs: opts.KeepJobs, JobTimeout: opts.JobTimeout,
+		Pprof: opts.Pprof,
 		Fleet: &serve.FleetConfig{
 			Join: opts.Join, Advertise: opts.Advertise,
 			Heartbeat: opts.FleetHeartbeat, StealAfter: opts.StealAfter,
@@ -123,6 +129,11 @@ type (
 	FleetJoinRequest = fleet.JoinRequest
 	// FleetJoinResponse grants fleet membership.
 	FleetJoinResponse = fleet.JoinResponse
+	// FleetMetricsView is the coordinator's aggregated per-worker
+	// telemetry view (GET /fleet/metrics).
+	FleetMetricsView = serve.FleetMetrics
+	// WorkerMetrics is one worker's row of a FleetMetricsView.
+	WorkerMetrics = serve.WorkerMetrics
 )
 
 // Job lifecycle states.

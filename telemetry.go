@@ -1,0 +1,25 @@
+package mcbench
+
+import "mcbench/internal/telemetry"
+
+// MetricsSnapshot is a point-in-time view of a telemetry registry:
+// counters and gauges by series identity (`name{label="value",...}`),
+// histograms summarised as count/sum/quantiles. It is what Metrics()
+// returns for the local process, what GET /metrics?format=json serves
+// for a server, and what a fleet coordinator scrapes from its workers.
+type MetricsSnapshot = telemetry.Snapshot
+
+// HistogramStat summarises one histogram series of a MetricsSnapshot:
+// observation count, sum and estimated p50/p95/p99. Series named
+// `*_seconds` are in seconds.
+type HistogramStat = telemetry.HistogramSnapshot
+
+// Telemetry snapshots the process-wide telemetry registry. (Metrics is
+// taken by the paper's throughput-metric catalogue.) Everything the
+// library runs locally — Lab products, simulation phase timings, the
+// persistent result store's operations — records into it; a server owns
+// a private registry instead (scrape it via GET /metrics or
+// Client.Metrics). Telemetry can be disabled process-wide by setting
+// MCBENCH_TELEMETRY=off before start, which empties this snapshot and
+// removes the (already tiny) recording cost from the hot paths.
+func Telemetry() MetricsSnapshot { return telemetry.Default().Snapshot() }
